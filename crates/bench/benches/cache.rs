@@ -1,0 +1,71 @@
+//! Slab/LRU store throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use memlat_cache::{Store, StoreConfig};
+use memlat_workload::ZipfPopularity;
+use rand::SeedableRng;
+
+fn warm_store(memory: usize, items: u64) -> Store {
+    let mut s = Store::new(StoreConfig::with_memory(memory)).unwrap();
+    for k in 0..items {
+        let _ = s.set(k, 200, None, 0.0);
+    }
+    s
+}
+
+fn bench_hits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_get");
+    g.throughput(Throughput::Elements(10_000));
+    let mut store = warm_store(64 << 20, 50_000);
+    g.bench_function("hot_hits_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for k in 0..10_000u64 {
+                if store.get(k % 50_000, 0.0).is_hit() {
+                    hits += 1;
+                }
+            }
+            std::hint::black_box(hits)
+        })
+    });
+
+    let pop = ZipfPopularity::new(5_000_000, 1.01).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    g.bench_function("zipf_mixed_10k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for _ in 0..10_000 {
+                let k = pop.sample_key(&mut rng);
+                if store.get(k, 0.0).is_hit() {
+                    hits += 1;
+                } else {
+                    let _ = store.set(k, 200, None, 0.0);
+                }
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+fn bench_eviction_pressure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_set");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("evicting_sets_10k", |b| {
+        b.iter_batched(
+            || warm_store(4 << 20, 20_000),
+            |mut store| {
+                for k in 1_000_000..1_010_000u64 {
+                    let _ = store.set(k, 200, None, 0.0);
+                }
+                std::hint::black_box(store.stats().evictions)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hits, bench_eviction_pressure);
+criterion_main!(benches);

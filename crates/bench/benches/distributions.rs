@@ -1,0 +1,62 @@
+//! Sampling and Laplace-transform throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use memlat_dist::Discrete;
+use memlat_dist::{Continuous, Exponential, GeneralizedPareto, Zipf};
+use rand::SeedableRng;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampling");
+    g.throughput(Throughput::Elements(1_000));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+
+    let exp = Exponential::new(80_000.0).unwrap();
+    g.bench_function("exponential_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1_000 {
+                acc += exp.sample(&mut rng);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    let gpd = GeneralizedPareto::facebook(0.15, 56_250.0).unwrap();
+    g.bench_function("generalized_pareto_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1_000 {
+                acc += gpd.sample(&mut rng);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    let zipf = Zipf::new(50_000_000, 1.01).unwrap();
+    g.bench_function("zipf_50m_ranks_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000 {
+                acc = acc.wrapping_add(zipf.sample(&mut rng));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_laplace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("laplace");
+    let gpd = GeneralizedPareto::facebook(0.15, 56_250.0).unwrap();
+    let exp = Exponential::new(56_250.0).unwrap();
+    g.bench_function("gpd_numeric", |b| {
+        b.iter(|| std::hint::black_box(&gpd).laplace(std::hint::black_box(13_000.0)))
+    });
+    g.bench_function("exponential_closed", |b| {
+        b.iter(|| std::hint::black_box(&exp).laplace(std::hint::black_box(13_000.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_laplace);
+criterion_main!(benches);

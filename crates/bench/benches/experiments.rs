@@ -1,0 +1,57 @@
+//! Scaled-down regenerations of representative paper artifacts, wired as
+//! benches so `cargo bench` exercises the full reproduction pipeline.
+//!
+//! The publication-quality regeneration lives in
+//! `cargo run --release -p memlat-experiments --bin all`; these benches
+//! use the quick profile.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use memlat_experiments::experiments;
+
+fn quick() {
+    std::env::set_var("MEMLAT_QUICK", "1");
+}
+
+fn bench_paper_artifacts(c: &mut Criterion) {
+    quick();
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.bench_function("table3_quick", |b| {
+        b.iter_batched(|| (), |()| experiments::table3(), BatchSize::PerIteration)
+    });
+    g.bench_function("table4_full", |b| {
+        b.iter_batched(|| (), |()| experiments::table4(), BatchSize::PerIteration)
+    });
+    g.bench_function("fig08_model_only", |b| {
+        b.iter_batched(|| (), |()| experiments::fig08(), BatchSize::PerIteration)
+    });
+    g.bench_function("fig13_quick", |b| {
+        b.iter_batched(|| (), |()| experiments::fig13(), BatchSize::PerIteration)
+    });
+    g.finish();
+}
+
+fn bench_estimator_ablation(c: &mut Criterion) {
+    use memlat_model::{ModelParams, ServerLatencyModel};
+    quick();
+    let mut g = c.benchmark_group("ablation");
+    // Product-form (numeric inversion) vs closed-form Theorem 1 bounds on
+    // an unbalanced cluster: the accuracy/cost trade-off documented in
+    // EXPERIMENTS.md.
+    let params = ModelParams::builder()
+        .load(memlat_model::LoadDistribution::HotServer { p1: 0.6 })
+        .total_key_rate(80_000.0)
+        .build()
+        .unwrap();
+    let model = ServerLatencyModel::new(&params).unwrap();
+    g.bench_function("product_form_unbalanced", |b| {
+        b.iter(|| std::hint::black_box(&model).product_form_bounds(150))
+    });
+    g.bench_function("closed_form_unbalanced", |b| {
+        b.iter(|| std::hint::black_box(&model).theorem1_bounds(150))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_paper_artifacts, bench_estimator_ablation);
+criterion_main!(benches);

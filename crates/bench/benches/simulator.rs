@@ -1,0 +1,61 @@
+//! Simulator throughput: keys/second through the queueing engine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use memlat_bench::base_params;
+use memlat_cluster::{assembly::assemble_requests, ClusterSim, SimConfig};
+use rand::SeedableRng;
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    g.sample_size(10);
+    // 0.2 s of Facebook traffic ≈ 50 K keys across 4 servers.
+    g.throughput(Throughput::Elements(50_000));
+    g.bench_function("facebook_0p2s", |b| {
+        let mut seed = 0u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                SimConfig::new(base_params()).duration(0.2).warmup(0.0).seed(seed)
+            },
+            |cfg| ClusterSim::run(&cfg).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let out = ClusterSim::run(
+        &SimConfig::new(base_params()).duration(0.5).warmup(0.1).seed(3),
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("assembly");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("requests_n150_1k", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        b.iter(|| assemble_requests(std::hint::black_box(&out), 150, 1_000, &mut rng))
+    });
+    g.finish();
+}
+
+fn bench_e2e(c: &mut Criterion) {
+    use memlat_cluster::e2e::{run_e2e, E2eConfig};
+    let mut g = c.benchmark_group("e2e");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("requests_1k", |b| {
+        let mut seed = 0u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                E2eConfig::new(base_params()).requests(1_000).seed(seed)
+            },
+            |cfg| run_e2e(&cfg).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cluster, bench_assembly, bench_e2e);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Benchmarks of the analytical core: δ fixed point, Theorem 1, cliffs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use memlat_bench::base_params;
+use memlat_dist::{Exponential, Gamma, GeneralizedPareto, Hyperexponential};
+use memlat_model::{cliff, ServerLatencyModel};
+use memlat_queue::solve_delta;
+
+fn bench_delta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delta");
+    let mu = 72_000.0;
+
+    let exp = Exponential::new(56_250.0).unwrap();
+    g.bench_function("poisson_closed_form", |b| {
+        b.iter(|| solve_delta(std::hint::black_box(&exp), mu).unwrap())
+    });
+
+    let erl = Gamma::erlang(4, 1.0 / 56_250.0).unwrap();
+    g.bench_function("erlang4_closed_form", |b| {
+        b.iter(|| solve_delta(std::hint::black_box(&erl), mu).unwrap())
+    });
+
+    let h2 = Hyperexponential::with_mean_scv(1.0 / 56_250.0, 4.0).unwrap();
+    g.bench_function("hyperexp_closed_form", |b| {
+        b.iter(|| solve_delta(std::hint::black_box(&h2), mu).unwrap())
+    });
+
+    let gpd = GeneralizedPareto::facebook(0.15, 56_250.0).unwrap();
+    g.bench_function("gpd_numeric_laplace", |b| {
+        b.iter(|| solve_delta(std::hint::black_box(&gpd), mu).unwrap())
+    });
+
+    g.finish();
+}
+
+fn bench_theorem1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theorem1");
+    let params = base_params();
+    g.bench_function("full_estimate", |b| {
+        b.iter(|| std::hint::black_box(&params).estimate().unwrap())
+    });
+    g.bench_function("server_model_solve", |b| {
+        b.iter(|| ServerLatencyModel::new(std::hint::black_box(&params)).unwrap())
+    });
+    let model = ServerLatencyModel::new(&params).unwrap();
+    g.bench_function("product_form_quantile", |b| {
+        b.iter(|| std::hint::black_box(&model).product_form_bounds(150))
+    });
+    g.bench_function("closed_form_bounds", |b| {
+        b.iter(|| std::hint::black_box(&model).theorem1_bounds(150))
+    });
+    g.bench_function("fork_join_p999", |b| {
+        b.iter(|| std::hint::black_box(&model).fork_join_quantile(150, 0.999))
+    });
+    let law = memlat_model::RequestLatencyLaw::new(&params).unwrap();
+    g.bench_function("request_law_mean", |b| {
+        b.iter(|| std::hint::black_box(&law).mean())
+    });
+    g.bench_function("request_law_p999", |b| {
+        b.iter(|| std::hint::black_box(&law).quantile(0.999))
+    });
+    g.finish();
+}
+
+fn bench_cliff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cliff");
+    g.sample_size(10);
+    g.bench_function("cliff_utilization_xi015", |b| {
+        b.iter(|| cliff::cliff_utilization(std::hint::black_box(0.15), 0.1).unwrap())
+    });
+    g.bench_function("table4_row_xi08", |b| {
+        b.iter(|| cliff::cliff_utilization(std::hint::black_box(0.8), 0.1).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_db_estimators(c: &mut Criterion) {
+    use memlat_model::database::{db_latency_mean, db_latency_mean_exact};
+    let mut g = c.benchmark_group("db_estimator");
+    g.bench_function("eq23_closed_form", |b| {
+        b.iter(|| db_latency_mean(std::hint::black_box(150), 0.01, 1_000.0))
+    });
+    g.bench_function("exact_binomial_harmonic", |b| {
+        b.iter(|| db_latency_mean_exact(std::hint::black_box(150), 0.01, 1_000.0))
+    });
+    g.bench_function("exact_binomial_harmonic_n1e6", |b| {
+        b.iter_batched(
+            || (),
+            |()| db_latency_mean_exact(std::hint::black_box(1_000_000), 0.001, 1_000.0),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_delta, bench_theorem1, bench_cliff, bench_db_estimators);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Measurement-substrate throughput: ECDF, P², histograms.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use memlat_stats::{Ecdf, LogHistogram, P2Quantile, StreamingStats};
+use rand::{Rng, SeedableRng};
+
+fn samples(n: usize) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    (0..n).map(|_| -(1.0 - rng.gen::<f64>()).max(1e-15).ln() * 1e-4).collect()
+}
+
+fn bench_ecdf(c: &mut Criterion) {
+    let xs = samples(1_000_000);
+    let mut g = c.benchmark_group("ecdf");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("build_1m", |b| {
+        b.iter_batched(|| xs.clone(), Ecdf::from_samples2, BatchSize::LargeInput)
+    });
+    let e = Ecdf::from_samples(&xs);
+    g.bench_function("quantile_lookup", |b| {
+        b.iter(|| std::hint::black_box(&e).quantile(std::hint::black_box(0.9999)))
+    });
+    g.finish();
+}
+
+// Helper adapting the by-value clone into the by-ref constructor.
+trait EcdfExt {
+    fn from_samples2(v: Vec<f64>) -> Ecdf;
+}
+impl EcdfExt for Ecdf {
+    fn from_samples2(v: Vec<f64>) -> Ecdf {
+        Ecdf::from_samples(&v)
+    }
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let xs = samples(100_000);
+    let mut g = c.benchmark_group("streaming");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("welford_100k", |b| {
+        b.iter(|| {
+            let mut s = StreamingStats::new();
+            for &x in &xs {
+                s.push(x);
+            }
+            std::hint::black_box(s.mean())
+        })
+    });
+    g.bench_function("p2_100k", |b| {
+        b.iter(|| {
+            let mut p2 = P2Quantile::new(0.99);
+            for &x in &xs {
+                p2.push(x);
+            }
+            std::hint::black_box(p2.estimate())
+        })
+    });
+    g.bench_function("log_histogram_100k", |b| {
+        b.iter(|| {
+            let mut h = LogHistogram::for_latencies();
+            for &x in &xs {
+                h.record(x);
+            }
+            std::hint::black_box(h.quantile(0.99))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ecdf, bench_streaming);
+criterion_main!(benches);

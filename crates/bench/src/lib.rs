@@ -1,0 +1,29 @@
+//! Criterion benchmarks for the memlat workspace.
+//!
+//! Run with `cargo bench --workspace`. Benches:
+//!
+//! * `solver` — the GI/M/1 `δ` fixed point across arrival laws (closed
+//!   form vs numeric Laplace), the cliff-utilization search, Theorem 1
+//!   end-to-end.
+//! * `distributions` — sampling and transform throughput.
+//! * `simulator` — keys/second through the per-server queue and the full
+//!   cluster, plus request assembly.
+//! * `cache` — slab/LRU store get/set throughput and eviction pressure.
+//! * `stats` — ECDF construction, P² updates, histogram recording.
+//! * `experiments` — scaled-down regenerations of representative paper
+//!   artifacts (Table 3, Fig. 7 point, Table 4 row), the ablation of
+//!   product-form vs closed-form estimators, and eq. 23 vs the exact
+//!   database estimator.
+//!
+//! This crate intentionally has no library API; helpers used by several
+//! benches live here.
+
+#![forbid(unsafe_code)]
+
+use memlat_model::ModelParams;
+
+/// The paper's base configuration, shared by benches.
+#[must_use]
+pub fn base_params() -> ModelParams {
+    ModelParams::builder().build().expect("paper defaults are valid")
+}

@@ -1,0 +1,308 @@
+//! Request assembly: from per-key samples to end-user request latency.
+//!
+//! The paper's testbed measures per-key traffic and treats an end-user
+//! request as a logical group of `N` keys split multinomially over the
+//! servers (§4.3.2); the request completes when its slowest key does.
+//! This module performs that assembly over the simulator's per-key
+//! records: for each synthetic request, draw per-server key counts
+//! `Multinomial(N, {p_j})`, sample that many `(s, d)` outcomes from each
+//! server's recorded population, and take the maxima.
+//!
+//! Sampling per-key outcomes independently matches the model's
+//! independence assumption (eq. 10); the [`crate::e2e`] mode exists to
+//! measure what that assumption costs.
+
+use memlat_dist::multinomial_counts;
+use memlat_stats::{ConfidenceInterval, StreamingStats};
+use rand::RngCore;
+
+use crate::sim::SimOutput;
+
+/// One assembled end-user request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestSample {
+    /// End-user latency `T(N) = T_net + max_i(s_i + d_i)`.
+    pub total: f64,
+    /// `T_S(N) = max_i s_i`.
+    pub ts_max: f64,
+    /// `T_D(N) = max_i d_i` (0 when no key missed).
+    pub td_max: f64,
+}
+
+/// Aggregated request statistics (means with 95% confidence intervals —
+/// the quantities of the paper's Table 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestStats {
+    /// Mean and CI of the end-user latency `T(N)`.
+    pub total: ConfidenceInterval,
+    /// Mean and CI of `T_S(N)`.
+    pub ts: ConfidenceInterval,
+    /// Mean and CI of `T_D(N)`.
+    pub td: ConfidenceInterval,
+    /// The constant network latency `T_N(N)`.
+    pub network: f64,
+    /// Number of assembled requests.
+    pub requests: usize,
+}
+
+impl std::fmt::Display for RequestStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "T_N(N) = {:>9.1} µs (constant)", self.network * 1e6)?;
+        writeln!(f, "T_S(N) = {:>9.1} µs  CI [{:.1}, {:.1}] µs", self.ts.mean * 1e6, self.ts.lower * 1e6, self.ts.upper * 1e6)?;
+        writeln!(f, "T_D(N) = {:>9.1} µs  CI [{:.1}, {:.1}] µs", self.td.mean * 1e6, self.td.lower * 1e6, self.td.upper * 1e6)?;
+        write!(f, "T(N)   = {:>9.1} µs  CI [{:.1}, {:.1}] µs  ({} requests)", self.total.mean * 1e6, self.total.lower * 1e6, self.total.upper * 1e6, self.requests)
+    }
+}
+
+/// Assembles `requests` synthetic end-user requests of `n` keys each
+/// from a simulation's per-key records.
+///
+/// # Panics
+///
+/// Panics if a loaded server recorded no keys (run longer) or `n == 0`.
+pub fn assemble_requests(
+    out: &SimOutput,
+    n: u64,
+    requests: usize,
+    rng: &mut dyn RngCore,
+) -> RequestStats {
+    assert!(n > 0, "requests need at least one key");
+    let shares = out.shares().to_vec();
+    let mut total = StreamingStats::new();
+    let mut ts = StreamingStats::new();
+    let mut td = StreamingStats::new();
+
+    for _ in 0..requests {
+        let counts = multinomial_counts(n, &shares, rng).expect("validated shares");
+        let mut worst_total = 0.0f64;
+        let mut worst_s = 0.0f64;
+        let mut worst_d = 0.0f64;
+        for (j, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let recs = out.records(j);
+            assert!(
+                !recs.is_empty(),
+                "server {j} has load share {} but recorded no keys",
+                shares[j]
+            );
+            for _ in 0..c {
+                let idx = (rng.next_u64() % recs.len() as u64) as usize;
+                let (s, d) = recs[idx];
+                let (s, d) = (f64::from(s), f64::from(d));
+                worst_s = worst_s.max(s);
+                worst_d = worst_d.max(d);
+                worst_total = worst_total.max(s + d);
+            }
+        }
+        total.push(out.network_latency() + worst_total);
+        ts.push(worst_s);
+        td.push(worst_d);
+    }
+
+    RequestStats {
+        total: ConfidenceInterval::for_mean(&total, 0.95),
+        ts: ConfidenceInterval::for_mean(&ts, 0.95),
+        td: ConfidenceInterval::for_mean(&td, 0.95),
+        network: out.network_latency(),
+        requests,
+    }
+}
+
+/// Assembles requests under **key replication**: each key is dispatched
+/// to `replicas` distinct servers and completes when the *fastest*
+/// replica does (the "low latency via redundancy" design the paper cites
+/// as related work [12]).
+///
+/// The caller is responsible for simulating the *replicated* load level
+/// (replication multiplies every server's key rate by `replicas`); this
+/// function only performs the min-of-replicas draw, so the
+/// cost-vs-benefit trade-off is visible: redundancy cuts the per-key
+/// tail but pushes servers toward the latency cliff.
+///
+/// # Panics
+///
+/// Panics if `replicas` is 0 or exceeds the number of loaded servers,
+/// or if a loaded server has no records.
+pub fn assemble_requests_replicated(
+    out: &SimOutput,
+    n: u64,
+    requests: usize,
+    replicas: usize,
+    rng: &mut dyn RngCore,
+) -> RequestStats {
+    assert!(n > 0, "requests need at least one key");
+    let shares = out.shares().to_vec();
+    let loaded: Vec<usize> =
+        (0..shares.len()).filter(|&j| shares[j] > 0.0 && !out.records(j).is_empty()).collect();
+    assert!(
+        (1..=loaded.len()).contains(&replicas),
+        "replicas must be in 1..={}, got {replicas}",
+        loaded.len()
+    );
+    let mut total = StreamingStats::new();
+    let mut ts = StreamingStats::new();
+    let mut td = StreamingStats::new();
+
+    for _ in 0..requests {
+        let mut worst_total = 0.0f64;
+        let mut worst_s = 0.0f64;
+        let mut worst_d = 0.0f64;
+        for _ in 0..n {
+            // Pick `replicas` distinct servers uniformly among the loaded
+            // ones (replica placement ignores popularity by design).
+            let mut chosen: Vec<usize> = Vec::with_capacity(replicas);
+            while chosen.len() < replicas {
+                let j = loaded[(rng.next_u64() % loaded.len() as u64) as usize];
+                if !chosen.contains(&j) {
+                    chosen.push(j);
+                }
+            }
+            let mut best_total = f64::INFINITY;
+            let mut best_s = f64::INFINITY;
+            let mut best_d = f64::INFINITY;
+            for j in chosen {
+                let recs = out.records(j);
+                let (s, d) = recs[(rng.next_u64() % recs.len() as u64) as usize];
+                let (s, d) = (f64::from(s), f64::from(d));
+                if s + d < best_total {
+                    best_total = s + d;
+                    best_s = s;
+                    best_d = d;
+                }
+            }
+            worst_total = worst_total.max(best_total);
+            worst_s = worst_s.max(best_s);
+            worst_d = worst_d.max(best_d);
+        }
+        total.push(out.network_latency() + worst_total);
+        ts.push(worst_s);
+        td.push(worst_d);
+    }
+
+    RequestStats {
+        total: ConfidenceInterval::for_mean(&total, 0.95),
+        ts: ConfidenceInterval::for_mean(&ts, 0.95),
+        td: ConfidenceInterval::for_mean(&td, 0.95),
+        network: out.network_latency(),
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterSim, SimConfig};
+    use memlat_model::ModelParams;
+    use rand::SeedableRng;
+
+    fn sim() -> SimOutput {
+        let params = ModelParams::builder().build().unwrap();
+        ClusterSim::run(&SimConfig::new(params).duration(1.0).warmup(0.1).seed(11)).unwrap()
+    }
+
+    #[test]
+    fn table3_breakdown_reproduced() {
+        // Paper Table 3 measurements: T_S(N) = 368 µs, T_D(N) = 867 µs,
+        // T(N) = 1144 µs. Our simulator should land near those (it
+        // realizes the same generative process).
+        let out = sim();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let stats = assemble_requests(&out, 150, 40_000, &mut rng);
+        assert!(
+            (stats.ts.mean * 1e6 - 368.0).abs() < 60.0,
+            "T_S(N) = {} µs vs paper 368 µs",
+            stats.ts.mean * 1e6
+        );
+        // T_D(N): the within-model exact value is ~1084 µs (eq. 23's
+        // approximation is 836 µs and the paper measured 867 µs — see
+        // EXPERIMENTS.md on the eq. 23 bias).
+        let exact_td = memlat_model::database::db_latency_mean_exact(150, 0.01, 1_000.0);
+        assert!(
+            (stats.td.mean / exact_td - 1.0).abs() < 0.12,
+            "T_D(N) = {} µs vs exact-in-model {} µs",
+            stats.td.mean * 1e6,
+            exact_td * 1e6
+        );
+        // T(N): between Theorem 1's lower bound and the exact-enhanced
+        // upper bound (network + T_S upper + exact T_D).
+        let est = ModelParams::builder().build().unwrap().estimate().unwrap();
+        let upper = est.network + est.server.upper + est.database_exact;
+        assert!(
+            stats.total.mean > est.total.lower * 0.9 && stats.total.mean < upper * 1.1,
+            "T(N) = {} µs outside [{}, {}] µs",
+            stats.total.mean * 1e6,
+            est.total.lower * 0.9e6,
+            upper * 1.1e6
+        );
+    }
+
+    #[test]
+    fn component_maxima_are_ordered() {
+        let out = sim();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let stats = assemble_requests(&out, 50, 5_000, &mut rng);
+        // total ≥ network + max(s) and total ≥ network + max(d) in means.
+        assert!(stats.total.mean >= stats.ts.mean);
+        assert!(stats.total.mean >= stats.td.mean);
+        assert!(!stats.to_string().is_empty());
+    }
+
+    #[test]
+    fn more_keys_means_more_latency() {
+        let out = sim();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let small = assemble_requests(&out, 10, 5_000, &mut rng);
+        let big = assemble_requests(&out, 1_000, 5_000, &mut rng);
+        assert!(big.ts.mean > small.ts.mean);
+        assert!(big.total.mean > small.total.mean);
+    }
+
+    #[test]
+    fn replication_at_fixed_load_cuts_latency() {
+        // At the SAME traffic level, min-of-2 replicas beats 1 replica —
+        // the pure benefit side of the redundancy trade-off.
+        let out = sim();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let r1 = assemble_requests_replicated(&out, 150, 5_000, 1, &mut rng);
+        let r2 = assemble_requests_replicated(&out, 150, 5_000, 2, &mut rng);
+        assert!(r2.ts.mean < r1.ts.mean, "{} !< {}", r2.ts.mean, r1.ts.mean);
+        assert!(r2.total.mean < r1.total.mean);
+    }
+
+    #[test]
+    fn replication_of_one_matches_plain_assembly_roughly() {
+        let out = sim();
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(9);
+        let plain = assemble_requests(&out, 150, 10_000, &mut rng1);
+        let rep1 = assemble_requests_replicated(&out, 150, 10_000, 1, &mut rng2);
+        // Replica placement is uniform rather than share-weighted; under
+        // balanced load both estimates coincide statistically.
+        assert!((plain.ts.mean / rep1.ts.mean - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "replicas must be in")]
+    fn replication_bounds_checked() {
+        let out = sim();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let _ = assemble_requests_replicated(&out, 10, 10, 5, &mut rng);
+    }
+
+    #[test]
+    fn single_key_request_matches_per_key_mean() {
+        let out = sim();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let stats = assemble_requests(&out, 1, 20_000, &mut rng);
+        let pooled_mean = out.server_latency_ecdf().mean();
+        // For N=1, E[T_S(1)] is just the per-key mean.
+        assert!(
+            (stats.ts.mean / pooled_mean - 1.0).abs() < 0.1,
+            "{} vs {}",
+            stats.ts.mean,
+            pooled_mean
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Simulation configuration.
+
+use memlat_model::ModelParams;
+
+use crate::SimError;
+
+/// How cache misses are decided at each simulated memcached server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MissMode {
+    /// Each key misses independently with the model's ratio `r` — the
+    /// paper's assumption.
+    FixedRatio,
+    /// Each key consults a real slab/LRU store fed by Zipf-popular keys;
+    /// the miss ratio *emerges* from memory size, item sizes and skew
+    /// (extension experiment).
+    CacheBacked(CacheBackedConfig),
+}
+
+/// Configuration for [`MissMode::CacheBacked`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheBackedConfig {
+    /// Memory budget per server (bytes).
+    pub memory_bytes: usize,
+    /// Number of distinct keys in the population.
+    pub keyspace: u64,
+    /// Zipf popularity exponent.
+    pub skew: f64,
+    /// Mean value size in bytes (drawn from the Facebook value-size law
+    /// scaled to this mean).
+    pub mean_value_bytes: f64,
+}
+
+impl Default for CacheBackedConfig {
+    fn default() -> Self {
+        Self { memory_bytes: 64 << 20, keyspace: 5_000_000, skew: 1.01, mean_value_bytes: 329.0 }
+    }
+}
+
+/// Full simulation configuration: the paper's model parameters plus
+/// simulation controls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// The system being simulated.
+    pub params: ModelParams,
+    /// Simulated seconds of traffic (after warm-up).
+    pub duration: f64,
+    /// Warm-up seconds discarded from all statistics.
+    pub warmup: f64,
+    /// Master seed; every internal stream derives from it.
+    pub seed: u64,
+    /// Number of database shards. The model assumes the database stage is
+    /// heavily offloaded (`ρ_D ≪ 1`); shards keep that true under high
+    /// aggregate miss rates. `0` means auto-size to ≤ 5% per-shard
+    /// utilization.
+    pub db_shards: usize,
+    /// Miss decision mode.
+    pub miss_mode: MissMode,
+}
+
+impl SimConfig {
+    /// A configuration with sensible defaults: 2 s of traffic, 0.2 s
+    /// warm-up, fixed-ratio misses, auto-sized database shards.
+    #[must_use]
+    pub fn new(params: ModelParams) -> Self {
+        Self {
+            params,
+            duration: 2.0,
+            warmup: 0.2,
+            seed: 0x6d656d6c,
+            db_shards: 0,
+            miss_mode: MissMode::FixedRatio,
+        }
+    }
+
+    /// Sets the measured duration (seconds).
+    #[must_use]
+    pub fn duration(mut self, secs: f64) -> Self {
+        self.duration = secs;
+        self
+    }
+
+    /// Sets the warm-up period (seconds).
+    #[must_use]
+    pub fn warmup(mut self, secs: f64) -> Self {
+        self.warmup = secs;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of database shards (0 = auto).
+    #[must_use]
+    pub fn db_shards(mut self, shards: usize) -> Self {
+        self.db_shards = shards;
+        self
+    }
+
+    /// Sets the miss mode.
+    #[must_use]
+    pub fn miss_mode(mut self, mode: MissMode) -> Self {
+        self.miss_mode = mode;
+        self
+    }
+
+    /// Validates the simulation controls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for non-positive durations or
+    /// a negative warm-up.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(self.duration.is_finite() && self.duration > 0.0) {
+            return Err(SimError::InvalidConfig(format!(
+                "duration must be positive, got {}",
+                self.duration
+            )));
+        }
+        if !(self.warmup.is_finite() && self.warmup >= 0.0) {
+            return Err(SimError::InvalidConfig(format!(
+                "warmup must be non-negative, got {}",
+                self.warmup
+            )));
+        }
+        Ok(())
+    }
+
+    /// The number of database shards to actually use: the explicit value,
+    /// or enough shards to keep each below 5% utilization under the
+    /// expected aggregate miss rate.
+    #[must_use]
+    pub fn effective_db_shards(&self) -> usize {
+        if self.db_shards > 0 {
+            return self.db_shards;
+        }
+        let miss_rate = self.params.total_key_rate() * self.params.miss_ratio();
+        let per_shard_target = 0.05 * self.params.db_service_rate();
+        ((miss_rate / per_shard_target).ceil() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ModelParams {
+        ModelParams::builder().build().unwrap()
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = SimConfig::new(base()).duration(1.0).warmup(0.1).seed(9).db_shards(3);
+        assert_eq!(c.duration, 1.0);
+        assert_eq!(c.warmup, 0.1);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.effective_db_shards(), 3);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_durations() {
+        assert!(SimConfig::new(base()).duration(0.0).validate().is_err());
+        assert!(SimConfig::new(base()).duration(f64::NAN).validate().is_err());
+        assert!(SimConfig::new(base()).warmup(-1.0).validate().is_err());
+    }
+
+    #[test]
+    fn auto_shards_keep_db_offloaded() {
+        // Base config: 250 Kps × 1% = 2.5 K misses/s vs μ_D = 1 Kps ⇒
+        // needs 50 shards at the 5% target.
+        let c = SimConfig::new(base());
+        assert_eq!(c.effective_db_shards(), 50);
+        // Zero miss ratio still yields at least one shard.
+        let p = base().with_miss_ratio(0.0).unwrap();
+        assert_eq!(SimConfig::new(p).effective_db_shards(), 1);
+    }
+
+    #[test]
+    fn cache_backed_defaults() {
+        let c = CacheBackedConfig::default();
+        assert!(c.memory_bytes > 0);
+        assert!(c.skew > 1.0);
+    }
+}

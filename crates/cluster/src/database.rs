@@ -1,0 +1,191 @@
+//! The database stage: sharded M/M/1 queues fed by cache misses.
+
+use memlat_des::fcfs::FcfsStation;
+use memlat_dist::{Binomial, Discrete};
+use rand::RngCore;
+
+/// A missed key arriving at the database layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissArrival {
+    /// When the miss reaches the database (the key's completion time at
+    /// its memcached server).
+    pub time: f64,
+    /// Which server / record the latency should be written back to.
+    pub origin: (u32, u32),
+}
+
+/// Runs the sharded database stage over a **time-sorted** stream of
+/// misses; returns `(origin, db_latency)` pairs.
+///
+/// Shards are independent `M/M/1` queues with service rate `mu_d`;
+/// misses are assigned round-robin (the paper assumes the database layer
+/// is balanced — §3's "the variation of load size among database servers
+/// becomes negligible").
+///
+/// # Panics
+///
+/// Panics if the misses are not sorted by time, `shards == 0`, or
+/// `mu_d ≤ 0`.
+pub fn run_db_stage(
+    misses: &[MissArrival],
+    shards: usize,
+    mu_d: f64,
+    rng: &mut dyn RngCore,
+) -> Vec<((u32, u32), f64)> {
+    assert!(shards > 0, "need at least one database shard");
+    assert!(mu_d > 0.0, "database service rate must be positive");
+    let mut stations: Vec<FcfsStation> = (0..shards).map(|_| FcfsStation::new()).collect();
+    let mut out = Vec::with_capacity(misses.len());
+    let mut next = 0usize;
+    let mut prev_t = f64::NEG_INFINITY;
+    for m in misses {
+        assert!(m.time >= prev_t, "misses must be sorted by time");
+        prev_t = m.time;
+        let svc = -memlat_dist::open_unit(rng).ln() / mu_d;
+        let shard = next;
+        next = (next + 1) % shards;
+        let done = stations[shard].submit(m.time, svc);
+        out.push((m.origin, done.sojourn()));
+    }
+    out
+}
+
+/// Statistics of a db-only experiment run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbExperimentResult {
+    /// Mean of `T_D(N) = max_i d_i` over the simulated requests.
+    pub mean_td: f64,
+    /// Fraction of requests with at least one miss.
+    pub frac_any_miss: f64,
+    /// Mean number of missed keys per request.
+    pub mean_misses: f64,
+}
+
+/// Fast path for the paper's Figs. 11 and 13: simulates only the
+/// database stage.
+///
+/// Per the model (§3), misses form a Poisson stream at the database; each
+/// request contributes `K ~ Bin(N, r)` of them. We simulate `requests`
+/// requests: draw `K`, draw `K` sojourn times from a lightly loaded
+/// `M/M/1` (the shard count keeps `ρ_D` at the paper's "greatly
+/// offloaded" level), and record `max_i d_i`.
+///
+/// The M/M/1 sojourn under `ρ ≪ 1` is `Exp((1−ρ)μ_D)`; we draw from that
+/// law directly with the configured shard utilization, which is exactly
+/// the regime the paper's eq. 19 assumes.
+///
+/// # Panics
+///
+/// Panics if `r ∉ [0, 1]` or `mu_d ≤ 0`.
+pub fn db_only_experiment(
+    n: u64,
+    r: f64,
+    mu_d: f64,
+    shard_utilization: f64,
+    requests: usize,
+    rng: &mut dyn RngCore,
+) -> DbExperimentResult {
+    assert!((0.0..=1.0).contains(&r), "miss ratio out of range: {r}");
+    assert!(mu_d > 0.0, "database service rate must be positive");
+    assert!((0.0..1.0).contains(&shard_utilization), "shard utilization must be in [0,1)");
+    let k_dist = Binomial::new(n, r).expect("validated");
+    let effective_rate = (1.0 - shard_utilization) * mu_d;
+    let mut sum_td = 0.0;
+    let mut any = 0u64;
+    let mut total_k = 0u64;
+    for _ in 0..requests {
+        let k = k_dist.sample(rng);
+        total_k += k;
+        if k == 0 {
+            continue;
+        }
+        any += 1;
+        let mut worst = 0.0f64;
+        for _ in 0..k {
+            let d = -memlat_dist::open_unit(rng).ln() / effective_rate;
+            worst = worst.max(d);
+        }
+        sum_td += worst;
+    }
+    DbExperimentResult {
+        mean_td: sum_td / requests as f64,
+        frac_any_miss: any as f64 / requests as f64,
+        mean_misses: total_k as f64 / requests as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn db_stage_is_fcfs_per_shard() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let misses: Vec<MissArrival> =
+            (0..100).map(|i| MissArrival { time: i as f64 * 1e-4, origin: (0, i) }).collect();
+        let out = run_db_stage(&misses, 4, 1_000.0, &mut rng);
+        assert_eq!(out.len(), 100);
+        assert!(out.iter().all(|&(_, d)| d > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by time")]
+    fn db_stage_rejects_unsorted() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let misses = vec![
+            MissArrival { time: 1.0, origin: (0, 0) },
+            MissArrival { time: 0.5, origin: (0, 1) },
+        ];
+        let _ = run_db_stage(&misses, 1, 1_000.0, &mut rng);
+    }
+
+    #[test]
+    fn db_stage_mean_matches_mm1_when_offloaded() {
+        // Poisson misses at 50/s over 10 shards of μ=1000/s ⇒ per-shard
+        // ρ = 0.005; sojourn ≈ 1 ms.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut t = 0.0;
+        let misses: Vec<MissArrival> = (0..20_000)
+            .map(|i| {
+                t += -memlat_dist::open_unit(&mut rng).ln() / 50.0;
+                MissArrival { time: t, origin: (0, i) }
+            })
+            .collect();
+        let out = run_db_stage(&misses, 10, 1_000.0, &mut rng);
+        let mean: f64 = out.iter().map(|&(_, d)| d).sum::<f64>() / out.len() as f64;
+        assert!((mean * 1e3 - 1.0).abs() < 0.05, "mean={}", mean * 1e3);
+    }
+
+    #[test]
+    fn db_only_matches_eq23_table3() {
+        // N=150, r=0.01, 1/μ_D = 1 ms: the paper's Theorem-1 value is
+        // 836 µs; its own measurement was 867 µs. The exact-in-model
+        // value (binomial × harmonic) is what the simulation estimates.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let res = db_only_experiment(150, 0.01, 1_000.0, 0.0, 200_000, &mut rng);
+        let exact = memlat_model::database::db_latency_mean_exact(150, 0.01, 1_000.0);
+        assert!(
+            (res.mean_td / exact - 1.0).abs() < 0.03,
+            "sim={} vs exact-model={}",
+            res.mean_td,
+            exact
+        );
+        // Eq. 23's approximation (836 µs) sits ~23% *below* the exact
+        // value (~1084 µs); the paper's own measurement (867 µs) is near
+        // the approximation — see EXPERIMENTS.md for the discussion.
+        let eq23 = memlat_model::database::db_latency_mean(150, 0.01, 1_000.0);
+        assert!(res.mean_td > eq23, "simulation should exceed the eq. 23 estimate");
+        assert!(res.mean_td < 1.45 * eq23);
+        assert!((res.frac_any_miss - 0.7785).abs() < 0.01);
+        assert!((res.mean_misses - 1.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn db_only_zero_misses() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let res = db_only_experiment(100, 0.0, 1_000.0, 0.0, 1_000, &mut rng);
+        assert_eq!(res.mean_td, 0.0);
+        assert_eq!(res.frac_any_miss, 0.0);
+    }
+}

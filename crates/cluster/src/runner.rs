@@ -1,0 +1,131 @@
+//! Parallel replications.
+//!
+//! The paper reports confidence intervals over a long run; we get the
+//! same statistical strength from several shorter independent
+//! replications run across threads (crossbeam scoped threads — no
+//! `'static` bounds needed).
+
+use memlat_stats::{ConfidenceInterval, StreamingStats};
+use rand::SeedableRng;
+
+use crate::{assembly::assemble_requests, config::SimConfig, sim::ClusterSim, SimError};
+
+/// Per-replication summary statistics aggregated over seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicatedStats {
+    /// Mean/CI of `E[T_S(N)]` across replications.
+    pub ts: ConfidenceInterval,
+    /// Mean/CI of `E[T_D(N)]` across replications.
+    pub td: ConfidenceInterval,
+    /// Mean/CI of `E[T(N)]` across replications.
+    pub total: ConfidenceInterval,
+    /// Mean observed miss ratio.
+    pub miss_ratio: f64,
+    /// Mean observed utilization of the heaviest server.
+    pub peak_utilization: f64,
+    /// Number of replications.
+    pub replications: usize,
+}
+
+/// Runs `replications` independent simulations (seeds `base_seed..`),
+/// assembling `requests_per_rep` requests of `n` keys in each, in
+/// parallel.
+///
+/// # Errors
+///
+/// Propagates the first simulation error encountered.
+pub fn run_replications(
+    cfg: &SimConfig,
+    n: u64,
+    replications: usize,
+    requests_per_rep: usize,
+) -> Result<ReplicatedStats, SimError> {
+    let mut results: Vec<Option<Result<RepResult, SimError>>> = Vec::new();
+    results.resize_with(replications, || None);
+
+    crossbeam::thread::scope(|scope| {
+        for (i, slot) in results.iter_mut().enumerate() {
+            let cfg = cfg.clone();
+            scope.spawn(move |_| {
+                *slot = Some(run_one(cfg, n, i as u64, requests_per_rep));
+            });
+        }
+    })
+    .expect("replication thread panicked");
+
+    let mut ts = StreamingStats::new();
+    let mut td = StreamingStats::new();
+    let mut total = StreamingStats::new();
+    let mut miss = StreamingStats::new();
+    let mut peak = StreamingStats::new();
+    for r in results.into_iter().flatten() {
+        let r = r?;
+        ts.push(r.ts);
+        td.push(r.td);
+        total.push(r.total);
+        miss.push(r.miss_ratio);
+        peak.push(r.peak_utilization);
+    }
+
+    Ok(ReplicatedStats {
+        ts: ConfidenceInterval::for_mean(&ts, 0.95),
+        td: ConfidenceInterval::for_mean(&td, 0.95),
+        total: ConfidenceInterval::for_mean(&total, 0.95),
+        miss_ratio: miss.mean(),
+        peak_utilization: peak.mean(),
+        replications,
+    })
+}
+
+struct RepResult {
+    ts: f64,
+    td: f64,
+    total: f64,
+    miss_ratio: f64,
+    peak_utilization: f64,
+}
+
+fn run_one(cfg: SimConfig, n: u64, rep: u64, requests: usize) -> Result<RepResult, SimError> {
+    let cfg = cfg.clone().seed(memlat_des::rng::splitmix64(cfg.seed ^ (rep + 1)));
+    let out = ClusterSim::run(&cfg)?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xa55e);
+    let stats = assemble_requests(&out, n, requests, &mut rng);
+    let peak = out
+        .utilization()
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max);
+    Ok(RepResult {
+        ts: stats.ts.mean,
+        td: stats.td.mean,
+        total: stats.total.mean,
+        miss_ratio: out.miss_ratio(),
+        peak_utilization: peak,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memlat_model::ModelParams;
+
+    #[test]
+    fn replications_tighten_estimates() {
+        let params = ModelParams::builder().build().unwrap();
+        let cfg = SimConfig::new(params).duration(0.3).warmup(0.05).seed(99);
+        let stats = run_replications(&cfg, 150, 4, 4_000).unwrap();
+        assert_eq!(stats.replications, 4);
+        // Means in the Table-3 regime.
+        assert!(
+            stats.ts.mean > 150e-6 && stats.ts.mean < 800e-6,
+            "{}",
+            stats.ts.mean
+        );
+        assert!((stats.miss_ratio - 0.01).abs() < 0.005);
+        assert!((stats.peak_utilization - 0.78).abs() < 0.1);
+        // CI endpoints are ordered.
+        assert!(stats.ts.lower <= stats.ts.mean && stats.ts.mean <= stats.ts.upper);
+        assert!(stats.total.mean >= stats.ts.mean);
+        assert!(stats.td.mean > 0.0);
+    }
+}

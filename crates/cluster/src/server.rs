@@ -1,0 +1,287 @@
+//! One simulated memcached server.
+
+use memlat_cache::{Store, StoreConfig};
+use memlat_des::fcfs::FcfsStation;
+use memlat_dist::{Continuous, GeneralizedPareto, ParamError};
+use memlat_workload::{arrival::BatchArrivals, ZipfPopularity};
+use rand::Rng;
+use rand::RngCore;
+
+use crate::config::MissMode;
+
+/// One key's outcome at a memcached server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyRecord {
+    /// Arrival time of the key's batch.
+    pub arrival: f64,
+    /// Time service finished for this key.
+    pub completion: f64,
+    /// Processing latency at the server (`s_i` in the paper).
+    pub server_latency: f64,
+    /// Whether the key missed the cache.
+    pub missed: bool,
+}
+
+/// Output of simulating one server for the run's duration.
+#[derive(Debug)]
+pub struct ServerRun {
+    /// Per-key records in arrival order (post-warm-up only).
+    pub records: Vec<KeyRecord>,
+    /// Observed utilization (busy time ÷ horizon, including warm-up).
+    pub utilization: f64,
+    /// Observed miss ratio over the recorded keys.
+    pub miss_ratio: f64,
+    /// Observed key arrival rate (recorded keys ÷ measured duration).
+    pub key_rate: f64,
+}
+
+/// The miss decider a server uses.
+enum MissDecider {
+    Fixed(f64),
+    Cached {
+        store: Store,
+        popularity: ZipfPopularity,
+        value_sizes: GeneralizedPareto,
+    },
+}
+
+impl MissDecider {
+    fn new(mode: &MissMode, miss_ratio: f64) -> Result<Self, ParamError> {
+        match mode {
+            MissMode::FixedRatio => Ok(MissDecider::Fixed(miss_ratio)),
+            MissMode::CacheBacked(cfg) => Ok(MissDecider::Cached {
+                store: Store::new(StoreConfig::with_memory(cfg.memory_bytes))
+                    .map_err(|e| ParamError::new(e.to_string()))?,
+                popularity: ZipfPopularity::new(cfg.keyspace, cfg.skew)?,
+                value_sizes: GeneralizedPareto::with_mean(0.35, cfg.mean_value_bytes)?,
+            }),
+        }
+    }
+
+    /// Whether the next key misses, at simulated time `now`.
+    fn misses(&mut self, now: f64, rng: &mut dyn RngCore) -> bool {
+        match self {
+            MissDecider::Fixed(r) => {
+                if *r <= 0.0 {
+                    false
+                } else {
+                    memlat_dist::open_unit(rng) < *r
+                }
+            }
+            MissDecider::Cached { store, popularity, value_sizes } => {
+                let key = popularity.sample_key(rng);
+                if store.get(key, now).is_hit() {
+                    false
+                } else {
+                    // Demand fill: the value fetched from the database is
+                    // cached (items larger than the biggest chunk are
+                    // simply not cached, like memcached).
+                    let size = value_sizes.sample(rng).max(1.0) as usize;
+                    let _ = store.set(key, size, None, now);
+                    true
+                }
+            }
+        }
+    }
+
+    fn observed_miss_ratio(&self) -> Option<f64> {
+        match self {
+            MissDecider::Fixed(_) => None,
+            MissDecider::Cached { store, .. } => Some(store.stats().miss_ratio()),
+        }
+    }
+}
+
+/// Parameters for one server's run.
+pub struct ServerSimParams<'a> {
+    /// Inter-batch gap law.
+    pub interarrival: Box<dyn Continuous>,
+    /// Concurrency probability `q`.
+    pub concurrency: f64,
+    /// Per-key service rate `μ_S`.
+    pub service_rate: f64,
+    /// Model miss ratio `r` (used by [`MissMode::FixedRatio`]).
+    pub miss_ratio: f64,
+    /// Miss decision mode.
+    pub miss_mode: &'a MissMode,
+    /// Warm-up seconds (records discarded).
+    pub warmup: f64,
+    /// Measured seconds after warm-up.
+    pub duration: f64,
+}
+
+/// Simulates one memcached server: batch arrivals → FCFS exp(μ_S)
+/// service → miss decision per key.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] when the miss mode's parameters are invalid.
+pub fn simulate_server(
+    p: ServerSimParams<'_>,
+    rng: &mut dyn RngCore,
+) -> Result<ServerRun, ParamError> {
+    let mut arrivals = BatchArrivals::new(p.interarrival, p.concurrency)?;
+    let mut decider = MissDecider::new(p.miss_mode, p.miss_ratio)?;
+    let mut station = FcfsStation::new();
+    let horizon = p.warmup + p.duration;
+    let mut records = Vec::new();
+    let mut misses = 0u64;
+
+    loop {
+        let (t, batch) = arrivals.next_batch(rng);
+        if t >= horizon {
+            break;
+        }
+        for _ in 0..batch {
+            let svc = -memlat_dist::open_unit(rng).ln() / p.service_rate;
+            let done = station.submit(t, svc);
+            if t >= p.warmup {
+                let missed = decider.misses(done.departure, rng);
+                if missed {
+                    misses += 1;
+                }
+                records.push(KeyRecord {
+                    arrival: t,
+                    completion: done.departure,
+                    server_latency: done.sojourn(),
+                    missed,
+                });
+            } else if matches!(p.miss_mode, MissMode::CacheBacked(_)) {
+                // Let the cache warm during warm-up without recording.
+                let _ = decider.misses(done.departure, rng);
+            }
+        }
+    }
+
+    let recorded = records.len() as f64;
+    let miss_ratio = decider
+        .observed_miss_ratio()
+        .unwrap_or(if recorded > 0.0 { misses as f64 / recorded } else { 0.0 });
+    // Tiny bias: utilization uses the full horizon (warm-up included).
+    let utilization = station.utilization(horizon).min(1.0);
+    Ok(ServerRun {
+        records,
+        utilization,
+        miss_ratio,
+        key_rate: recorded / p.duration,
+    })
+}
+
+/// Convenience: draw an exponential service sample (used by the database
+/// stage as well).
+pub fn exp_sample(rate: f64, rng: &mut impl Rng) -> f64 {
+    -memlat_dist::open_unit(rng).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memlat_dist::GeneralizedPareto;
+    use memlat_workload::facebook;
+    use rand::SeedableRng;
+
+    fn facebook_run(duration: f64, seed: u64) -> ServerRun {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        simulate_server(
+            ServerSimParams {
+                interarrival: Box::new(facebook::interarrival().unwrap()),
+                concurrency: facebook::CONCURRENCY_Q,
+                service_rate: facebook::SERVICE_RATE,
+                miss_ratio: facebook::MISS_RATIO,
+                miss_mode: &MissMode::FixedRatio,
+                warmup: 0.2,
+                duration,
+            },
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rates_and_utilization_match_configuration() {
+        let run = facebook_run(2.0, 1);
+        assert!((run.key_rate / facebook::KEY_RATE - 1.0).abs() < 0.05, "{}", run.key_rate);
+        assert!((run.utilization - 0.78).abs() < 0.05, "{}", run.utilization);
+        assert!((run.miss_ratio - 0.01).abs() < 0.005, "{}", run.miss_ratio);
+    }
+
+    #[test]
+    fn latency_quantiles_inside_eq9_band() {
+        // The per-key latency quantiles must fall between the model's
+        // T_Q and T_C bounds (paper eq. 9 / Fig. 4).
+        let run = facebook_run(4.0, 2);
+        let gaps = GeneralizedPareto::facebook(0.15, 56_250.0).unwrap();
+        let queue = memlat_queue::GixM1::new(&gaps, 0.1, 80_000.0).unwrap();
+        let mut lats: Vec<f64> = run.records.iter().map(|r| r.server_latency).collect();
+        lats.sort_by(f64::total_cmp);
+        let ecdf = memlat_stats::Ecdf::from_sorted(lats);
+        for k in [0.3, 0.6, 0.9] {
+            let (lo, hi) = queue.key_latency_quantile_bounds(k);
+            let measured = ecdf.quantile(k);
+            // 12% slack for finite-run noise.
+            assert!(
+                measured > lo * 0.88 && measured < hi * 1.12,
+                "k={k}: measured={measured} band=({lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn records_are_causally_consistent() {
+        let run = facebook_run(0.5, 3);
+        for r in &run.records {
+            assert!(r.completion >= r.arrival);
+            assert!((r.server_latency - (r.completion - r.arrival)).abs() < 1e-12);
+        }
+        // Completions at one FCFS server are non-decreasing.
+        assert!(run.records.windows(2).all(|w| w[1].completion >= w[0].completion));
+    }
+
+    #[test]
+    fn zero_miss_ratio_yields_no_misses() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let run = simulate_server(
+            ServerSimParams {
+                interarrival: Box::new(facebook::interarrival().unwrap()),
+                concurrency: 0.1,
+                service_rate: facebook::SERVICE_RATE,
+                miss_ratio: 0.0,
+                miss_mode: &MissMode::FixedRatio,
+                warmup: 0.0,
+                duration: 0.3,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(run.records.iter().all(|r| !r.missed));
+        assert_eq!(run.miss_ratio, 0.0);
+    }
+
+    #[test]
+    fn cache_backed_mode_produces_emergent_misses() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mode = MissMode::CacheBacked(crate::config::CacheBackedConfig {
+            memory_bytes: 8 << 20,
+            keyspace: 200_000,
+            skew: 1.01,
+            mean_value_bytes: 300.0,
+        });
+        let run = simulate_server(
+            ServerSimParams {
+                interarrival: Box::new(facebook::interarrival().unwrap()),
+                concurrency: 0.1,
+                service_rate: facebook::SERVICE_RATE,
+                miss_ratio: 0.0, // ignored in cache-backed mode
+                miss_mode: &mode,
+                warmup: 0.5,
+                duration: 0.5,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        // Some misses, but far fewer than hits: a working cache.
+        assert!(run.miss_ratio > 0.0 && run.miss_ratio < 0.5, "{}", run.miss_ratio);
+        assert!(run.records.iter().any(|r| r.missed));
+        assert!(run.records.iter().any(|r| !r.missed));
+    }
+}

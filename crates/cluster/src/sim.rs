@@ -1,0 +1,296 @@
+//! The cluster simulation: M servers → sharded database.
+
+use memlat_des::rng::stream_rng;
+use memlat_stats::Ecdf;
+
+use crate::{
+    config::SimConfig,
+    database::{run_db_stage, MissArrival},
+    server::{simulate_server, ServerSimParams},
+    SimError,
+};
+
+/// The orchestrator: runs every memcached server, merges the cache-miss
+/// streams into the sharded database, and produces a [`SimOutput`].
+#[derive(Debug)]
+pub struct ClusterSim;
+
+/// Per-key outcome kept for analysis: `(server latency, db latency)` —
+/// `db == 0` for hits. Stored as `f32` to halve memory at the volumes the
+/// sweeps produce.
+type KeyPair = (f32, f32);
+
+/// Everything a simulation run produces.
+#[derive(Debug)]
+pub struct SimOutput {
+    /// Per-server `(s, d)` pairs in arrival order.
+    server_records: Vec<Vec<KeyPair>>,
+    /// Load shares used (for request assembly).
+    shares: Vec<f64>,
+    /// Constant network latency.
+    network: f64,
+    /// Observed per-server utilization.
+    utilization: Vec<f64>,
+    /// Observed overall miss ratio.
+    miss_ratio: f64,
+    /// Keys recorded.
+    total_keys: u64,
+}
+
+impl ClusterSim {
+    /// Runs the full simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and model errors.
+    pub fn run(cfg: &SimConfig) -> Result<SimOutput, SimError> {
+        cfg.validate()?;
+        let params = &cfg.params;
+        // The DES would happily simulate an overloaded server, but every
+        // stationary estimator downstream would silently depend on the
+        // horizon; refuse, like the analytical model does.
+        let peak = params.peak_utilization()?;
+        if peak >= 1.0 {
+            return Err(SimError::InvalidConfig(format!(
+                "peak server utilization {peak:.3} >= 1: no stationary regime"
+            )));
+        }
+        let shares = params.load().shares(params.servers())?;
+        let q = params.concurrency();
+
+        let mut server_records: Vec<Vec<KeyPair>> = Vec::with_capacity(shares.len());
+        let mut utilization = Vec::with_capacity(shares.len());
+        let mut misses: Vec<MissArrival> = Vec::new();
+        let mut total_keys = 0u64;
+        let mut total_misses = 0u64;
+
+        for (j, &p) in shares.iter().enumerate() {
+            if p <= 0.0 {
+                server_records.push(Vec::new());
+                utilization.push(0.0);
+                continue;
+            }
+            let lam_j = p * params.total_key_rate();
+            let gaps = params.arrival().interarrival((1.0 - q) * lam_j)?;
+            let mut rng = stream_rng(cfg.seed, 1000 + j as u64);
+            let run = simulate_server(
+                ServerSimParams {
+                    interarrival: gaps,
+                    concurrency: q,
+                    service_rate: params.service_rate(),
+                    miss_ratio: params.miss_ratio(),
+                    miss_mode: &cfg.miss_mode,
+                    warmup: cfg.warmup,
+                    duration: cfg.duration,
+                },
+                &mut rng,
+            )
+            .map_err(|e| SimError::InvalidConfig(e.to_string()))?;
+
+            let mut pairs: Vec<KeyPair> = Vec::with_capacity(run.records.len());
+            for (i, r) in run.records.iter().enumerate() {
+                if r.missed {
+                    misses.push(MissArrival {
+                        time: r.completion,
+                        origin: (j as u32, i as u32),
+                    });
+                    total_misses += 1;
+                }
+                pairs.push((r.server_latency as f32, 0.0));
+            }
+            total_keys += run.records.len() as u64;
+            server_records.push(pairs);
+            utilization.push(run.utilization);
+        }
+
+        // Merge miss streams in time order and run the database stage.
+        misses.sort_by(|a, b| a.time.total_cmp(&b.time));
+        let shards = cfg.effective_db_shards();
+        let mut db_rng = stream_rng(cfg.seed, 2_000_000);
+        for ((server, idx), d) in
+            run_db_stage(&misses, shards, params.db_service_rate(), &mut db_rng)
+        {
+            server_records[server as usize][idx as usize].1 = d as f32;
+        }
+
+        Ok(SimOutput {
+            server_records,
+            shares,
+            network: params.network_latency(),
+            utilization,
+            miss_ratio: if total_keys == 0 {
+                0.0
+            } else {
+                total_misses as f64 / total_keys as f64
+            },
+            total_keys,
+        })
+    }
+}
+
+impl SimOutput {
+    /// Keys recorded across all servers.
+    #[must_use]
+    pub fn total_keys(&self) -> u64 {
+        self.total_keys
+    }
+
+    /// Observed per-server utilizations.
+    #[must_use]
+    pub fn utilization(&self) -> &[f64] {
+        &self.utilization
+    }
+
+    /// Observed overall miss ratio.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        self.miss_ratio
+    }
+
+    /// The load shares in force.
+    #[must_use]
+    pub fn shares(&self) -> &[f64] {
+        &self.shares
+    }
+
+    /// The constant network latency.
+    #[must_use]
+    pub fn network_latency(&self) -> f64 {
+        self.network
+    }
+
+    /// Per-server `(s, d)` records.
+    #[must_use]
+    pub fn records(&self, server: usize) -> &[(f32, f32)] {
+        &self.server_records[server]
+    }
+
+    /// Pooled ECDF of per-key **server** latency (all servers). Because
+    /// server `j` naturally contributes `p_j` of the keys, this pool *is*
+    /// the `T_S(1)` mixture of the paper's eq. 11.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run recorded no keys.
+    #[must_use]
+    pub fn server_latency_ecdf(&self) -> Ecdf {
+        let mut all: Vec<f64> = Vec::with_capacity(self.total_keys as usize);
+        for recs in &self.server_records {
+            all.extend(recs.iter().map(|&(s, _)| f64::from(s)));
+        }
+        Ecdf::from_samples(&all)
+    }
+
+    /// ECDF of per-key server latency at one server.
+    ///
+    /// # Panics
+    ///
+    /// Panics when that server recorded no keys.
+    #[must_use]
+    pub fn server_latency_ecdf_of(&self, server: usize) -> Ecdf {
+        let s: Vec<f64> =
+            self.server_records[server].iter().map(|&(s, _)| f64::from(s)).collect();
+        Ecdf::from_samples(&s)
+    }
+
+    /// Measured `E[T_S(N)]`: the `N/(N+1)` quantile of the pooled per-key
+    /// server latency (the paper's eq. 12 estimator, §4.5: "the expected
+    /// latency for an end-user request statistically equals the N/(N+1)
+    /// percentile of the latency for one memcached key").
+    #[must_use]
+    pub fn expected_server_latency(&self, n: u64) -> f64 {
+        let k = memlat_stats::max_order_quantile(n);
+        self.server_latency_ecdf().quantile(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memlat_model::ModelParams;
+
+    fn quick(seed: u64) -> SimOutput {
+        let params = ModelParams::builder().build().unwrap();
+        ClusterSim::run(&SimConfig::new(params).duration(0.5).warmup(0.1).seed(seed)).unwrap()
+    }
+
+    #[test]
+    fn output_shape_is_consistent() {
+        let out = quick(1);
+        assert_eq!(out.shares().len(), 4);
+        assert_eq!(out.utilization().len(), 4);
+        let sum: usize = (0..4).map(|j| out.records(j).len()).sum();
+        assert_eq!(sum as u64, out.total_keys());
+        // Balanced load: every server sees ~1/4 of the keys.
+        for j in 0..4 {
+            let frac = out.records(j).len() as f64 / out.total_keys() as f64;
+            assert!((frac - 0.25).abs() < 0.03, "server {j}: {frac}");
+        }
+    }
+
+    #[test]
+    fn observed_quantities_match_configuration() {
+        let out = quick(2);
+        assert!((out.miss_ratio() - 0.01).abs() < 0.004, "{}", out.miss_ratio());
+        for &u in out.utilization() {
+            assert!((u - 0.78).abs() < 0.06, "{u}");
+        }
+        assert_eq!(out.network_latency(), 20e-6);
+    }
+
+    #[test]
+    fn missed_keys_carry_db_latency() {
+        let out = quick(3);
+        let mut missed = 0;
+        let mut hit = 0;
+        for j in 0..4 {
+            for &(_, d) in out.records(j) {
+                if d > 0.0 {
+                    missed += 1;
+                } else {
+                    hit += 1;
+                }
+            }
+        }
+        assert!(missed > 0, "no misses recorded");
+        assert!(hit > missed * 50, "hit/miss ratio implausible");
+    }
+
+    #[test]
+    fn measured_ts_in_theorem1_band() {
+        let out = quick(4);
+        let model =
+            memlat_model::ServerLatencyModel::new(&ModelParams::builder().build().unwrap())
+                .unwrap();
+        let bounds = model.product_form_bounds(150);
+        let measured = out.expected_server_latency(150);
+        // Generous slack: short run, high quantile.
+        assert!(
+            measured > bounds.lower * 0.75 && measured < bounds.upper * 1.35,
+            "measured={measured} band={bounds:?}"
+        );
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = quick(9);
+        let b = quick(9);
+        assert_eq!(a.total_keys(), b.total_keys());
+        assert_eq!(a.records(0), b.records(0));
+        let c = quick(10);
+        assert_ne!(a.total_keys(), c.total_keys());
+    }
+
+    #[test]
+    fn zero_share_server_records_nothing() {
+        let params = ModelParams::builder()
+            .load(memlat_model::LoadDistribution::Custom(vec![0.5, 0.5, 0.0, 0.0]))
+            .total_key_rate(100_000.0)
+            .build()
+            .unwrap();
+        let out = ClusterSim::run(&SimConfig::new(params).duration(0.3).seed(5)).unwrap();
+        assert!(out.records(2).is_empty());
+        assert!(out.records(3).is_empty());
+        assert!(!out.records(0).is_empty());
+    }
+}

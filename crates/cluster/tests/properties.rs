@@ -1,0 +1,87 @@
+//! Property-based tests of the cluster simulator's invariants.
+
+use memlat_cluster::{assembly::assemble_requests, ClusterSim, SimConfig};
+use memlat_model::{ArrivalPattern, ModelParams};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn quick_cfg(rho: f64, q: f64, xi: f64, r: f64, seed: u64) -> SimConfig {
+    let params = ModelParams::builder()
+        .arrival(ArrivalPattern::GeneralizedPareto { xi })
+        .key_rate_per_server(rho * 80_000.0)
+        .concurrency(q)
+        .miss_ratio(r)
+        .build()
+        .unwrap();
+    SimConfig::new(params).duration(0.15).warmup(0.05).seed(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Conservation and sanity across random stable configurations:
+    /// records split across servers, utilization ≈ ρ, miss ratio ≈ r,
+    /// and all latencies are positive and causal.
+    #[test]
+    fn sim_output_invariants(
+        rho in 0.1f64..0.85,
+        q in 0.0f64..0.4,
+        xi in 0.0f64..0.5,
+        r in 0.0f64..0.1,
+        seed in 0u64..1000,
+    ) {
+        let out = ClusterSim::run(&quick_cfg(rho, q, xi, r, seed)).unwrap();
+        let total: usize = (0..4).map(|j| out.records(j).len()).sum();
+        prop_assert_eq!(total as u64, out.total_keys());
+        prop_assert!(out.total_keys() > 0);
+        for &u in out.utilization() {
+            prop_assert!((u - rho).abs() < 0.15, "util {u} vs rho {rho}");
+        }
+        prop_assert!((out.miss_ratio() - r).abs() < 0.05, "miss {} vs {r}", out.miss_ratio());
+        for j in 0..4 {
+            for &(s, d) in out.records(j) {
+                prop_assert!(s > 0.0 && s.is_finite());
+                prop_assert!(d >= 0.0 && d.is_finite());
+            }
+        }
+    }
+
+    /// Same seed ⇒ identical output; different seed ⇒ different traffic.
+    #[test]
+    fn determinism(rho in 0.2f64..0.7, seed in 0u64..500) {
+        let a = ClusterSim::run(&quick_cfg(rho, 0.1, 0.15, 0.01, seed)).unwrap();
+        let b = ClusterSim::run(&quick_cfg(rho, 0.1, 0.15, 0.01, seed)).unwrap();
+        prop_assert_eq!(a.total_keys(), b.total_keys());
+        prop_assert_eq!(a.records(0), b.records(0));
+        let c = ClusterSim::run(&quick_cfg(rho, 0.1, 0.15, 0.01, seed + 1)).unwrap();
+        prop_assert!(a.total_keys() != c.total_keys() || a.records(0) != c.records(0));
+    }
+
+    /// Assembled request statistics are internally consistent for any
+    /// fan-out: total ≥ network + max-component, components non-negative.
+    #[test]
+    fn assembly_consistency(n in 1u64..500, seed in 0u64..200) {
+        let out = ClusterSim::run(&quick_cfg(0.6, 0.1, 0.15, 0.02, 7)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let stats = assemble_requests(&out, n, 500, &mut rng);
+        prop_assert!(stats.ts.mean > 0.0);
+        prop_assert!(stats.td.mean >= 0.0);
+        prop_assert!(stats.total.mean >= stats.network + stats.ts.mean - 1e-12);
+        prop_assert!(stats.total.mean >= stats.network + stats.td.mean - 1e-12);
+        prop_assert!(stats.total.mean <= stats.network + stats.ts.mean + stats.td.mean + 1e-12);
+        prop_assert!(stats.ts.lower <= stats.ts.mean && stats.ts.mean <= stats.ts.upper);
+    }
+
+    /// The pooled-quantile measured latency is monotone in the fan-out N
+    /// on a fixed record population.
+    #[test]
+    fn measured_latency_monotone_in_n(seed in 0u64..100) {
+        let out = ClusterSim::run(&quick_cfg(0.7, 0.1, 0.15, 0.0, seed)).unwrap();
+        let mut prev = 0.0;
+        for n in [1u64, 10, 100, 1_000] {
+            let v = out.expected_server_latency(n);
+            prop_assert!(v >= prev, "n={n}: {v} < {prev}");
+            prev = v;
+        }
+    }
+}

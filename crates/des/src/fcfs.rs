@@ -1,0 +1,194 @@
+//! A measured single-server FCFS station evaluated in virtual time.
+
+/// The outcome of submitting one job to a [`FcfsStation`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// When the job arrived.
+    pub arrival: f64,
+    /// When service began (`max(arrival, previous departure)`).
+    pub start: f64,
+    /// When service finished.
+    pub departure: f64,
+}
+
+impl Completion {
+    /// Time spent waiting before service.
+    #[must_use]
+    pub fn wait(&self) -> f64 {
+        self.start - self.arrival
+    }
+
+    /// Total time in the system (sojourn).
+    #[must_use]
+    pub fn sojourn(&self) -> f64 {
+        self.departure - self.arrival
+    }
+}
+
+/// A single-server FCFS queue simulated by the Lindley recursion.
+///
+/// Jobs must be submitted in non-decreasing arrival order (each stream
+/// the memlat simulator produces is time-ordered; merging unordered
+/// streams is the event queue's job). For a work-conserving FCFS server
+/// the departure of job `n` is
+///
+/// ```text
+/// D_n = max(A_n, D_{n-1}) + S_n
+/// ```
+///
+/// which requires no event scheduling at all — this is what lets the
+/// simulator push 10⁷ keys/second through a server model.
+///
+/// # Examples
+///
+/// ```
+/// use memlat_des::FcfsStation;
+/// let mut s = FcfsStation::new();
+/// let c1 = s.submit(0.0, 1.0);
+/// let c2 = s.submit(0.5, 1.0); // arrives while busy
+/// assert_eq!(c1.departure, 1.0);
+/// assert_eq!(c2.start, 1.0);
+/// assert_eq!(c2.wait(), 0.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FcfsStation {
+    last_departure: f64,
+    last_arrival: f64,
+    busy_time: f64,
+    jobs: u64,
+    total_wait: f64,
+    total_sojourn: f64,
+}
+
+impl FcfsStation {
+    /// Creates an idle station at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submits a job arriving at `arrival` needing `service` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals go backwards in time or `service < 0`.
+    pub fn submit(&mut self, arrival: f64, service: f64) -> Completion {
+        assert!(
+            arrival >= self.last_arrival,
+            "FCFS arrivals must be time-ordered: {arrival} < {}",
+            self.last_arrival
+        );
+        assert!(service >= 0.0, "negative service time: {service}");
+        self.last_arrival = arrival;
+        let start = arrival.max(self.last_departure);
+        let departure = start + service;
+        self.last_departure = departure;
+        self.busy_time += service;
+        self.jobs += 1;
+        self.total_wait += start - arrival;
+        self.total_sojourn += departure - arrival;
+        Completion { arrival, start, departure }
+    }
+
+    /// Number of jobs served.
+    #[must_use]
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// When the server will next be idle.
+    #[must_use]
+    pub fn busy_until(&self) -> f64 {
+        self.last_departure
+    }
+
+    /// Empirical utilization over `[0, horizon]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon ≤ 0`.
+    #[must_use]
+    pub fn utilization(&self, horizon: f64) -> f64 {
+        assert!(horizon > 0.0, "horizon must be positive");
+        self.busy_time / horizon
+    }
+
+    /// Mean waiting time over all served jobs.
+    #[must_use]
+    pub fn mean_wait(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.total_wait / self.jobs as f64
+        }
+    }
+
+    /// Mean sojourn time over all served jobs.
+    #[must_use]
+    pub fn mean_sojourn(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.total_sojourn / self.jobs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn idle_server_serves_immediately() {
+        let mut s = FcfsStation::new();
+        let c = s.submit(5.0, 2.0);
+        assert_eq!(c.start, 5.0);
+        assert_eq!(c.departure, 7.0);
+        assert_eq!(c.wait(), 0.0);
+        assert_eq!(c.sojourn(), 2.0);
+    }
+
+    #[test]
+    fn queueing_builds_up() {
+        let mut s = FcfsStation::new();
+        s.submit(0.0, 1.0);
+        s.submit(0.0, 1.0);
+        let c = s.submit(0.0, 1.0);
+        assert_eq!(c.start, 2.0);
+        assert_eq!(c.departure, 3.0);
+        assert_eq!(s.jobs(), 3);
+        assert_eq!(s.busy_until(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_time_travel() {
+        let mut s = FcfsStation::new();
+        s.submit(2.0, 1.0);
+        s.submit(1.0, 1.0);
+    }
+
+    #[test]
+    fn mm1_mean_sojourn_matches_theory() {
+        // M/M/1 at ρ = 0.5, μ = 1: E[T] = 1/(μ−λ) = 2.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut s = FcfsStation::new();
+        let mut t = 0.0;
+        let n = 400_000;
+        for _ in 0..n {
+            t += -(1.0 - rng.gen::<f64>()).max(1e-15).ln() / 0.5;
+            let svc = -(1.0 - rng.gen::<f64>()).max(1e-15).ln();
+            s.submit(t, svc);
+        }
+        assert!((s.mean_sojourn() - 2.0).abs() < 0.08, "{}", s.mean_sojourn());
+        assert!((s.utilization(t) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_service_jobs_pass_through() {
+        let mut s = FcfsStation::new();
+        let c = s.submit(1.0, 0.0);
+        assert_eq!(c.sojourn(), 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Discrete-event simulation kernel for the memlat cluster simulator.
+//!
+//! A deliberately small kernel: the memcached system model is
+//! feed-forward (clients → servers → database), so most stages can be
+//! simulated in virtual time with a measured FCFS station; the event
+//! queue is what merges streams whose order is only known globally
+//! (e.g. cache misses arriving at the database from many servers).
+//!
+//! * [`time`] — [`SimTime`]: a totally ordered, finite, non-negative
+//!   simulation timestamp.
+//! * [`queue`] — [`EventQueue`]: a stable (FIFO tie-breaking) time-ordered
+//!   event heap.
+//! * [`fcfs`] — [`FcfsStation`]: a single-server FCFS queue evaluated in
+//!   virtual time with built-in wait/sojourn/utilization measurement.
+//! * [`rng`] — deterministic per-stream RNG derivation, so adding a new
+//!   random stream never perturbs existing ones.
+//!
+//! # Examples
+//!
+//! ```
+//! use memlat_des::{EventQueue, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::new(2.0), "b");
+//! q.schedule(SimTime::new(1.0), "a");
+//! q.schedule(SimTime::new(2.0), "c"); // same time: FIFO order
+//! let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+//! assert_eq!(order, ["a", "b", "c"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fcfs;
+pub mod metrics;
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use fcfs::{Completion, FcfsStation};
+pub use metrics::TimeWeighted;
+pub use queue::EventQueue;
+pub use rng::stream_rng;
+pub use time::SimTime;

@@ -1,0 +1,123 @@
+//! Simulation timestamps.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A simulation timestamp in seconds: finite, non-negative, totally
+/// ordered.
+///
+/// Wrapping `f64` in a validated newtype lets the event queue implement
+/// `Ord` soundly (no NaNs can enter).
+///
+/// # Examples
+///
+/// ```
+/// use memlat_des::SimTime;
+/// let t = SimTime::new(1.5) + 0.5;
+/// assert_eq!(t.as_secs(), 2.0);
+/// assert!(SimTime::ZERO < t);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, NaN or infinite.
+    #[must_use]
+    pub fn new(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid simulation time: {secs}");
+        Self(secs)
+    }
+
+    /// The timestamp in seconds.
+    #[must_use]
+    pub fn as_secs(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Sound: construction guarantees finiteness.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::new(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.9}s", self.0)
+    }
+}
+
+impl From<SimTime> for f64 {
+    fn from(t: SimTime) -> f64 {
+        t.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::new(1.0);
+        let b = a + 0.5;
+        assert!(a < b);
+        assert_eq!(b - a, 0.5);
+        let mut c = a;
+        c += 2.0;
+        assert_eq!(c.as_secs(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation time")]
+    fn rejects_nan() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation time")]
+    fn rejects_negative() {
+        let _ = SimTime::new(-1.0);
+    }
+
+    #[test]
+    fn display_and_conversion() {
+        let t = SimTime::new(0.25);
+        assert!(t.to_string().contains("0.25"));
+        let f: f64 = t.into();
+        assert_eq!(f, 0.25);
+    }
+}

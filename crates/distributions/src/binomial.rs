@@ -1,0 +1,240 @@
+//! The binomial distribution — the paper's count `K` of missed keys out of
+//! `N`.
+
+use rand::RngCore;
+
+use crate::{open_unit, Discrete, ParamError};
+
+/// Binomial distribution `Bin(n, p)`.
+///
+/// In the model, the number of cache-missed keys out of the `N` keys of an
+/// end-user request is `K ~ Bin(N, r)` with miss ratio `r` (§4.4 of the
+/// paper, where it is called multinomial with mean `N·r`).
+///
+/// Sampling strategy (exactness where it matters, speed where `n` is
+/// huge — Fig. 13 sweeps `N` up to 10⁶):
+///
+/// * `n ≤ 64`: direct Bernoulli counting (exact).
+/// * `n·min(p,1−p) ≤ 30`: geometric-skip counting (exact).
+/// * otherwise: normal approximation with continuity correction, clamped
+///   to `[0, n]` (relative error of resulting averages ≪ the simulation's
+///   own noise).
+///
+/// # Examples
+///
+/// ```
+/// use memlat_dist::{Binomial, Discrete};
+/// # fn main() -> Result<(), memlat_dist::ParamError> {
+/// let k = Binomial::new(150, 0.01)?;
+/// assert!((k.mean() - 1.5).abs() < 1e-12);
+/// assert!((k.pmf(0) - 0.99f64.powi(150)).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution with `n` trials and success
+    /// probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `p ∉ [0, 1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self, ParamError> {
+        if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+            return Err(ParamError::new(format!(
+                "binomial probability must be in [0,1], got {p}"
+            )));
+        }
+        Ok(Self { n, p })
+    }
+
+    /// Number of trials.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    fn ln_pmf(&self, k: u64) -> f64 {
+        use memlat_numerics::special::ln_gamma;
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        let n = self.n as f64;
+        let kf = k as f64;
+        ln_gamma(n + 1.0) - ln_gamma(kf + 1.0) - ln_gamma(n - kf + 1.0)
+            + kf * self.p.ln()
+            + (n - kf) * (-self.p).ln_1p()
+    }
+
+    fn sample_bernoulli_count(&self, rng: &mut dyn RngCore) -> u64 {
+        let mut count = 0;
+        for _ in 0..self.n {
+            if open_unit(rng) < self.p {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// "Second waiting time" method: jump between successes using
+    /// geometric gaps. Exact; O(n·p) expected time.
+    fn sample_geometric_skip(&self, rng: &mut dyn RngCore) -> u64 {
+        let ln_q = (-self.p).ln_1p();
+        let mut successes = 0u64;
+        let mut trials = 0u64;
+        loop {
+            let gap = (open_unit(rng).ln() / ln_q).floor() as u64 + 1;
+            trials = trials.saturating_add(gap);
+            if trials > self.n {
+                return successes;
+            }
+            successes += 1;
+        }
+    }
+
+    fn sample_normal_approx(&self, rng: &mut dyn RngCore) -> u64 {
+        let mean = self.n as f64 * self.p;
+        let sd = (self.n as f64 * self.p * (1.0 - self.p)).sqrt();
+        let u1 = open_unit(rng);
+        let u2 = open_unit(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (mean + sd * z + 0.5).floor();
+        v.clamp(0.0, self.n as f64) as u64
+    }
+}
+
+impl Discrete for Binomial {
+    fn pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            0.0
+        } else {
+            self.ln_pmf(k).exp()
+        }
+    }
+
+    fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        // Regularized incomplete beta would be ideal; direct summation is
+        // fine for the sizes the tests exercise.
+        (0..=k).map(|i| self.pmf(i)).sum::<f64>().min(1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> u64 {
+        if self.p == 0.0 || self.n == 0 {
+            return 0;
+        }
+        if self.p == 1.0 {
+            return self.n;
+        }
+        if self.n <= 64 {
+            self.sample_bernoulli_count(rng)
+        } else if self.n as f64 * self.p.min(1.0 - self.p) <= 30.0 {
+            if self.p <= 0.5 {
+                self.sample_geometric_skip(rng)
+            } else {
+                // Count failures instead.
+                let mirror = Self { n: self.n, p: 1.0 - self.p };
+                self.n - mirror.sample_geometric_skip(rng)
+            }
+        } else {
+            self.sample_normal_approx(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_p() {
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.5).is_err());
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert_eq!(Binomial::new(10, 0.0).unwrap().sample(&mut rng), 0);
+        assert_eq!(Binomial::new(10, 1.0).unwrap().sample(&mut rng), 10);
+        assert_eq!(Binomial::new(0, 0.5).unwrap().sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let b = Binomial::new(20, 0.3).unwrap();
+        let total: f64 = (0..=20).map(|k| b.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pmf_matches_pascal_triangle() {
+        let b = Binomial::new(4, 0.5).unwrap();
+        let expect = [1.0, 4.0, 6.0, 4.0, 1.0].map(|c| c / 16.0);
+        for (k, e) in expect.iter().enumerate() {
+            assert!((b.pmf(k as u64) - e).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn small_n_sampler_is_unbiased() {
+        let b = Binomial::new(30, 0.2).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| b.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 6.0).abs() < 0.03, "mean={mean}");
+    }
+
+    #[test]
+    fn geometric_skip_sampler_is_unbiased() {
+        // n=1000, p=0.002 → n·p=2 ⇒ skip path.
+        let b = Binomial::new(1000, 0.002).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| b.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean={mean}");
+        // And P{K=0} ≈ 0.998^1000.
+        let zeros = (0..n).filter(|_| b.sample(&mut rng) == 0).count() as f64 / n as f64;
+        assert!((zeros - 0.998f64.powi(1000)).abs() < 0.01, "zeros={zeros}");
+    }
+
+    #[test]
+    fn mirrored_skip_sampler_for_high_p() {
+        let b = Binomial::new(1000, 0.998).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| b.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 998.0).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn normal_approx_sampler_is_unbiased() {
+        // n=10^6, p=0.1 → np=10^5 ⇒ normal path.
+        let b = Binomial::new(1_000_000, 0.1).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| b.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean / 100_000.0 - 1.0).abs() < 0.001, "mean={mean}");
+    }
+}

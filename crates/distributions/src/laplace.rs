@@ -1,0 +1,176 @@
+//! Numeric Laplace–Stieltjes transforms.
+//!
+//! For a non-negative random variable `T` with CDF `F`, integration by
+//! parts gives
+//!
+//! ```text
+//! L(s) = E[e^{-sT}] = s ∫₀^∞ e^{-st} F(t) dt        (s > 0)
+//! ```
+//!
+//! The integrand has two characteristic scales: `F` rises on the
+//! distribution's own time scale (its mean), while the kernel `e^{-st}`
+//! decays on `1/s`. When `s·mean ≪ 1` these differ by many orders of
+//! magnitude and any fixed-grid rule misses one of them. We therefore
+//! integrate over **octave-spaced panels** anchored at the distribution
+//! scale — `t ∈ [0, m·2⁻²⁶], [m·2⁻²⁶, m·2⁻²⁵], … up to 45/s` — each
+//! refined adaptively. Every octave sees a smooth, boundedly-varying
+//! integrand, the panel count is ≤ ~90 regardless of `s`, and the
+//! truncated tail is below `e^{-45} ≈ 3e-20`.
+
+use memlat_numerics::integrate::adaptive_simpson;
+
+/// Truncation point of the `e^{-st}` kernel in units of `1/s`.
+const U_MAX: f64 = 45.0;
+
+/// Computes `L(s) = E[e^{-sT}]` from the CDF of a non-negative random
+/// variable, given a characteristic `scale` of the distribution (its
+/// mean; any value within a few orders of magnitude works).
+///
+/// Accuracy is ~1e-12 relative for smooth CDFs; validated against the
+/// closed forms of the exponential, Erlang, uniform and hyperexponential
+/// laws in this crate's tests.
+///
+/// # Panics
+///
+/// Panics if `s < 0` (the queueing solvers only evaluate the transform
+/// on the non-negative real axis).
+///
+/// # Examples
+///
+/// ```
+/// use memlat_dist::laplace::numeric_laplace;
+/// // Exponential(λ=2): L(s) = 2/(2+s).
+/// let cdf = |t: f64| 1.0 - (-2.0 * t).exp();
+/// assert!((numeric_laplace(&cdf, 3.0, 0.5) - 0.4).abs() < 1e-11);
+/// ```
+pub fn numeric_laplace(cdf: &dyn Fn(f64) -> f64, s: f64, scale: f64) -> f64 {
+    assert!(s >= 0.0, "laplace transform requires s >= 0, got {s}");
+    if s == 0.0 {
+        return 1.0;
+    }
+    let scale = if scale.is_finite() && scale > 0.0 { scale } else { 1.0 / s };
+    let t_max = U_MAX / s;
+    let f = |t: f64| s * (-s * t).exp() * cdf(t);
+
+    let mut acc = memlat_numerics::KahanSum::new();
+    let mut lo = 0.0f64;
+    let mut hi = (scale * 2f64.powi(-26)).min(t_max);
+    loop {
+        // Adaptive within each octave: smooth octaves terminate at the
+        // first level; octaves containing a kink (e.g. a uniform CDF's
+        // endpoints) refine locally.
+        acc.add(adaptive_simpson(&f, lo, hi, 1e-13));
+        if hi >= t_max {
+            break;
+        }
+        lo = hi;
+        hi = (hi * 2.0).min(t_max);
+    }
+    // Tail beyond t_max: kernel mass ≤ e^{-U_MAX}, F ≤ 1.
+    acc.add((-U_MAX).exp() * cdf(t_max));
+    acc.sum().clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s_zero_is_one() {
+        assert_eq!(numeric_laplace(&|t| 1.0 - (-t).exp(), 0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn exponential_closed_form_across_scales() {
+        let lam = 5.0;
+        let cdf = move |t: f64| 1.0 - (-lam * t).exp();
+        for s in [1e-4, 0.01, 0.1, 1.0, 10.0, 1e3, 1e5, 1e8] {
+            let num = numeric_laplace(&cdf, s, 1.0 / lam);
+            let exact = lam / (lam + s);
+            assert!(
+                (num - exact).abs() < 1e-8 * exact + 1e-14,
+                "s={s}: {num} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn robust_to_bad_scale_hint() {
+        // Even a scale hint off by 10³ stays accurate (octave panels
+        // bracket both scales).
+        let lam = 5.0;
+        let cdf = move |t: f64| 1.0 - (-lam * t).exp();
+        for hint in [2e-4, 0.2, 200.0] {
+            let num = numeric_laplace(&cdf, 3.0, hint);
+            assert!((num - 0.625).abs() < 1e-9, "hint={hint}: {num}");
+        }
+        // Non-finite hints fall back gracefully.
+        let num = numeric_laplace(&cdf, 3.0, f64::NAN);
+        assert!((num - 0.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_closed_form() {
+        // Point mass: F is a step; L(s) = e^{-sd}. A step is the hardest
+        // case for any quadrature; the octave grid still localizes it.
+        let d = 0.37;
+        let cdf = move |t: f64| if t >= d { 1.0 } else { 0.0 };
+        for s in [0.5, 1.0, 4.0] {
+            let num = numeric_laplace(&cdf, s, d);
+            let exact = (-s * d).exp();
+            assert!((num - exact).abs() < 1e-3, "s={s}: {num} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn uniform_closed_form() {
+        // U(0, b): L(s) = (1 - e^{-sb})/(sb).
+        let b = 2.0;
+        let cdf = move |t: f64| (t / b).clamp(0.0, 1.0);
+        for s in [0.001, 0.1, 1.0, 7.0, 1e4] {
+            let num = numeric_laplace(&cdf, s, b / 2.0);
+            let exact = (1.0 - (-s * b).exp()) / (s * b);
+            assert!((num - exact).abs() < 1e-10, "s={s}");
+        }
+    }
+
+    #[test]
+    fn heavy_tail_small_s_first_moment() {
+        // GPD ξ=0.15 with mean 1: (1 − L(s))/s → 1 as s → 0 — the regime
+        // that broke fixed-grid quadrature.
+        let xi = 0.15f64;
+        let sigma = 1.0 - xi;
+        let cdf = move |t: f64| {
+            if t <= 0.0 {
+                0.0
+            } else {
+                1.0 - (1.0 + xi * t / sigma).powf(-1.0 / xi)
+            }
+        };
+        // (1 − L(s))/s = m₁ − s·m₂/2 + O(s²); for this law m₂ = 2.428,
+        // so compare against the two-term expansion, not m₁ alone.
+        let m2 = 2.0 * sigma * sigma / ((1.0 - xi) * (1.0 - 2.0 * xi));
+        for s in [1e-6, 1e-4, 1e-2] {
+            let l = numeric_laplace(&cdf, s, 1.0);
+            let mean_est = (1.0 - l) / s;
+            let expansion = 1.0 - s * m2 / 2.0;
+            assert!(
+                (mean_est - expansion).abs() < 3e-4,
+                "s={s}: mean est {mean_est} vs expansion {expansion}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires s >= 0")]
+    fn negative_s_panics() {
+        let _ = numeric_laplace(&|_| 1.0, -1.0, 1.0);
+    }
+
+    #[test]
+    fn result_is_clamped_probability() {
+        let bad = |_t: f64| 1.5;
+        let v = numeric_laplace(&bad, 1.0, 1.0);
+        assert!((0.0..=1.0).contains(&v));
+    }
+}

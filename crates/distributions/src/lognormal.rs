@@ -1,0 +1,158 @@
+//! The log-normal distribution.
+
+use rand::RngCore;
+
+use crate::{open_unit, Continuous, ParamError};
+
+/// Log-normal distribution: `ln T ~ Normal(μ, σ²)`.
+///
+/// Atikoglu et al.'s Facebook measurements fit value sizes and some service
+/// components with log-normal-like laws; this implementation backs the
+/// value-size presets in `memlat-workload`.
+///
+/// # Examples
+///
+/// ```
+/// use memlat_dist::{Continuous, LogNormal};
+/// # fn main() -> Result<(), memlat_dist::ParamError> {
+/// let d = LogNormal::new(0.0, 1.0)?;
+/// assert!((d.cdf(1.0) - 0.5).abs() < 1e-9); // median = e^μ
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with log-mean `mu` and log-std `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless `mu` is finite and `sigma` is finite
+    /// and positive.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if !mu.is_finite() {
+            return Err(ParamError::new(format!("lognormal mu must be finite, got {mu}")));
+        }
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err(ParamError::new(format!("lognormal sigma must be positive, got {sigma}")));
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// Creates a log-normal with the given arithmetic mean and squared
+    /// coefficient of variation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `mean ≤ 0` or `scv ≤ 0`.
+    pub fn with_mean_scv(mean: f64, scv: f64) -> Result<Self, ParamError> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(ParamError::new(format!("mean must be positive, got {mean}")));
+        }
+        if !(scv.is_finite() && scv > 0.0) {
+            return Err(ParamError::new(format!("scv must be positive, got {scv}")));
+        }
+        let sigma2 = (1.0 + scv).ln();
+        Self::new(mean.ln() - 0.5 * sigma2, sigma2.sqrt())
+    }
+
+    fn std_normal_cdf(z: f64) -> f64 {
+        // Abramowitz–Stegun 7.1.26-style rational approximation via erf.
+        0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+    }
+}
+
+/// Error function approximation (A&S 7.1.26, |ε| < 1.5e-7), made odd by
+/// reflection.
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+impl Continuous for LogNormal {
+    fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            Self::std_normal_cdf((t.ln() - self.mu) / self.sigma)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let u1 = open_unit(rng);
+        let u2 = open_unit(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+        assert!(LogNormal::with_mean_scv(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn with_mean_scv_hits_targets() {
+        let d = LogNormal::with_mean_scv(100.0, 2.0).unwrap();
+        assert!((d.mean() - 100.0).abs() < 1e-9);
+        let scv = d.variance() / (d.mean() * d.mean());
+        assert!((scv - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_is_exp_mu() {
+        let d = LogNormal::new(1.5, 0.8).unwrap();
+        assert!((d.cdf(1.5f64.exp()) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // The A&S coefficients sum to 1 − 1e-9, so erf(0) ≈ 1e-9, not 0.
+        assert!(erf(0.0).abs() < 1e-8);
+        assert!((erf(1.0) - 0.842_700_792_949_715).abs() < 5e-7);
+        assert!((erf(-1.0) + 0.842_700_792_949_715).abs() < 5e-7);
+        assert!((erf(3.0) - 0.999_977_909_503_001).abs() < 5e-7);
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let d = LogNormal::with_mean_scv(1.0, 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let n = 400_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn quantile_via_default_inverts() {
+        let d = LogNormal::new(0.0, 0.5).unwrap();
+        for p in [0.1, 0.5, 0.95] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-7, "p={p}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Multinomial count sampling — how the `N` keys of one request split
+//! across servers.
+
+use rand::RngCore;
+
+use crate::{Binomial, Discrete, ParamError};
+
+/// Draws multinomial counts: how many of `n` trials land in each category,
+/// with category probabilities `probs` (which must sum to 1 within 1e-9).
+///
+/// Used by the simulator's request assembler: an end-user request's `N`
+/// keys split across the `M` memcached servers according to the load
+/// distribution `{p_j}` (§4.3.2 of the paper).
+///
+/// Implemented by the standard conditional-binomial decomposition, so it
+/// is exact and `O(M)` per draw regardless of `n`.
+///
+/// # Errors
+///
+/// Returns [`ParamError`] if `probs` is empty, contains values outside
+/// `[0, 1]`, or does not sum to 1.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let counts = memlat_dist::multinomial_counts(150, &[0.25; 4], &mut rng)?;
+/// assert_eq!(counts.iter().sum::<u64>(), 150);
+/// # Ok::<(), memlat_dist::ParamError>(())
+/// ```
+pub fn multinomial_counts(
+    n: u64,
+    probs: &[f64],
+    rng: &mut dyn RngCore,
+) -> Result<Vec<u64>, ParamError> {
+    if probs.is_empty() {
+        return Err(ParamError::new("multinomial needs at least one category"));
+    }
+    let sum: f64 = probs.iter().sum();
+    if (sum - 1.0).abs() > 1e-9 {
+        return Err(ParamError::new(format!("probabilities must sum to 1, got {sum}")));
+    }
+    for &p in probs {
+        if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+            return Err(ParamError::new(format!("probability out of range: {p}")));
+        }
+    }
+
+    let mut counts = Vec::with_capacity(probs.len());
+    let mut remaining = n;
+    let mut remaining_p = 1.0;
+    for (i, &p) in probs.iter().enumerate() {
+        if remaining == 0 {
+            counts.push(0);
+            continue;
+        }
+        if i == probs.len() - 1 {
+            counts.push(remaining);
+            remaining = 0;
+            continue;
+        }
+        let cond = (p / remaining_p).clamp(0.0, 1.0);
+        let c = Binomial::new(remaining, cond).expect("validated conditional probability").sample(rng);
+        counts.push(c);
+        remaining -= c;
+        remaining_p = (remaining_p - p).max(f64::MIN_POSITIVE);
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_probs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert!(multinomial_counts(10, &[], &mut rng).is_err());
+        assert!(multinomial_counts(10, &[0.5, 0.4], &mut rng).is_err());
+        assert!(multinomial_counts(10, &[1.5, -0.5], &mut rng).is_err());
+    }
+
+    #[test]
+    fn counts_always_sum_to_n() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for n in [0u64, 1, 7, 150, 10_000] {
+            let c = multinomial_counts(n, &[0.6, 0.25, 0.1, 0.05], &mut rng).unwrap();
+            assert_eq!(c.iter().sum::<u64>(), n, "n={n}");
+            assert_eq!(c.len(), 4);
+        }
+    }
+
+    #[test]
+    fn marginals_are_binomial_means() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let probs = [0.7, 0.2, 0.1];
+        let reps = 50_000;
+        let mut sums = [0.0f64; 3];
+        for _ in 0..reps {
+            let c = multinomial_counts(100, &probs, &mut rng).unwrap();
+            for (s, &v) in sums.iter_mut().zip(&c) {
+                *s += v as f64;
+            }
+        }
+        for (j, &p) in probs.iter().enumerate() {
+            let mean = sums[j] / reps as f64;
+            assert!((mean - 100.0 * p).abs() < 0.5, "j={j} mean={mean}");
+        }
+    }
+
+    #[test]
+    fn degenerate_category_gets_everything() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let c = multinomial_counts(42, &[0.0, 1.0, 0.0], &mut rng).unwrap();
+        assert_eq!(c, vec![0, 42, 0]);
+    }
+
+    #[test]
+    fn unbalanced_paper_shape() {
+        // Fig. 10's shape: p1 large, the rest split evenly.
+        let p1 = 0.75;
+        let rest = (1.0 - p1) / 3.0;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let c = multinomial_counts(150, &[p1, rest, rest, rest], &mut rng).unwrap();
+        assert_eq!(c.iter().sum::<u64>(), 150);
+        assert!(c[0] > c[1] && c[0] > c[2] && c[0] > c[3]);
+    }
+}

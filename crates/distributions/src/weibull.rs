@@ -1,0 +1,164 @@
+//! The Weibull distribution.
+
+use memlat_numerics::special::ln_gamma;
+use rand::RngCore;
+
+use crate::{open_unit, Continuous, ParamError};
+
+/// Weibull distribution with shape `k > 0` and scale `λ > 0`:
+/// `F(t) = 1 − e^{-(t/λ)^k}`.
+///
+/// Sub-exponential tails for `k < 1` give another bursty arrival family
+/// (stretched-exponential rather than polynomial like the Generalized
+/// Pareto), widening the burstiness axis of the sensitivity experiments.
+///
+/// # Examples
+///
+/// ```
+/// use memlat_dist::{Continuous, Weibull};
+/// # fn main() -> Result<(), memlat_dist::ParamError> {
+/// let d = Weibull::new(2.0, 1.0)?; // Rayleigh
+/// assert!((d.cdf(1.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution with the given shape and scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless both parameters are finite and
+    /// positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, ParamError> {
+        if !(shape.is_finite() && shape > 0.0) {
+            return Err(ParamError::new(format!("weibull shape must be positive, got {shape}")));
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(ParamError::new(format!("weibull scale must be positive, got {scale}")));
+        }
+        Ok(Self { shape, scale })
+    }
+
+    /// Creates a Weibull with the given shape, scaled to the given mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `shape ≤ 0` or `mean ≤ 0`.
+    pub fn with_mean(shape: f64, mean: f64) -> Result<Self, ParamError> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(ParamError::new(format!("weibull mean must be positive, got {mean}")));
+        }
+        if !(shape.is_finite() && shape > 0.0) {
+            return Err(ParamError::new(format!("weibull shape must be positive, got {shape}")));
+        }
+        // mean = λ Γ(1 + 1/k)
+        let g = ln_gamma(1.0 + 1.0 / shape).exp();
+        Self::new(shape, mean / g)
+    }
+
+    /// Shape parameter `k`.
+    #[must_use]
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `λ`.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Continuous for Weibull {
+    fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            -(-(t / self.scale).powf(self.shape)).exp_m1()
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * ln_gamma(1.0 + 1.0 / self.shape).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let g2 = ln_gamma(1.0 + 2.0 / self.shape).exp();
+        let g1 = ln_gamma(1.0 + 1.0 / self.shape).exp();
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.scale * (-open_unit(rng).ln()).powf(1.0 / self.shape)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+        self.scale * (-(-p).ln_1p()).powf(1.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, 0.0).is_err());
+        assert!(Weibull::with_mean(-1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let w = Weibull::new(1.0, 0.5).unwrap();
+        let e = crate::Exponential::new(2.0).unwrap();
+        for t in [0.1, 0.5, 2.0] {
+            assert!((w.cdf(t) - e.cdf(t)).abs() < 1e-12, "t={t}");
+        }
+        assert!((w.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_mean_hits_mean() {
+        for k in [0.5, 1.0, 2.0, 3.7] {
+            let w = Weibull::with_mean(k, 4.0).unwrap();
+            assert!((w.mean() - 4.0).abs() < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let w = Weibull::new(0.7, 2.0).unwrap();
+        for p in [0.1, 0.5, 0.9, 0.9999] {
+            assert!((w.cdf(w.quantile(p)) - p).abs() < 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let w = Weibull::with_mean(0.6, 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let n = 400_000;
+        let mean: f64 = (0..n).map(|_| w.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn numeric_laplace_decreasing() {
+        let w = Weibull::with_mean(0.6, 1.0).unwrap();
+        let mut prev = 1.0 + 1e-12;
+        for s in [0.0, 0.5, 1.0, 5.0, 50.0] {
+            let l = w.laplace(s);
+            assert!(l <= prev && l >= 0.0, "s={s}");
+            prev = l;
+        }
+    }
+}

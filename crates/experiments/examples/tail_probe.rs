@@ -1,0 +1,23 @@
+//! Probe: far-tail of simulated per-key latency vs GI/M/1 law.
+use memlat_cluster::{ClusterSim, SimConfig};
+use memlat_model::{ArrivalPattern, ModelParams, ServerLatencyModel};
+
+fn run(pattern: ArrivalPattern, label: &str) {
+    let params = ModelParams::builder().arrival(pattern).build().unwrap();
+    let model = ServerLatencyModel::new(&params).unwrap();
+    let q1 = model.heaviest_queue();
+    let cfg = SimConfig::new(params).duration(20.0).warmup(0.5).seed(77);
+    let out = ClusterSim::run(&cfg).unwrap();
+    let ecdf = out.server_latency_ecdf();
+    println!("{label}: delta={:.5} samples={}", q1.delta(), ecdf.len());
+    for k in [0.99, 0.999, 0.9995, 0.9999] {
+        let (lo, hi) = q1.key_latency_quantile_bounds(k);
+        let sim = ecdf.quantile(k);
+        println!("  k={k}: band=({:.1},{:.1})us sim={:.1}us", lo*1e6, hi*1e6, sim*1e6);
+    }
+}
+
+fn main() {
+    run(ArrivalPattern::Poisson, "poisson");
+    run(ArrivalPattern::GeneralizedPareto { xi: 0.15 }, "gpd015");
+}

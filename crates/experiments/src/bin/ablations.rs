@@ -1,0 +1,7 @@
+//! Runs the ablation/extension experiments. See EXPERIMENTS.md.
+fn main() {
+    for result in memlat_experiments::ablations::all() {
+        result.emit();
+        println!();
+    }
+}

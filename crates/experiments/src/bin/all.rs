@@ -1,0 +1,9 @@
+//! Regenerates every table and figure of the paper in order.
+fn main() {
+    let start = std::time::Instant::now();
+    for result in memlat_experiments::experiments::all() {
+        result.emit();
+        println!();
+    }
+    println!("total: {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig04. See EXPERIMENTS.md.
+fn main() {
+    memlat_experiments::experiments::fig04().emit();
+}

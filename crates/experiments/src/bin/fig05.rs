@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig05. See EXPERIMENTS.md.
+fn main() {
+    memlat_experiments::experiments::fig05().emit();
+}

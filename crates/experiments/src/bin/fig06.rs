@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig06. See EXPERIMENTS.md.
+fn main() {
+    memlat_experiments::experiments::fig06().emit();
+}

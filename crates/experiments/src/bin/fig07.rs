@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig07. See EXPERIMENTS.md.
+fn main() {
+    memlat_experiments::experiments::fig07().emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig08. See EXPERIMENTS.md.
+fn main() {
+    memlat_experiments::experiments::fig08().emit();
+}

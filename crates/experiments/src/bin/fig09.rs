@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig09. See EXPERIMENTS.md.
+fn main() {
+    memlat_experiments::experiments::fig09().emit();
+}

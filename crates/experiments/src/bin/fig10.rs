@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10. See EXPERIMENTS.md.
+fn main() {
+    memlat_experiments::experiments::fig10().emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11. See EXPERIMENTS.md.
+fn main() {
+    memlat_experiments::experiments::fig11().emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12. See EXPERIMENTS.md.
+fn main() {
+    memlat_experiments::experiments::fig12().emit();
+}

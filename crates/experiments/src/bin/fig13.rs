@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig13. See EXPERIMENTS.md.
+fn main() {
+    memlat_experiments::experiments::fig13().emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table3. See EXPERIMENTS.md.
+fn main() {
+    memlat_experiments::experiments::table3().emit();
+}

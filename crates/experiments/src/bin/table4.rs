@@ -1,0 +1,4 @@
+//! Regenerates the paper's table4. See EXPERIMENTS.md.
+fn main() {
+    memlat_experiments::experiments::table4().emit();
+}

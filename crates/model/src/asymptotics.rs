@@ -1,0 +1,96 @@
+//! Asymptotic regimes (paper eq. 25 and §5.2.4).
+
+use crate::database::prob_no_miss;
+
+/// Which asymptotic regime the database latency `E[T_D(N)]` is in as a
+/// function of the miss ratio `r` (paper eq. 25).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbScalingRegime {
+    /// Few keys per request: misses are rare events, `E[T_D(N)] = Θ(r)` —
+    /// reducing the miss ratio pays off linearly.
+    LinearInMissRatio,
+    /// Many keys per request: misses are inevitable,
+    /// `E[T_D(N)] = Θ(log r)` — reducing the miss ratio pays off only
+    /// logarithmically.
+    LogarithmicInMissRatio,
+}
+
+/// Classifies the regime of eq. 25 for the given fan-out and miss ratio.
+///
+/// The boundary is where misses stop being rare: we use
+/// `P{K = 0} = (1−r)^N < ½` as the crossover (at least one key misses more
+/// often than not).
+///
+/// # Examples
+///
+/// ```
+/// use memlat_model::asymptotics::{db_scaling_regime, DbScalingRegime};
+/// assert_eq!(db_scaling_regime(4, 0.01), DbScalingRegime::LinearInMissRatio);
+/// assert_eq!(db_scaling_regime(10_000, 0.01), DbScalingRegime::LogarithmicInMissRatio);
+/// ```
+#[must_use]
+pub fn db_scaling_regime(n: u64, r: f64) -> DbScalingRegime {
+    if prob_no_miss(n, r) > 0.5 {
+        DbScalingRegime::LinearInMissRatio
+    } else {
+        DbScalingRegime::LogarithmicInMissRatio
+    }
+}
+
+/// Local elasticity `d ln f / d ln x` of a positive function, estimated by
+/// central differences. An elasticity near 1 means `f = Θ(x)` locally;
+/// elasticity falling like `1/ln x` indicates logarithmic growth.
+///
+/// Used by the experiments to verify the Θ-claims of eq. 25 and
+/// `E[T_S(N)] = Θ(log N)` numerically.
+///
+/// # Examples
+///
+/// ```
+/// use memlat_model::asymptotics::elasticity;
+/// let e = elasticity(|x| 3.0 * x, 10.0);
+/// assert!((e - 1.0).abs() < 1e-6);
+/// ```
+#[must_use]
+pub fn elasticity<F: Fn(f64) -> f64>(f: F, x: f64) -> f64 {
+    let h = 1e-4;
+    let up = f(x * (1.0 + h)).max(f64::MIN_POSITIVE).ln();
+    let dn = f(x * (1.0 - h)).max(f64::MIN_POSITIVE).ln();
+    (up - dn) / ((1.0 + h).ln() - (1.0 - h).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::db_latency_mean;
+
+    #[test]
+    fn regimes_match_eq_25() {
+        // Small N: linear.
+        assert_eq!(db_scaling_regime(1, 0.01), DbScalingRegime::LinearInMissRatio);
+        assert_eq!(db_scaling_regime(10, 0.01), DbScalingRegime::LinearInMissRatio);
+        // Large N: logarithmic.
+        assert_eq!(db_scaling_regime(1_000, 0.01), DbScalingRegime::LogarithmicInMissRatio);
+        // Large r flips even small N.
+        assert_eq!(db_scaling_regime(10, 0.5), DbScalingRegime::LogarithmicInMissRatio);
+    }
+
+    #[test]
+    fn elasticity_identifies_power_laws() {
+        assert!((elasticity(|x| x * x, 5.0) - 2.0).abs() < 1e-5);
+        assert!((elasticity(|x| 7.0 / x, 3.0) + 1.0).abs() < 1e-5);
+        // Logarithmic: elasticity ≈ 1/ln x, small.
+        let e = elasticity(|x| x.ln(), 1e4);
+        assert!(e < 0.15, "{e}");
+    }
+
+    #[test]
+    fn db_latency_elasticity_matches_regime() {
+        // Small N: elasticity in r near 1.
+        let e_small = elasticity(|r| db_latency_mean(4, r, 1_000.0), 1e-3);
+        assert!((e_small - 1.0).abs() < 0.05, "{e_small}");
+        // Large N: elasticity in r far below 1.
+        let e_large = elasticity(|r| db_latency_mean(100_000, r, 1_000.0), 1e-3);
+        assert!(e_large < 0.35, "{e_large}");
+    }
+}

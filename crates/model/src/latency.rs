@@ -1,0 +1,211 @@
+//! Theorem 1 — the assembled end-user latency estimate.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{database, params::ModelParams, server::ServerLatencyModel, ModelError};
+
+/// A closed interval `[lower, upper]` of latencies (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bounds {
+    /// Lower bound (seconds).
+    pub lower: f64,
+    /// Upper bound (seconds).
+    pub upper: f64,
+}
+
+impl Bounds {
+    /// Creates a bounds pair; callers must pass `lower ≤ upper`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when the interval is inverted beyond fp noise.
+    #[must_use]
+    pub fn new(lower: f64, upper: f64) -> Self {
+        debug_assert!(
+            lower <= upper + 1e-15,
+            "inverted bounds: [{lower}, {upper}]"
+        );
+        Self { lower, upper }
+    }
+
+    /// Interval midpoint.
+    #[must_use]
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lower + self.upper)
+    }
+
+    /// Interval width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Whether `x` lies inside the interval (with optional slack).
+    #[must_use]
+    pub fn contains(&self, x: f64, slack: f64) -> bool {
+        x >= self.lower - slack && x <= self.upper + slack
+    }
+}
+
+impl fmt::Display for Bounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.1} µs, {:.1} µs]", self.lower * 1e6, self.upper * 1e6)
+    }
+}
+
+/// The output of Theorem 1 for a parameter set: the three latency parts
+/// and the combined end-user bounds.
+///
+/// ```text
+/// max{T_N, E[T_S(N)], E[T_D(N)]}  ≤  E[T(N)]  ≤  T_N + E[T_S(N)] + E[T_D(N)]
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use memlat_model::{LatencyEstimate, ModelParams};
+///
+/// # fn main() -> Result<(), memlat_model::ModelError> {
+/// let est = LatencyEstimate::compute(&ModelParams::builder().build()?)?;
+/// assert!(est.total.lower <= est.total.upper);
+/// println!("{est}");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyEstimate {
+    /// `T_N(N)`: the constant network latency (paper eq. 2).
+    pub network: f64,
+    /// Bounds on `E[T_S(N)]` (paper eq. 14, via the product form).
+    pub server: Bounds,
+    /// The paper's closed-form bounds on `E[T_S(N)]` (Proposition 1
+    /// applied to the heaviest server); wider than `server` when the
+    /// load is unbalanced.
+    pub server_closed_form: Bounds,
+    /// `E[T_D(N)]` (paper eq. 23).
+    pub database: f64,
+    /// Exact-within-model database latency (binomial × harmonic numbers);
+    /// extension quantifying eq. 23's approximation error.
+    pub database_exact: f64,
+    /// Bounds on the end-user latency `E[T(N)]` (Theorem 1): lower is the
+    /// max of the parts (using each part's lower value), upper the sum
+    /// (using each part's upper value).
+    pub total: Bounds,
+}
+
+impl LatencyEstimate {
+    /// Evaluates Theorem 1 for the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates queueing errors — most importantly instability of the
+    /// heaviest memcached server.
+    pub fn compute(params: &ModelParams) -> Result<Self, ModelError> {
+        let n = params.keys_per_request();
+        let server_model = ServerLatencyModel::new(params)?;
+        let server = server_model.product_form_bounds(n);
+        let server_closed_form = server_model.theorem1_bounds(n);
+        let network = params.network_latency();
+        let database =
+            database::db_latency_mean(n, params.miss_ratio(), params.db_service_rate());
+        let database_exact =
+            database::db_latency_mean_exact(n, params.miss_ratio(), params.db_service_rate());
+        let total = Bounds::new(
+            network.max(server.lower).max(database),
+            network + server.upper + database,
+        );
+        Ok(Self { network, server, server_closed_form, database, database_exact, total })
+    }
+
+    /// A single point estimate of the end-user latency: network plus the
+    /// server point estimate plus the database estimate (the sum form,
+    /// which §5.1's measurements sit closest to).
+    #[must_use]
+    pub fn point(&self) -> f64 {
+        self.network + self.server.upper + self.database
+    }
+}
+
+impl fmt::Display for LatencyEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "T_N(N)  = {:>9.1} µs (constant)", self.network * 1e6)?;
+        writeln!(f, "T_S(N)  = {} (closed form {})", self.server, self.server_closed_form)?;
+        writeln!(
+            f,
+            "T_D(N)  = {:>9.1} µs (exact-in-model {:.1} µs)",
+            self.database * 1e6,
+            self.database_exact * 1e6
+        )?;
+        write!(f, "T(N)    = {}", self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ModelParams;
+
+    fn base_estimate() -> LatencyEstimate {
+        LatencyEstimate::compute(&ModelParams::builder().build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn table3_all_rows() {
+        let est = base_estimate();
+        // T_N = 20 µs by configuration.
+        assert_eq!(est.network, 20e-6);
+        // T_S(N): paper 351–366 µs.
+        assert!(est.server.contains(358e-6, 12e-6), "{}", est.server);
+        // T_D(N): paper 836 µs.
+        assert!((est.database * 1e6 - 836.0).abs() < 2.0);
+        // T(N): paper bounds 836–1222 µs; measured 1144 µs inside.
+        assert!((est.total.lower * 1e6 - 836.0).abs() < 5.0, "{}", est.total);
+        assert!((est.total.upper * 1e6 - 1222.0).abs() < 15.0, "{}", est.total);
+        assert!(est.total.contains(1144e-6, 0.0));
+    }
+
+    #[test]
+    fn bounds_helpers() {
+        let b = Bounds::new(1.0, 3.0);
+        assert_eq!(b.midpoint(), 2.0);
+        assert_eq!(b.width(), 2.0);
+        assert!(b.contains(1.5, 0.0));
+        assert!(!b.contains(3.5, 0.0));
+        assert!(b.contains(3.5, 1.0));
+        assert!(!b.to_string().is_empty());
+    }
+
+    #[test]
+    fn point_estimate_within_total_bounds() {
+        let est = base_estimate();
+        assert!(est.total.contains(est.point(), 1e-12));
+    }
+
+    #[test]
+    fn display_mentions_all_parts() {
+        let s = base_estimate().to_string();
+        assert!(s.contains("T_N"));
+        assert!(s.contains("T_S"));
+        assert!(s.contains("T_D"));
+        assert!(s.contains("T(N)"));
+    }
+
+    #[test]
+    fn zero_miss_ratio_removes_db_part() {
+        let params = ModelParams::builder().miss_ratio(0.0).build().unwrap();
+        let est = LatencyEstimate::compute(&params).unwrap();
+        assert_eq!(est.database, 0.0);
+        assert_eq!(est.database_exact, 0.0);
+        // Total lower bound then comes from the server part.
+        assert!((est.total.lower - est.server.lower).abs() < 1e-15);
+    }
+
+    #[test]
+    fn db_dominates_total_lower_bound_in_base_config() {
+        // In Table 3, max{20, ~360, 836} = 836: the database part.
+        let est = base_estimate();
+        assert_eq!(est.total.lower, est.database);
+    }
+}

@@ -1,0 +1,141 @@
+//! # The memcached latency model (Cheng, Ren, Jiang, Zhang — ICDCS 2017)
+//!
+//! This crate is the paper's primary contribution: an analytical model of
+//! end-user request latency in a memcached deployment, combining
+//!
+//! 1. an **unbalanced load distribution** `{p_j}` over the `M` memcached
+//!    servers,
+//! 2. a **GI^X/M/1** queue per server capturing burst (general
+//!    inter-arrival gaps, e.g. the Facebook Generalized Pareto law) and
+//!    concurrency (geometric batches with parameter `q`), and
+//! 3. an **M/M/1 cache-miss stage**: each key misses with ratio `r` and is
+//!    relayed to a database with service rate `μ_D`.
+//!
+//! The end-user latency of a request that fans out into `N` keys is
+//! bounded by (Theorem 1)
+//!
+//! ```text
+//! max{T_N(N), T_S(N), T_D(N)}  ≤  T(N)  ≤  T_N(N) + T_S(N) + T_D(N)
+//! ```
+//!
+//! with `T_N` constant network latency, `E[T_S(N)]` estimated through the
+//! `δ` fixed point and max-statistics (eq. 14 / Proposition 1), and
+//! `E[T_D(N)] ≈ (1−(1−r)^N)/μ_D · ln(N·r/(1−(1−r)^N) + 1)` (eq. 23).
+//!
+//! Modules:
+//!
+//! * [`params`] — [`ModelParams`] and its builder: one value object holds
+//!   every factor of the paper's Table 2.
+//! * [`server`] — `E[T_S(N)]`: closed-form Theorem 1 bounds, Proposition 1,
+//!   and a tighter numeric product-form quantile (eq. 11) as an extension.
+//! * [`database`] — `E[T_D(N)]`: eq. 23 plus an exact harmonic-number
+//!   variant quantifying the paper's `ln(K+1)` approximation.
+//! * [`latency`] — [`LatencyEstimate`]: the assembled Theorem 1.
+//! * [`cliff`] — Proposition 2: the cliff utilization `ρ_S(ξ)`, Table 4.
+//! * [`analysis`] — §5.3: quantitative factor comparison and
+//!   recommendations.
+//! * [`asymptotics`] — eq. 25 and the `Θ(log N)` growth laws.
+//!
+//! # Examples
+//!
+//! The paper's Table 3 configuration:
+//!
+//! ```
+//! use memlat_model::{ArrivalPattern, ModelParams};
+//!
+//! # fn main() -> Result<(), memlat_model::ModelError> {
+//! let params = ModelParams::builder()
+//!     .servers(4)
+//!     .keys_per_request(150)
+//!     .arrival(ArrivalPattern::GeneralizedPareto { xi: 0.15 })
+//!     .key_rate_per_server(62_500.0)
+//!     .concurrency(0.1)
+//!     .service_rate(80_000.0)
+//!     .miss_ratio(0.01)
+//!     .db_service_rate(1_000.0)
+//!     .network_latency(20e-6)
+//!     .build()?;
+//! let est = params.estimate()?;
+//! assert!(est.server.lower > 300e-6 && est.server.upper < 420e-6);
+//! assert!((est.database - 836e-6).abs() < 20e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub mod analysis;
+pub mod asymptotics;
+pub mod cliff;
+pub mod database;
+pub mod latency;
+pub mod params;
+pub mod request_law;
+pub mod server;
+pub mod sla;
+
+pub use analysis::{FactorImpact, Recommendation};
+pub use asymptotics::DbScalingRegime;
+pub use cliff::{cliff_utilization, table4, DELTA_STAR};
+pub use latency::{Bounds, LatencyEstimate};
+pub use params::{ArrivalPattern, LoadDistribution, ModelParams, ModelParamsBuilder};
+pub use request_law::RequestLatencyLaw;
+pub use server::ServerLatencyModel;
+pub use sla::{plan, CapacityPlan, PlanningRequest};
+
+/// Error type of the model crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A model parameter failed validation.
+    InvalidParam(String),
+    /// The underlying queueing solver failed (instability, solver issues).
+    Queue(memlat_queue::QueueError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParam(what) => write!(f, "invalid model parameter: {what}"),
+            ModelError::Queue(e) => write!(f, "queueing model failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Queue(e) => Some(e),
+            ModelError::InvalidParam(_) => None,
+        }
+    }
+}
+
+impl From<memlat_queue::QueueError> for ModelError {
+    fn from(e: memlat_queue::QueueError) -> Self {
+        ModelError::Queue(e)
+    }
+}
+
+impl From<memlat_dist::ParamError> for ModelError {
+    fn from(e: memlat_dist::ParamError) -> Self {
+        ModelError::InvalidParam(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        let e = ModelError::InvalidParam("bad".into());
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_none());
+        let q: ModelError = memlat_queue::QueueError::Unstable { utilization: 1.5 }.into();
+        assert!(q.source().is_some());
+    }
+}

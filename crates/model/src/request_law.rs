@@ -1,0 +1,266 @@
+//! The full end-user latency **distribution** — closing the gap Theorem 1
+//! leaves open.
+//!
+//! Theorem 1 brackets `E[T(N)]` between `max{…}` and a sum. With two
+//! facts established elsewhere in this reproduction, the entire law of
+//! `T(N)` is available in closed form (under the model's independence
+//! assumptions):
+//!
+//! 1. the per-key **server** latency at server `j` is exactly
+//!    `Exp(η_j)`, `η_j = (1−δ_j)(1−q)μ_S` (the collapse identity of
+//!    `memlat_queue::exact_key`);
+//! 2. the per-key **database** latency is `0` with probability `1−r` and
+//!    `Exp(μ_D)` otherwise (the paper's light-load eq. 19).
+//!
+//! Hence a key served by `j` has total latency CDF
+//!
+//! ```text
+//! G_j(t) = (1−r)·(1 − e^{-η_j t}) + r·Hypo(η_j, μ_D)(t)
+//! ```
+//!
+//! (`Hypo` the two-phase hypoexponential — sum of independent
+//! exponentials), a random key mixes servers with weights `{p_j}`
+//! exactly as eq. 11 prescribes, and the request completes at the
+//! maximum of `N` i.i.d. such draws:
+//!
+//! ```text
+//! P{T(N) ≤ t} = Π_j [G_j(t − T_net)]^{p_j·N}
+//! ```
+//!
+//! From the CDF: any percentile, and the exact-in-model mean
+//! `E[T(N)] = T_net + ∫₀^∞ (1 − Π_j G_j^{p_j N}) dt` — a *point* value
+//! where the paper has only the `[836, 1222] µs` bracket, and one that
+//! the simulator's measured `T(N)` should (and does) land on.
+
+use memlat_queue::ExactKeyLatency;
+
+use crate::{params::ModelParams, server::ServerLatencyModel, ModelError};
+
+/// The analytic law of the end-user request latency `T(N)`.
+///
+/// # Examples
+///
+/// ```
+/// use memlat_model::{ModelParams, RequestLatencyLaw};
+///
+/// # fn main() -> Result<(), memlat_model::ModelError> {
+/// let params = ModelParams::builder().build()?;
+/// let law = RequestLatencyLaw::new(&params)?;
+/// let mean = law.mean();
+/// // ~1.275 ms for the Table 3 configuration — NOTE: this exceeds
+/// // Theorem 1's upper bound as printed in the paper (1.223 ms),
+/// // because that bound inherits eq. 23's downward-biased database
+/// // estimate. With the exact database term the bracket holds:
+/// let est = params.estimate()?;
+/// assert!(mean > est.total.upper); // the eq. 23 bracket is violated…
+/// let upper_exact = est.network + est.server.upper + est.database_exact;
+/// assert!(mean > est.database_exact && mean < upper_exact); // …the exact one holds
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct RequestLatencyLaw {
+    /// `(η_j, p_j)` per loaded server.
+    servers: Vec<(f64, f64)>,
+    miss_ratio: f64,
+    mu_d: f64,
+    network: f64,
+    n: f64,
+}
+
+impl RequestLatencyLaw {
+    /// Derives the law from the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates queueing errors (instability etc.).
+    pub fn new(params: &ModelParams) -> Result<Self, ModelError> {
+        let model = ServerLatencyModel::new(params)?;
+        let shares = params.load().shares(params.servers())?;
+        let mut servers = Vec::new();
+        for (idx, &p) in shares.iter().filter(|&&p| p > 0.0).enumerate() {
+            let queue = model.queue(idx).expect("loaded queues align with positive shares");
+            // η_j: the per-key law at j is exactly Exp(η_j).
+            debug_assert!(ExactKeyLatency::new(queue).mean() > 0.0);
+            servers.push((queue.decay_rate(), p));
+        }
+        Ok(Self {
+            servers,
+            miss_ratio: params.miss_ratio(),
+            mu_d: params.db_service_rate(),
+            network: params.network_latency(),
+            n: params.keys_per_request() as f64,
+        })
+    }
+
+    /// Per-key total-latency CDF at a server with decay `eta`.
+    fn per_key_cdf(&self, eta: f64, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let served = -(-eta * t).exp_m1();
+        if self.miss_ratio == 0.0 {
+            return served;
+        }
+        let mu = self.mu_d;
+        let hypo = if (eta - mu).abs() < 1e-9 * eta.max(mu) {
+            1.0 - (1.0 + eta * t) * (-eta * t).exp()
+        } else {
+            1.0 - (mu * (-eta * t).exp() - eta * (-mu * t).exp()) / (mu - eta)
+        };
+        (1.0 - self.miss_ratio) * served + self.miss_ratio * hypo
+    }
+
+    /// CDF of `T(N)` at time `t` (including the constant network part).
+    #[must_use]
+    pub fn cdf(&self, t: f64) -> f64 {
+        let t = t - self.network;
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let mut log_acc = 0.0;
+        for &(eta, p) in &self.servers {
+            let g = self.per_key_cdf(eta, t);
+            if g <= 0.0 {
+                return 0.0;
+            }
+            log_acc += p * self.n * g.ln();
+        }
+        log_acc.exp()
+    }
+
+    /// The `p`-th percentile of `T(N)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ (0, 1)`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
+        // Bracket: slowest decay rate, tail level p^(1/N·p_min)-ish —
+        // doubling search is simpler and robust.
+        let slowest = self
+            .servers
+            .iter()
+            .map(|&(eta, _)| eta)
+            .fold(f64::INFINITY, f64::min)
+            .min(if self.miss_ratio > 0.0 { self.mu_d } else { f64::INFINITY });
+        let mut hi = self.network + (self.n.ln() + 5.0) / slowest;
+        let mut guard = 0;
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+            guard += 1;
+            if guard > 200 {
+                break;
+            }
+        }
+        memlat_numerics::bisect(|t| self.cdf(t) - p, 0.0, hi, hi * 1e-12, 200).unwrap_or(hi)
+    }
+
+    /// The exact-in-model expectation
+    /// `E[T(N)] = T_net + ∫₀^∞ (1 − CDF) dt`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        // Integrate the survival function of the network-free part up to
+        // the far-tail quantile (mass beyond is < 1e-10 of the scale).
+        let t_hi = self.quantile(1.0 - 1e-10) - self.network;
+        let survival = |t: f64| 1.0 - self.cdf(t + self.network);
+        self.network + memlat_numerics::adaptive_simpson(survival, 0.0, t_hi, t_hi * 1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{LoadDistribution, ModelParams};
+
+    fn base() -> ModelParams {
+        ModelParams::builder().build().unwrap()
+    }
+
+    #[test]
+    fn cdf_is_proper() {
+        let law = RequestLatencyLaw::new(&base()).unwrap();
+        assert_eq!(law.cdf(0.0), 0.0);
+        assert_eq!(law.cdf(10e-6), 0.0); // below the network constant
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let t = i as f64 * 1e-4;
+            let f = law.cdf(t);
+            assert!((0.0..=1.0).contains(&f) && f >= prev, "t={t}");
+            prev = f;
+        }
+        assert!(law.cdf(0.5) > 0.999_999);
+    }
+
+    #[test]
+    fn mean_violates_eq23_bracket_but_not_the_exact_one() {
+        // The headline of this module: the exact E[T(N)] (≈1275 µs)
+        // exceeds Theorem 1's upper bound as the paper computes it
+        // (1223 µs, using eq. 23's biased database term), while the
+        // exact-database bracket contains it comfortably.
+        let law = RequestLatencyLaw::new(&base()).unwrap();
+        let est = base().estimate().unwrap();
+        let mean = law.mean();
+        assert!(mean > est.total.upper, "{mean} vs {}", est.total.upper);
+        let lower_exact = est.network.max(est.server.lower).max(est.database_exact);
+        let upper_exact = est.network + est.server.upper + est.database_exact;
+        assert!(mean > lower_exact && mean < upper_exact, "{mean}");
+        // And it matches the simulator's measured T(N) ≈ 1310 µs within
+        // the shard-queueing slack the analytic law ignores (~3%).
+        assert!((mean * 1e6 - 1310.0).abs() < 60.0, "{}", mean * 1e6);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let law = RequestLatencyLaw::new(&base()).unwrap();
+        for p in [0.1, 0.5, 0.9, 0.999] {
+            let t = law.quantile(p);
+            assert!((law.cdf(t) - p).abs() < 1e-7, "p={p}");
+        }
+    }
+
+    #[test]
+    fn zero_miss_ratio_reduces_to_server_law() {
+        let params = base().with_miss_ratio(0.0).unwrap();
+        let law = RequestLatencyLaw::new(&params).unwrap();
+        let model = ServerLatencyModel::new(&params).unwrap();
+        // Without a db stage, T(N) = T_net + fork-join of server laws.
+        for p in [0.3, 0.7, 0.99] {
+            let a = law.quantile(p);
+            let b = params.network_latency() + model.fork_join_quantile(150, p);
+            assert!((a - b).abs() < 1e-9, "p={p}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn percentiles_widen_with_miss_ratio() {
+        let lo = RequestLatencyLaw::new(&base().with_miss_ratio(0.001).unwrap()).unwrap();
+        let hi = RequestLatencyLaw::new(&base().with_miss_ratio(0.05).unwrap()).unwrap();
+        assert!(hi.quantile(0.99) > lo.quantile(0.99));
+        assert!(hi.mean() > lo.mean());
+    }
+
+    #[test]
+    fn unbalanced_load_shifts_the_law() {
+        let hot = ModelParams::builder()
+            .load(LoadDistribution::HotServer { p1: 0.7 })
+            .total_key_rate(80_000.0)
+            .build()
+            .unwrap();
+        let bal = ModelParams::builder().total_key_rate(80_000.0).build().unwrap();
+        let hot_mean = RequestLatencyLaw::new(&hot).unwrap().mean();
+        let bal_mean = RequestLatencyLaw::new(&bal).unwrap().mean();
+        assert!(hot_mean > bal_mean, "{hot_mean} vs {bal_mean}");
+    }
+
+    #[test]
+    fn db_dominates_tail_at_base_config() {
+        // With 1/μ_D = 1 ms ≫ server latencies, the p999 of T(N) is set
+        // by the database stage: decay rate μ_D, so
+        // p999 − p99 ≈ ln(10)/μ_D = 2.3 ms.
+        let law = RequestLatencyLaw::new(&base()).unwrap();
+        let gap = law.quantile(0.999) - law.quantile(0.99);
+        assert!((gap - 10f64.ln() / 1_000.0).abs() / gap < 0.1, "gap={gap}");
+    }
+}

@@ -1,0 +1,169 @@
+//! SLA-driven capacity planning on top of Theorem 1 and Proposition 2.
+//!
+//! Operationalizes the paper's recommendations: given a latency budget
+//! for the server stage, find the highest sustainable per-server rate,
+//! the implied fleet size for a target aggregate load, and the headroom
+//! to the latency cliff.
+
+use crate::{
+    cliff,
+    params::{ArrivalPattern, ModelParams},
+    server::ServerLatencyModel,
+    ModelError,
+};
+
+/// A capacity plan for one workload shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityPlan {
+    /// Highest per-server key rate meeting the SLA (keys/s).
+    pub max_rate_per_server: f64,
+    /// Utilization at that rate.
+    pub utilization_at_sla: f64,
+    /// The cliff utilization `ρ_S(ξ)` for reference (Proposition 2).
+    pub cliff_utilization: f64,
+    /// Servers needed for the requested aggregate load.
+    pub servers_needed: u64,
+}
+
+/// Parameters of a planning question.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanningRequest {
+    /// Arrival shape (burst degree etc.).
+    pub arrival: ArrivalPattern,
+    /// Concurrency probability `q`.
+    pub concurrency: f64,
+    /// Per-key service rate `μ_S`.
+    pub service_rate: f64,
+    /// Keys per request `N`.
+    pub keys_per_request: u64,
+    /// Server-stage latency budget: `E[T_S(N)] ≤ sla` (seconds).
+    pub sla: f64,
+    /// Aggregate load to place (keys/s).
+    pub total_load: f64,
+}
+
+impl PlanningRequest {
+    /// A request pre-filled with the paper's Facebook workload shape.
+    #[must_use]
+    pub fn facebook(sla: f64, total_load: f64) -> Self {
+        Self {
+            arrival: ArrivalPattern::GeneralizedPareto { xi: 0.15 },
+            concurrency: 0.1,
+            service_rate: 80_000.0,
+            keys_per_request: 150,
+            sla,
+            total_load,
+        }
+    }
+}
+
+/// `E[T_S(N)]` for a single balanced server driven at `rate`, or `None`
+/// when unstable.
+fn latency_at(req: &PlanningRequest, rate: f64) -> Option<f64> {
+    let params = ModelParams::builder()
+        .servers(1)
+        .keys_per_request(req.keys_per_request)
+        .arrival(req.arrival)
+        .key_rate_per_server(rate)
+        .concurrency(req.concurrency)
+        .service_rate(req.service_rate)
+        .build()
+        .ok()?;
+    ServerLatencyModel::new(&params).ok().map(|m| m.expected_latency(req.keys_per_request))
+}
+
+/// Computes a [`CapacityPlan`] by bisecting the per-server rate against
+/// the SLA.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidParam`] when the SLA is unreachable even
+/// at negligible load (budget below the no-queue service floor), or when
+/// request parameters are invalid.
+pub fn plan(req: &PlanningRequest) -> Result<CapacityPlan, ModelError> {
+    if !(req.sla.is_finite() && req.sla > 0.0) {
+        return Err(ModelError::InvalidParam(format!("SLA must be positive, got {}", req.sla)));
+    }
+    if !(req.total_load.is_finite() && req.total_load > 0.0) {
+        return Err(ModelError::InvalidParam(format!(
+            "total load must be positive, got {}",
+            req.total_load
+        )));
+    }
+    let floor_rate = req.service_rate * 1e-4;
+    let floor = latency_at(req, floor_rate)
+        .ok_or_else(|| ModelError::InvalidParam("invalid planning parameters".into()))?;
+    if floor > req.sla {
+        return Err(ModelError::InvalidParam(format!(
+            "SLA of {:.1} µs is below the no-queue floor of {:.1} µs",
+            req.sla * 1e6,
+            floor * 1e6
+        )));
+    }
+
+    let (mut lo, mut hi) = (floor_rate, req.service_rate * 0.9999);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        match latency_at(req, mid) {
+            Some(l) if l <= req.sla => lo = mid,
+            _ => hi = mid,
+        }
+    }
+    let max_rate = lo;
+    let xi = req.arrival.burst_degree().unwrap_or(0.0);
+    Ok(CapacityPlan {
+        max_rate_per_server: max_rate,
+        utilization_at_sla: max_rate / req.service_rate,
+        cliff_utilization: cliff::cliff_utilization(xi, req.concurrency)?,
+        servers_needed: (req.total_load / max_rate).ceil() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facebook_plan_is_reasonable() {
+        let p = plan(&PlanningRequest::facebook(500e-6, 1_000_000.0)).unwrap();
+        // From the capacity example: ~67 Kps per server, ~84% util, 15
+        // servers.
+        assert!((p.max_rate_per_server / 1e3 - 67.0).abs() < 3.0, "{}", p.max_rate_per_server);
+        assert!((p.utilization_at_sla - 0.84).abs() < 0.04);
+        assert!((14..=16).contains(&p.servers_needed), "{}", p.servers_needed);
+        assert!((p.cliff_utilization - 0.77).abs() < 0.03);
+    }
+
+    #[test]
+    fn tighter_sla_needs_more_servers() {
+        let loose = plan(&PlanningRequest::facebook(800e-6, 1_000_000.0)).unwrap();
+        let tight = plan(&PlanningRequest::facebook(250e-6, 1_000_000.0)).unwrap();
+        assert!(tight.servers_needed > loose.servers_needed);
+        assert!(tight.max_rate_per_server < loose.max_rate_per_server);
+    }
+
+    #[test]
+    fn burstier_traffic_needs_more_servers() {
+        let calm = plan(&PlanningRequest {
+            arrival: ArrivalPattern::GeneralizedPareto { xi: 0.0 },
+            ..PlanningRequest::facebook(500e-6, 1_000_000.0)
+        })
+        .unwrap();
+        let bursty = plan(&PlanningRequest {
+            arrival: ArrivalPattern::GeneralizedPareto { xi: 0.6 },
+            ..PlanningRequest::facebook(500e-6, 1_000_000.0)
+        })
+        .unwrap();
+        assert!(bursty.servers_needed > calm.servers_needed);
+        assert!(bursty.cliff_utilization < calm.cliff_utilization);
+    }
+
+    #[test]
+    fn impossible_sla_rejected() {
+        // 1 µs budget is below even the bare service time (12.5 µs).
+        let err = plan(&PlanningRequest::facebook(1e-6, 1_000_000.0));
+        assert!(matches!(err, Err(ModelError::InvalidParam(_))));
+        assert!(plan(&PlanningRequest::facebook(0.0, 1.0)).is_err());
+        assert!(plan(&PlanningRequest::facebook(1e-3, -1.0)).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests of the latency model's structure.
+
+use memlat_model::{
+    database, ArrivalPattern, LatencyEstimate, LoadDistribution, ModelParams, ServerLatencyModel,
+};
+use proptest::prelude::*;
+
+fn stable_params(
+    rho: f64,
+    q: f64,
+    xi: f64,
+    n: u64,
+    r: f64,
+) -> Option<ModelParams> {
+    ModelParams::builder()
+        .keys_per_request(n)
+        .arrival(ArrivalPattern::GeneralizedPareto { xi })
+        .key_rate_per_server(rho * 80_000.0)
+        .concurrency(q)
+        .miss_ratio(r)
+        .build()
+        .ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 1's structure holds for any stable configuration:
+    /// ordered bounds, total = combination of parts, non-negative
+    /// components.
+    #[test]
+    fn theorem1_structure(
+        rho in 0.05f64..0.92,
+        q in 0.0f64..0.5,
+        xi in 0.0f64..0.6,
+        n in 1u64..2000,
+        r in 0.0f64..0.2,
+    ) {
+        let params = stable_params(rho, q, xi, n, r).unwrap();
+        let est = LatencyEstimate::compute(&params).unwrap();
+        prop_assert!(est.server.lower >= 0.0);
+        prop_assert!(est.server.lower <= est.server.upper);
+        // Product form within the closed form.
+        prop_assert!(est.server_closed_form.lower <= est.server.lower + 1e-12);
+        prop_assert!(est.server.upper <= est.server_closed_form.upper + 1e-12);
+        // Total bounds assembled per Theorem 1.
+        let expect_lo = est.network.max(est.server.lower).max(est.database);
+        let expect_hi = est.network + est.server.upper + est.database;
+        prop_assert!((est.total.lower - expect_lo).abs() < 1e-15);
+        prop_assert!((est.total.upper - expect_hi).abs() < 1e-15);
+        // Exact db value at least the eq. 23 estimate (Jensen).
+        prop_assert!(est.database_exact + 1e-15 >= est.database);
+    }
+
+    /// E[T_S(N)] is monotone in each latency-increasing factor.
+    #[test]
+    fn server_latency_monotonicity(
+        rho in 0.1f64..0.8,
+        q in 0.0f64..0.4,
+        xi in 0.0f64..0.5,
+        n in 2u64..5000,
+    ) {
+        let base = ServerLatencyModel::new(&stable_params(rho, q, xi, n, 0.0).unwrap())
+            .unwrap()
+            .expected_latency(n);
+        // More load.
+        let hotter = ServerLatencyModel::new(&stable_params(rho + 0.05, q, xi, n, 0.0).unwrap())
+            .unwrap()
+            .expected_latency(n);
+        prop_assert!(hotter > base, "rho: {base} !< {hotter}");
+        // More concurrency.
+        let burstier = ServerLatencyModel::new(&stable_params(rho, q + 0.1, xi, n, 0.0).unwrap())
+            .unwrap()
+            .expected_latency(n);
+        prop_assert!(burstier > base, "q: {base} !< {burstier}");
+        // More keys.
+        let bigger = ServerLatencyModel::new(&stable_params(rho, q, xi, n, 0.0).unwrap())
+            .unwrap()
+            .expected_latency(2 * n);
+        prop_assert!(bigger > base, "n: {base} !< {bigger}");
+    }
+
+    /// The fork-join CDF is a proper distribution and its quantiles
+    /// invert it.
+    #[test]
+    fn fork_join_cdf_proper(
+        rho in 0.1f64..0.85,
+        n in 1u64..1000,
+        p in 0.05f64..0.99,
+    ) {
+        let m = ServerLatencyModel::new(&stable_params(rho, 0.1, 0.15, n, 0.0).unwrap()).unwrap();
+        let t = m.fork_join_quantile(n, p);
+        prop_assert!(t > 0.0);
+        prop_assert!((m.fork_join_cdf(n, t) - p).abs() < 1e-6, "p={p}");
+    }
+
+    /// Database estimate: monotone in both N and r; exact ≥ eq. 23.
+    #[test]
+    fn db_estimate_monotone(n in 1u64..100_000, r in 1e-5f64..0.5) {
+        let base = database::db_latency_mean(n, r, 1_000.0);
+        prop_assert!(database::db_latency_mean(n + n.max(1), r, 1_000.0) >= base);
+        prop_assert!(database::db_latency_mean(n, (r * 1.5).min(1.0), 1_000.0) >= base);
+        prop_assert!(database::db_latency_mean_exact(n, r, 1_000.0) + 1e-15 >= base);
+    }
+
+    /// Load distributions resolve consistently: shares sum to 1 and p1 is
+    /// their maximum.
+    #[test]
+    fn load_shares_consistent(m in 1usize..64, p1_frac in 0.0f64..1.0) {
+        let balanced = LoadDistribution::Balanced;
+        let shares = balanced.shares(m).unwrap();
+        prop_assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!((balanced.p1(m).unwrap() - 1.0 / m as f64).abs() < 1e-12);
+
+        if m >= 2 {
+            let lo = 1.0 / m as f64;
+            let p1 = lo + (0.999 - lo) * p1_frac;
+            let hot = LoadDistribution::HotServer { p1 };
+            let shares = hot.shares(m).unwrap();
+            prop_assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!((hot.p1(m).unwrap() - p1.max(lo)).abs() < 1e-9);
+        }
+    }
+}

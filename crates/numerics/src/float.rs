@@ -1,0 +1,112 @@
+//! Floating-point comparison helpers.
+
+/// Returns `true` when `a` and `b` agree to within `rel` relative tolerance
+/// or `abs_tol` absolute tolerance, whichever is looser.
+///
+/// Intended for tests and convergence checks; NaNs are never approximately
+/// equal to anything.
+///
+/// # Examples
+///
+/// ```
+/// use memlat_numerics::float::approx_eq_tol;
+/// assert!(approx_eq_tol(1.0, 1.0 + 1e-12, 1e-9, 1e-9));
+/// assert!(!approx_eq_tol(1.0, 1.1, 1e-9, 1e-9));
+/// ```
+#[must_use]
+pub fn approx_eq_tol(a: f64, b: f64, rel: f64, abs_tol: f64) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return false;
+    }
+    let diff = (a - b).abs();
+    if diff <= abs_tol {
+        return true;
+    }
+    diff <= rel * a.abs().max(b.abs())
+}
+
+/// [`approx_eq_tol`] with a default tolerance of `1e-9` (relative and
+/// absolute).
+///
+/// # Examples
+///
+/// ```
+/// assert!(memlat_numerics::approx_eq(0.1 + 0.2, 0.3));
+/// ```
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_tol(a, b, 1e-9, 1e-9)
+}
+
+/// Clamps `x` into the closed unit interval `[0, 1]`.
+///
+/// Useful when a numerically computed probability drifts slightly outside
+/// the unit interval.
+///
+/// # Examples
+///
+/// ```
+/// use memlat_numerics::float::clamp_unit;
+/// assert_eq!(clamp_unit(-0.0001), 0.0);
+/// assert_eq!(clamp_unit(0.5), 0.5);
+/// assert_eq!(clamp_unit(1.2), 1.0);
+/// ```
+#[must_use]
+pub fn clamp_unit(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+/// Returns `true` when `p` is a valid probability (finite and within
+/// `[0, 1]`).
+///
+/// # Examples
+///
+/// ```
+/// use memlat_numerics::float::is_probability;
+/// assert!(is_probability(0.0));
+/// assert!(is_probability(1.0));
+/// assert!(!is_probability(1.5));
+/// assert!(!is_probability(f64::NAN));
+/// ```
+#[must_use]
+pub fn is_probability(p: f64) -> bool {
+    p.is_finite() && (0.0..=1.0).contains(&p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(1.0, 1.0));
+        assert!(approx_eq(0.0, 1e-12));
+        assert!(!approx_eq(1.0, 1.01));
+    }
+
+    #[test]
+    fn approx_eq_relative_kicks_in_for_large_values() {
+        assert!(approx_eq_tol(1e12, 1e12 + 1.0, 1e-9, 0.0));
+        assert!(!approx_eq_tol(1e12, 1e12 + 1e6, 1e-9, 0.0));
+    }
+
+    #[test]
+    fn nan_never_equal() {
+        assert!(!approx_eq(f64::NAN, f64::NAN));
+        assert!(!approx_eq(1.0, f64::NAN));
+    }
+
+    #[test]
+    fn clamp_unit_bounds() {
+        assert_eq!(clamp_unit(f64::NEG_INFINITY), 0.0);
+        assert_eq!(clamp_unit(f64::INFINITY), 1.0);
+        assert_eq!(clamp_unit(0.25), 0.25);
+    }
+
+    #[test]
+    fn probability_check() {
+        assert!(is_probability(0.5));
+        assert!(!is_probability(-0.1));
+        assert!(!is_probability(f64::INFINITY));
+    }
+}

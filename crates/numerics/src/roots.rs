@@ -1,0 +1,333 @@
+//! Bracketing root finders.
+//!
+//! The memcached latency model repeatedly solves one-dimensional fixed
+//! points such as the GI/M/1 equation `δ = L_TX((1-δ)(1-q)μ_S)`; these are
+//! smooth, monotone problems on a known bracket, so robust bracketing
+//! methods (bisection and Brent's method) are the right tool.
+
+use std::fmt;
+
+/// Error returned by the root finders in this module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RootError {
+    /// `f(lo)` and `f(hi)` have the same sign, so the bracket contains no
+    /// guaranteed root.
+    NoBracket {
+        /// Function value at the lower end of the bracket.
+        f_lo: f64,
+        /// Function value at the upper end of the bracket.
+        f_hi: f64,
+    },
+    /// The iteration budget was exhausted before the tolerance was met.
+    MaxIterations {
+        /// Best estimate of the root when iteration stopped.
+        best: f64,
+    },
+    /// The function returned NaN inside the bracket.
+    NotANumber,
+    /// The bracket itself was invalid (`lo >= hi`, or non-finite).
+    InvalidBracket,
+}
+
+impl fmt::Display for RootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RootError::NoBracket { f_lo, f_hi } => {
+                write!(f, "no sign change on bracket (f(lo)={f_lo}, f(hi)={f_hi})")
+            }
+            RootError::MaxIterations { best } => {
+                write!(f, "iteration budget exhausted (best estimate {best})")
+            }
+            RootError::NotANumber => write!(f, "function returned NaN inside the bracket"),
+            RootError::InvalidBracket => write!(f, "invalid bracket"),
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+/// Finds a root of `f` on `[lo, hi]` by bisection.
+///
+/// Requires a sign change over the bracket. Converges linearly but is
+/// unconditionally robust, which matters because the model evaluates
+/// numeric Laplace transforms whose derivatives are not available.
+///
+/// # Errors
+///
+/// Returns [`RootError::NoBracket`] if `f(lo)` and `f(hi)` have the same
+/// strict sign, [`RootError::InvalidBracket`] for a degenerate interval,
+/// [`RootError::NotANumber`] if `f` produces NaN, and
+/// [`RootError::MaxIterations`] if `max_iter` bisections do not shrink the
+/// interval below `tol`.
+///
+/// # Examples
+///
+/// ```
+/// use memlat_numerics::roots::bisect;
+/// let r = bisect(|x| x.cos() - x, 0.0, 1.0, 1e-12, 200).unwrap();
+/// assert!((r - 0.7390851332151607).abs() < 1e-9);
+/// ```
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError> {
+    if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        return Err(RootError::InvalidBracket);
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa.is_nan() || fb.is_nan() {
+        return Err(RootError::NotANumber);
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NoBracket { f_lo: fa, f_hi: fb });
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if fm.is_nan() {
+            return Err(RootError::NotANumber);
+        }
+        if fm == 0.0 || (b - a) * 0.5 < tol {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Err(RootError::MaxIterations { best: 0.5 * (a + b) })
+}
+
+/// Finds a root of `f` on `[lo, hi]` using Brent's method.
+///
+/// Combines bisection with inverse quadratic interpolation and the secant
+/// method; superlinear on smooth problems while retaining the bisection
+/// robustness guarantee. This is the default solver for the GI/M/1 `δ`
+/// fixed point.
+///
+/// # Errors
+///
+/// Same contract as [`bisect`].
+///
+/// # Examples
+///
+/// ```
+/// use memlat_numerics::roots::brent;
+/// let r = brent(|x| x * x * x - 2.0, 0.0, 2.0, 1e-14, 100).unwrap();
+/// assert!((r - 2f64.cbrt()).abs() < 1e-12);
+/// ```
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, RootError> {
+    if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        return Err(RootError::InvalidBracket);
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa.is_nan() || fb.is_nan() {
+        return Err(RootError::NotANumber);
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NoBracket { f_lo: fa, f_hi: fb });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant step.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let lower = (3.0 * a + b) / 4.0;
+        let cond1 = !((lower.min(b)..=lower.max(b)).contains(&s));
+        let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond3 = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
+        let cond4 = mflag && (b - c).abs() < tol;
+        let cond5 = !mflag && (c - d).abs() < tol;
+        if cond1 || cond2 || cond3 || cond4 || cond5 {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        if fs.is_nan() {
+            return Err(RootError::NotANumber);
+        }
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(RootError::MaxIterations { best: b })
+}
+
+/// Solves the fixed point `x = g(x)` on `(0, 1)` for a continuous,
+/// increasing `g` with `g(0) > 0` — the shape of the GI/M/1 `δ` equation.
+///
+/// Internally rewrites the problem as the root of `g(x) - x` and applies
+/// [`brent`] on `[0, 1 - eps]`, which excludes the trivial fixed point at
+/// 1 that exists for every stable queue.
+///
+/// # Errors
+///
+/// Propagates the [`RootError`] of the underlying solver; in particular,
+/// an unstable queue (`ρ ≥ 1`) produces [`RootError::NoBracket`] because
+/// `g(x) - x` does not change sign on the open unit interval.
+///
+/// # Examples
+///
+/// ```
+/// use memlat_numerics::roots::unit_fixed_point;
+/// // For a Poisson arrival process, δ solves λ/(λ + (1-δ)μ) = δ ⇒ δ = ρ.
+/// let (lam, mu) = (0.5, 1.0);
+/// let delta = unit_fixed_point(|d| lam / (lam + (1.0 - d) * mu), 1e-13).unwrap();
+/// assert!((delta - 0.5).abs() < 1e-10);
+/// ```
+pub fn unit_fixed_point<F: FnMut(f64) -> f64>(mut g: F, tol: f64) -> Result<f64, RootError> {
+    // The non-trivial root can sit arbitrarily close to 1 (heavily loaded
+    // queues), where g(x) − x shrinks below the numeric noise floor of a
+    // quadrature-based g. Walk the upper bracket endpoint toward 1 and use
+    // the first endpoint with a confirmed sign change.
+    let mut h = |x: f64| g(x) - x;
+    let mut last_err = RootError::InvalidBracket;
+    for eps in [1e-3, 1e-6, 1e-9, 1e-12] {
+        let hi = 1.0 - eps;
+        let fhi = h(hi);
+        if fhi.is_nan() {
+            return Err(RootError::NotANumber);
+        }
+        if fhi < 0.0 {
+            return brent(&mut h, 0.0, hi, tol, 200);
+        }
+        last_err = RootError::NoBracket { f_lo: h(0.0), f_hi: fhi };
+    }
+    Err(last_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_simple_quadratic() {
+        let r = bisect(|x| x * x - 4.0, 0.0, 10.0, 1e-12, 200).unwrap();
+        assert!((r - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert_eq!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100),
+            Err(RootError::NoBracket { f_lo: 2.0, f_hi: 2.0 })
+        );
+        assert_eq!(bisect(|x| x, 1.0, 1.0, 1e-12, 100), Err(RootError::InvalidBracket));
+    }
+
+    #[test]
+    fn bisect_returns_exact_endpoint_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 100), Ok(0.0));
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 100), Ok(1.0));
+    }
+
+    #[test]
+    fn brent_matches_bisect() {
+        let f = |x: f64| x.exp() - 3.0;
+        let rb = bisect(f, 0.0, 2.0, 1e-13, 300).unwrap();
+        let rr = brent(f, 0.0, 2.0, 1e-13, 100).unwrap();
+        assert!((rb - rr).abs() < 1e-9);
+        assert!((rr - 3f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_handles_steep_function() {
+        let r = brent(|x| (x - 0.999).tan(), 0.5, 1.4, 1e-13, 200).unwrap();
+        assert!((r - 0.999).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_detects_nan() {
+        let res = brent(|x| if x > 0.5 { f64::NAN } else { -1.0 }, 0.0, 0.4, 1e-12, 100);
+        // f(hi)=f(0.4) is fine (-1), so the bracket has no sign change.
+        assert!(matches!(res, Err(RootError::NoBracket { .. })));
+        let res2 = brent(|x| if x > 0.5 { f64::NAN } else { -1.0 }, 0.0, 1.0, 1e-12, 100);
+        assert_eq!(res2, Err(RootError::NotANumber));
+    }
+
+    #[test]
+    fn fixed_point_poisson_delta_equals_rho() {
+        for rho in [0.05, 0.3, 0.5, 0.781, 0.95, 0.999] {
+            let delta = unit_fixed_point(|d| rho / (rho + (1.0 - d)), 1e-13).unwrap();
+            assert!((delta - rho).abs() < 1e-8, "rho={rho} delta={delta}");
+        }
+    }
+
+    #[test]
+    fn fixed_point_unstable_queue_errors() {
+        // ρ = 1.2: only fixed point in [0,1] is 1 itself; solver must fail.
+        let res = unit_fixed_point(|d| 1.2 / (1.2 + (1.0 - d)), 1e-13);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        for e in [
+            RootError::NoBracket { f_lo: 1.0, f_hi: 2.0 },
+            RootError::MaxIterations { best: 0.5 },
+            RootError::NotANumber,
+            RootError::InvalidBracket,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The GI/M/1 fixed point `δ = L_A((1−δ)μ)`.
+
+use memlat_dist::Continuous;
+
+use crate::QueueError;
+
+/// Solves `δ = L_A((1−δ)μ)` for `δ ∈ (0, 1)`, where `L_A` is the
+/// Laplace–Stieltjes transform of the inter-arrival law and `μ` the service
+/// rate.
+///
+/// `δ` is the geometric decay parameter of the GI/M/1 queue-length
+/// distribution: an arriving customer finds `n` customers with probability
+/// `(1−δ)δⁿ`, the waiting time is `W(t) = 1 − δ e^{-(1−δ)μt}`, and the
+/// sojourn time is `Exp((1−δ)μ)`. In the paper's notation this is the `δ`
+/// of eq. (6) / Table 1 (with `μ` already including the batch factor
+/// `(1−q)`).
+///
+/// The root is unique in `(0, 1)` exactly when the queue is stable
+/// (`ρ = 1/(E[A]·μ) < 1`).
+///
+/// # Errors
+///
+/// * [`QueueError::Unstable`] when `ρ ≥ 1` (detected up front from the
+///   mean inter-arrival gap).
+/// * [`QueueError::InvalidParam`] when `μ ≤ 0` or the inter-arrival mean
+///   is not positive and finite.
+/// * [`QueueError::Solver`] if the bracketing solver fails (e.g. a
+///   numerically hostile Laplace transform).
+///
+/// # Examples
+///
+/// Poisson arrivals reduce to M/M/1, where `δ = ρ` exactly:
+///
+/// ```
+/// use memlat_dist::Exponential;
+/// use memlat_queue::solve_delta;
+///
+/// # fn main() -> Result<(), memlat_queue::QueueError> {
+/// let gaps = Exponential::new(50.0).map_err(memlat_queue::QueueError::from)?;
+/// let delta = solve_delta(&gaps, 80.0)?;
+/// assert!((delta - 50.0 / 80.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_delta(interarrival: &dyn Continuous, service_rate: f64) -> Result<f64, QueueError> {
+    if !(service_rate.is_finite() && service_rate > 0.0) {
+        return Err(QueueError::InvalidParam(format!(
+            "service rate must be positive, got {service_rate}"
+        )));
+    }
+    let mean_gap = interarrival.mean();
+    if !(mean_gap.is_finite() && mean_gap > 0.0) {
+        return Err(QueueError::InvalidParam(format!(
+            "inter-arrival mean must be positive and finite, got {mean_gap}"
+        )));
+    }
+    let rho = 1.0 / (mean_gap * service_rate);
+    if rho >= 1.0 {
+        return Err(QueueError::Unstable { utilization: rho });
+    }
+    let delta = memlat_numerics::roots::unit_fixed_point(
+        |d| interarrival.laplace((1.0 - d) * service_rate),
+        1e-12,
+    )?;
+    Ok(delta.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memlat_dist::{Deterministic, Exponential, Gamma, GeneralizedPareto, Hyperexponential};
+
+    #[test]
+    fn poisson_delta_is_rho() {
+        for rho in [0.1, 0.5, 0.781_25, 0.95] {
+            let gaps = Exponential::new(rho * 100.0).unwrap();
+            let d = solve_delta(&gaps, 100.0).unwrap();
+            assert!((d - rho).abs() < 1e-8, "rho={rho} d={d}");
+        }
+    }
+
+    #[test]
+    fn d_m_1_reference_value() {
+        // D/M/1 at ρ=0.5: δ solves δ = e^{-(1-δ)/ρ·...}: with gap d=2, μ=1:
+        // δ = e^{-2(1-δ)} ⇒ δ ≈ 0.203188.
+        let gaps = Deterministic::new(2.0).unwrap();
+        let d = solve_delta(&gaps, 1.0).unwrap();
+        assert!((d - 0.203_188_1).abs() < 1e-5, "d={d}");
+    }
+
+    #[test]
+    fn erlang_between_deterministic_and_poisson() {
+        // At equal ρ, burstier arrivals give larger δ:
+        // D/M/1 < E4/M/1 < M/M/1 < H2/M/1 < GPD(ξ=0.5)/M/1.
+        let mu = 1.0;
+        let mean_gap = 1.25; // ρ = 0.8
+        let d_det = solve_delta(&Deterministic::new(mean_gap).unwrap(), mu).unwrap();
+        let d_erl = solve_delta(&Gamma::erlang(4, mean_gap).unwrap(), mu).unwrap();
+        let d_exp = solve_delta(&Exponential::with_mean(mean_gap).unwrap(), mu).unwrap();
+        let d_h2 = solve_delta(&Hyperexponential::with_mean_scv(mean_gap, 4.0).unwrap(), mu).unwrap();
+        let d_gpd = solve_delta(&GeneralizedPareto::with_mean(0.5, mean_gap).unwrap(), mu).unwrap();
+        assert!(d_det < d_erl, "{d_det} {d_erl}");
+        assert!(d_erl < d_exp, "{d_erl} {d_exp}");
+        assert!(d_exp < d_h2, "{d_exp} {d_h2}");
+        assert!(d_h2 < d_gpd, "{d_h2} {d_gpd}");
+    }
+
+    #[test]
+    fn unstable_queue_detected() {
+        let gaps = Exponential::new(120.0).unwrap();
+        match solve_delta(&gaps, 100.0) {
+            Err(QueueError::Unstable { utilization }) => assert!((utilization - 1.2).abs() < 1e-12),
+            other => panic!("expected instability, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_service_rate() {
+        let gaps = Exponential::new(1.0).unwrap();
+        assert!(matches!(solve_delta(&gaps, 0.0), Err(QueueError::InvalidParam(_))));
+        assert!(matches!(solve_delta(&gaps, f64::NAN), Err(QueueError::InvalidParam(_))));
+    }
+
+    #[test]
+    fn scale_invariance_proposition_2() {
+        // Scaling time (rate c·λ, service c·μ) leaves δ unchanged — the
+        // core of the paper's Proposition 2.
+        let d1 = solve_delta(&GeneralizedPareto::facebook(0.3, 100.0).unwrap(), 125.0).unwrap();
+        let d2 = solve_delta(&GeneralizedPareto::facebook(0.3, 1_000.0).unwrap(), 1_250.0).unwrap();
+        let d3 = solve_delta(&GeneralizedPareto::facebook(0.3, 56_250.0).unwrap(), 70_312.5).unwrap();
+        assert!((d1 - d2).abs() < 1e-7, "{d1} {d2}");
+        assert!((d1 - d3).abs() < 1e-7, "{d1} {d3}");
+    }
+
+    #[test]
+    fn delta_increases_with_utilization() {
+        let mut prev = 0.0;
+        for lam in [10.0, 30.0, 50.0, 70.0, 90.0, 99.0] {
+            let gaps = GeneralizedPareto::facebook(0.15, lam).unwrap();
+            let d = solve_delta(&gaps, 100.0).unwrap();
+            assert!(d > prev, "lam={lam} d={d} prev={prev}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn paper_table3_delta_value() {
+        // Reverse-engineered from Table 3's T_S(N) band (351–366 µs with
+        // ln(151)/((1-δ)(1-q)μ_S) = 366 µs): δ ≈ 0.81.
+        let gaps = GeneralizedPareto::facebook(0.15, 56_250.0).unwrap();
+        let d = solve_delta(&gaps, 0.9 * 80_000.0).unwrap();
+        assert!(
+            (0.79..=0.83).contains(&d),
+            "expected δ near 0.81 for the Facebook workload, got {d}"
+        );
+    }
+}

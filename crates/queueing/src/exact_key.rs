@@ -1,0 +1,230 @@
+//! The *exact* per-key latency law of the GI^X/M/1 queue — and a
+//! sharpening of the paper's eq. (9).
+//!
+//! The paper sandwiches a key's processing latency `T_S` between the
+//! batch queueing time `T_Q` (eq. 4) and the batch completion time `T_C`
+//! (eq. 5). The exact law can be written down:
+//!
+//! * a random key's position `J` within its (size-biased geometric)
+//!   batch satisfies `P{J = j} = P{X ≥ j}/E[X] = q^{j-1}(1−q)` — again
+//!   geometric;
+//! * given position `j`, the key completes after the batch's waiting time
+//!   `W` plus an Erlang(`j`, `μ_S`) chain (its `j−1` predecessors plus
+//!   itself), and the geometric-Erlang mixture is `Exp((1−q)μ_S)`;
+//! * `W` is the GI/M/1 waiting law: an atom `1−δ` at 0 plus a
+//!   `δ`-weighted `Exp(η)` tail, `η = (1−δ)(1−q)μ_S`.
+//!
+//! Carrying out the two-exponential convolution with `ν = (1−q)μ_S`:
+//!
+//! ```text
+//! F(t) = (1−δ)(1−e^{-νt}) + δ[1 − (ν e^{-ηt} − η e^{-νt})/(ν−η)]
+//! ```
+//!
+//! and because `η = (1−δ)ν`, the coefficients collapse —
+//! `δν/(ν−η) = 1` and `(1−δ) − δη/(ν−η) = 0` — leaving
+//!
+//! ```text
+//! F(t) = 1 − e^{-ηt}      (exactly the paper's T_C law, eq. 5!)
+//! ```
+//!
+//! **Finding:** for geometric batch sizes, the paper's *upper bound*
+//! `(T_C)_k` in eq. (9) is not merely a bound — it is the exact per-key
+//! latency law. (Intuition: by memorylessness, the service still owed to
+//! a randomly chosen key — its predecessors plus itself — is
+//! distributed like a whole fresh batch.) The lower bound `(T_Q)_k`
+//! remains strict. This explains why the measured quantiles in the
+//! paper's Fig. 4 (and our reproduction of it) hug the upper edge of the
+//! band.
+//!
+//! [`ExactKeyLatency`] keeps **both** forms — the explicit mixture and
+//! the collapsed exponential — and the test suite verifies their
+//! pointwise equality, so the derivation is machine-checked.
+
+use crate::gixm1::GixM1;
+
+/// Closed-form exact per-key latency law for a solved [`GixM1`] queue.
+///
+/// # Examples
+///
+/// ```
+/// use memlat_dist::GeneralizedPareto;
+/// use memlat_queue::{exact_key::ExactKeyLatency, GixM1};
+///
+/// # fn main() -> Result<(), memlat_queue::QueueError> {
+/// let gaps = GeneralizedPareto::facebook(0.15, 56_250.0)
+///     .map_err(memlat_queue::QueueError::from)?;
+/// let queue = GixM1::new(&gaps, 0.1, 80_000.0)?;
+/// let exact = ExactKeyLatency::new(&queue);
+/// // The exact quantile coincides with eq. (9)'s upper bound…
+/// let (lo, hi) = queue.key_latency_quantile_bounds(0.9);
+/// assert!((exact.quantile(0.9) - hi).abs() < 1e-12);
+/// // …and strictly exceeds the lower bound.
+/// assert!(exact.quantile(0.9) > lo);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactKeyLatency {
+    /// Decay rate `η = (1−δ)(1−q)μ_S`.
+    eta: f64,
+    /// Chain rate `ν = (1−q)μ_S`.
+    nu: f64,
+    /// The queue's `δ`.
+    delta: f64,
+}
+
+impl ExactKeyLatency {
+    /// Derives the exact law from a solved batch queue.
+    #[must_use]
+    pub fn new(queue: &GixM1) -> Self {
+        Self {
+            eta: queue.decay_rate(),
+            nu: (1.0 - queue.concurrency()) * queue.service_rate(),
+            delta: queue.delta(),
+        }
+    }
+
+    /// The exact CDF, in its collapsed form `1 − e^{-ηt}`.
+    #[must_use]
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            -(-self.eta * t).exp_m1()
+        }
+    }
+
+    /// The pre-collapse mixture form of the CDF:
+    /// `(1−δ)·Exp(ν) + δ·(Exp(η) ⊕ Exp(ν))`.
+    ///
+    /// Mathematically identical to [`cdf`](Self::cdf); exposed so the
+    /// collapse identity is testable rather than asserted.
+    #[must_use]
+    pub fn cdf_mixture_form(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let (eta, nu, delta) = (self.eta, self.nu, self.delta);
+        let g = 1.0 - (-nu * t).exp();
+        let conv = if (nu - eta).abs() < 1e-9 * nu {
+            // η → ν limit (zero load): hypoexponential degenerates to
+            // Erlang-2.
+            1.0 - (1.0 + nu * t) * (-nu * t).exp()
+        } else {
+            1.0 - (nu * (-eta * t).exp() - eta * (-nu * t).exp()) / (nu - eta)
+        };
+        ((1.0 - delta) * g + delta * conv).clamp(0.0, 1.0)
+    }
+
+    /// Mean of the exact law, `1/η` (equivalently `δ/η + 1/ν`).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        1.0 / self.eta
+    }
+
+    /// Exact `k`-th quantile: `−ln(1−k)/η`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k ∈ [0, 1)`.
+    #[must_use]
+    pub fn quantile(&self, k: f64) -> f64 {
+        assert!((0.0..1.0).contains(&k), "quantile requires k in [0,1), got {k}");
+        -(1.0 - k).ln() / self.eta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memlat_dist::{Exponential, GeneralizedPareto};
+
+    fn facebook() -> GixM1 {
+        let gaps = GeneralizedPareto::facebook(0.15, 56_250.0).unwrap();
+        GixM1::new(&gaps, 0.1, 80_000.0).unwrap()
+    }
+
+    #[test]
+    fn collapse_identity_holds_pointwise() {
+        // The machine-checked heart of the finding: mixture ≡ collapsed.
+        for (q, rho) in [(0.1, 0.78), (0.0, 0.5), (0.4, 0.9), (0.25, 0.1)] {
+            let gaps = GeneralizedPareto::facebook(0.3, (1.0 - q) * rho * 1e5).unwrap();
+            let queue = GixM1::new(&gaps, q, 1e5).unwrap();
+            let exact = ExactKeyLatency::new(&queue);
+            for i in 0..300 {
+                let t = i as f64 * 2e-6;
+                let a = exact.cdf(t);
+                let b = exact.cdf_mixture_form(t);
+                assert!((a - b).abs() < 1e-12, "q={q} rho={rho} t={t}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_law_is_the_upper_bound_of_eq9() {
+        let queue = facebook();
+        let exact = ExactKeyLatency::new(&queue);
+        for k in [0.1, 0.5, 0.9, 0.999] {
+            let (lo, hi) = queue.key_latency_quantile_bounds(k);
+            let q = exact.quantile(k);
+            assert!((q - hi).abs() < 1e-12, "k={k}");
+            assert!(q > lo, "k={k}");
+        }
+    }
+
+    #[test]
+    fn mean_identities() {
+        let queue = facebook();
+        let exact = ExactKeyLatency::new(&queue);
+        // 1/η = δ/η + 1/ν because η = (1−δ)ν.
+        let eta = queue.decay_rate();
+        let nu = 0.9 * 80_000.0;
+        assert!((exact.mean() - (queue.delta() / eta + 1.0 / nu)).abs() < 1e-18);
+        assert!((exact.mean() - queue.mean_key_latency_bounds().1).abs() < 1e-18);
+    }
+
+    #[test]
+    fn degenerate_zero_load_is_plain_service() {
+        let gaps = Exponential::new(1.0).unwrap();
+        let queue = GixM1::new(&gaps, 0.0, 1e6).unwrap();
+        let exact = ExactKeyLatency::new(&queue);
+        // At negligible load δ≈0, η≈ν=μ: per-key latency ≈ Exp(μ).
+        let q50 = exact.quantile(0.5);
+        assert!((q50 - 2f64.ln() / 1e6).abs() / q50 < 0.01, "{q50}");
+        // Mixture form agrees in the η→ν limit branch too.
+        assert!((exact.cdf(1e-6) - exact.cdf_mixture_form(1e-6)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matches_brute_force_simulation() {
+        // The exact law must match a Lindley simulation of the same
+        // queue at several quantiles.
+        use memlat_dist::{Continuous, Discrete};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let gaps = GeneralizedPareto::facebook(0.15, 56_250.0).unwrap();
+        let batch = memlat_dist::GeometricBatch::new(0.1).unwrap();
+        let mu = 80_000.0;
+        let mut busy_until = 0.0f64;
+        let mut t = 0.0f64;
+        let mut lat = Vec::with_capacity(500_000);
+        for _ in 0..400_000 {
+            t += gaps.sample(&mut rng);
+            let n = batch.sample(&mut rng);
+            for _ in 0..n {
+                let svc = -memlat_dist::open_unit(&mut rng).ln() / mu;
+                let start = busy_until.max(t);
+                busy_until = start + svc;
+                lat.push(busy_until - t);
+            }
+        }
+        lat.sort_by(f64::total_cmp);
+        let exact = ExactKeyLatency::new(&facebook());
+        for k in [0.25, 0.5, 0.75, 0.9, 0.99] {
+            let idx = ((k * lat.len() as f64) as usize).min(lat.len() - 1);
+            let sim = lat[idx];
+            let law = exact.quantile(k);
+            assert!((sim / law - 1.0).abs() < 0.05, "k={k}: sim {sim} vs exact {law}");
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! The paper's GI^X/M/1 batch-arrival queue (§3–§4.3.1).
+
+use memlat_dist::Continuous;
+
+use crate::{gim1::GiM1, QueueError};
+
+/// The GI^X/M/1 queue of the memcached latency model.
+///
+/// Batches of keys arrive with general i.i.d. inter-batch gaps `T_X`; each
+/// batch carries `X ~ Geometric` keys (`P{X=n} = q^{n-1}(1−q)`, the paper's
+/// concurrency model); each key takes `Exp(μ_S)` service.
+///
+/// Per §3 of the paper, the *batch* service time — a geometric sum of
+/// exponentials — is itself exponential with rate `(1−q)μ_S`, so the batch
+/// process is a plain GI/M/1 queue with that service rate. The decay
+/// parameter `δ` solves `δ = L_TX((1−δ)(1−q)μ_S)` (paper Table 1), and the
+/// per-key processing latency `T_S` is sandwiched between the batch
+/// queueing time `T_Q` (eq. 4) and the batch completion time `T_C` (eq. 5):
+///
+/// ```text
+/// T_Q(t) = 1 − δ e^{-(1−δ)(1−q)μ_S t}   <   T_S   ≤   T_C(t) = 1 − e^{-(1−δ)(1−q)μ_S t}
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use memlat_dist::GeneralizedPareto;
+/// use memlat_queue::GixM1;
+///
+/// # fn main() -> Result<(), memlat_queue::QueueError> {
+/// let gaps = GeneralizedPareto::facebook(0.15, 56_250.0)
+///     .map_err(memlat_queue::QueueError::from)?;
+/// let queue = GixM1::new(&gaps, 0.1, 80_000.0)?;
+/// let (lo, hi) = queue.key_latency_quantile_bounds(0.9);
+/// assert!(lo <= hi);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GixM1 {
+    batch: GiM1,
+    q: f64,
+    mu_s: f64,
+    key_rate: f64,
+}
+
+impl GixM1 {
+    /// Solves the batch queue.
+    ///
+    /// * `interarrival` — distribution of the batch gap `T_X`,
+    /// * `q` — concurrency probability (mean batch size `1/(1−q)`),
+    /// * `mu_s` — per-key service rate `μ_S`.
+    ///
+    /// The implied per-key arrival rate is `λ = E[X]/E[T_X] =
+    /// 1/((1−q)·E[T_X])` and the utilization is `ρ = λ/μ_S`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::InvalidParam`] for `q ∉ [0,1)` or `μ_S ≤ 0`;
+    /// [`QueueError::Unstable`] when `ρ ≥ 1`; solver errors propagate.
+    pub fn new(interarrival: &dyn Continuous, q: f64, mu_s: f64) -> Result<Self, QueueError> {
+        if !(q.is_finite() && (0.0..1.0).contains(&q)) {
+            return Err(QueueError::InvalidParam(format!(
+                "concurrency probability must be in [0,1), got {q}"
+            )));
+        }
+        if !(mu_s.is_finite() && mu_s > 0.0) {
+            return Err(QueueError::InvalidParam(format!(
+                "service rate must be positive, got {mu_s}"
+            )));
+        }
+        // Reduce to GI/M/1 with batch service rate (1−q)μ_S.
+        let batch = GiM1::solve(interarrival, (1.0 - q) * mu_s)?;
+        let key_rate = 1.0 / ((1.0 - q) * interarrival.mean());
+        Ok(Self { batch, q, mu_s, key_rate })
+    }
+
+    /// The decay parameter `δ` of Table 1.
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        self.batch.sigma()
+    }
+
+    /// The concurrency probability `q`.
+    #[must_use]
+    pub fn concurrency(&self) -> f64 {
+        self.q
+    }
+
+    /// Per-key service rate `μ_S`.
+    #[must_use]
+    pub fn service_rate(&self) -> f64 {
+        self.mu_s
+    }
+
+    /// Per-key arrival rate `λ = E[X]/E[T_X]`.
+    #[must_use]
+    pub fn key_rate(&self) -> f64 {
+        self.key_rate
+    }
+
+    /// Server utilization `ρ = λ/μ_S` (equals the batch utilization).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.key_rate / self.mu_s
+    }
+
+    /// The decay rate `(1−δ)(1−q)μ_S` shared by eqs. (4)–(9).
+    #[must_use]
+    pub fn decay_rate(&self) -> f64 {
+        self.batch.decay_rate()
+    }
+
+    /// Batch queueing-time CDF `T_Q(t)` — the paper's eq. (4).
+    #[must_use]
+    pub fn queueing_time_cdf(&self, t: f64) -> f64 {
+        self.batch.waiting_cdf(t)
+    }
+
+    /// Batch completion-time CDF `T_C(t)` — the paper's eq. (5).
+    #[must_use]
+    pub fn completion_time_cdf(&self, t: f64) -> f64 {
+        self.batch.sojourn_cdf(t)
+    }
+
+    /// Bounds on the `k`-th quantile of the per-key processing latency
+    /// `T_S` — the paper's eq. (9): `((T_Q)_k, (T_C)_k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k ∈ [0, 1)`.
+    #[must_use]
+    pub fn key_latency_quantile_bounds(&self, k: f64) -> (f64, f64) {
+        (self.batch.waiting_quantile(k), self.batch.sojourn_quantile(k))
+    }
+
+    /// Bounds on the mean per-key processing latency, `(E[T_Q], E[T_C]]`.
+    #[must_use]
+    pub fn mean_key_latency_bounds(&self) -> (f64, f64) {
+        (self.batch.mean_wait(), self.batch.mean_sojourn())
+    }
+
+    /// Access to the reduced batch-level GI/M/1 queue.
+    #[must_use]
+    pub fn batch_queue(&self) -> &GiM1 {
+        &self.batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memlat_dist::{Exponential, GeneralizedPareto};
+
+    fn facebook() -> GixM1 {
+        let gaps = GeneralizedPareto::facebook(0.15, 56_250.0).unwrap();
+        GixM1::new(&gaps, 0.1, 80_000.0).unwrap()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let gaps = Exponential::new(1.0).unwrap();
+        assert!(GixM1::new(&gaps, 1.0, 1.0).is_err());
+        assert!(GixM1::new(&gaps, -0.1, 1.0).is_err());
+        assert!(GixM1::new(&gaps, 0.1, 0.0).is_err());
+    }
+
+    #[test]
+    fn facebook_utilization_and_rate() {
+        let q = facebook();
+        assert!((q.key_rate() - 62_500.0).abs() < 1e-6);
+        assert!((q.utilization() - 0.781_25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn q_zero_reduces_to_plain_gi_m_1 () {
+        let gaps = Exponential::new(50.0).unwrap();
+        let batchless = GixM1::new(&gaps, 0.0, 80.0).unwrap();
+        let plain = GiM1::solve(&gaps, 80.0).unwrap();
+        assert!((batchless.delta() - plain.sigma()).abs() < 1e-10);
+        assert!((batchless.key_rate() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instability_at_full_load() {
+        // λ = μ_S exactly: ρ = 1.
+        let gaps = Exponential::new(0.9 * 80.0).unwrap();
+        assert!(matches!(
+            GixM1::new(&gaps, 0.1, 80.0),
+            Err(QueueError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn bounds_are_ordered_and_tight_at_high_quantiles() {
+        let q = facebook();
+        for k in [0.0, 0.3, 0.7, 0.99, 150.0 / 151.0] {
+            let (lo, hi) = q.key_latency_quantile_bounds(k);
+            assert!(lo <= hi, "k={k}");
+            // Gap between bounds is exactly −ln δ / decay for k above the
+            // atom.
+            if lo > 0.0 {
+                let gap = hi - lo;
+                assert!((gap - (-q.delta().ln()) / q.decay_rate()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn table3_upper_bound_reproduced() {
+        // ln(151)/((1−δ)(1−q)μ_S) ≈ 366 µs in the paper's Table 3.
+        let q = facebook();
+        let upper = 151f64.ln() / q.decay_rate();
+        assert!(
+            (330e-6..=400e-6).contains(&upper),
+            "expected ≈366 µs, got {}",
+            upper * 1e6
+        );
+    }
+
+    #[test]
+    fn more_concurrency_means_more_latency() {
+        // Same key rate λ, increasing q: per-key latency bound grows.
+        let mut prev = 0.0;
+        for q in [0.0, 0.1, 0.3, 0.5] {
+            let lam = 50_000.0;
+            let gaps = GeneralizedPareto::facebook(0.15, (1.0 - q) * lam).unwrap();
+            let queue = GixM1::new(&gaps, q, 80_000.0).unwrap();
+            assert!((queue.key_rate() - lam).abs() < 1e-6, "q={q}");
+            let (_, hi) = queue.key_latency_quantile_bounds(0.9);
+            assert!(hi > prev, "q={q} hi={hi} prev={prev}");
+            prev = hi;
+        }
+    }
+}

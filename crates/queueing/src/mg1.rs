@@ -1,0 +1,130 @@
+//! M/G/1 mean-value analysis (Pollaczek–Khinchine).
+//!
+//! Not used by the paper's model directly; serves as an ablation baseline
+//! ("what if service, rather than arrivals, carried the variability?") in
+//! the experiments crate.
+
+use memlat_dist::Continuous;
+
+use crate::QueueError;
+
+/// An M/G/1 queue: Poisson arrivals at rate `λ`, general service law.
+///
+/// Only mean-value quantities are provided (the sojourn *distribution* of
+/// M/G/1 has no elementary closed form).
+///
+/// # Examples
+///
+/// ```
+/// use memlat_dist::Exponential;
+/// use memlat_queue::MG1;
+///
+/// # fn main() -> Result<(), memlat_queue::QueueError> {
+/// // M/M/1 special case: P-K reduces to ρ/(μ−λ).
+/// let service = Exponential::new(4.0).map_err(memlat_queue::QueueError::from)?;
+/// let q = MG1::new(3.0, &service)?;
+/// assert!((q.mean_wait() - 0.75).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MG1 {
+    arrival_rate: f64,
+    service_mean: f64,
+    service_scv: f64,
+}
+
+impl MG1 {
+    /// Creates a stable M/G/1 queue from the arrival rate and service law.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueError::InvalidParam`] if the service law has non-finite
+    /// mean or variance (P-K needs two moments) or `λ < 0`;
+    /// [`QueueError::Unstable`] when `ρ = λ·E[S] ≥ 1`.
+    pub fn new(arrival_rate: f64, service: &dyn Continuous) -> Result<Self, QueueError> {
+        if !(arrival_rate.is_finite() && arrival_rate >= 0.0) {
+            return Err(QueueError::InvalidParam(format!(
+                "arrival rate must be non-negative, got {arrival_rate}"
+            )));
+        }
+        let m = service.mean();
+        let v = service.variance();
+        if !(m.is_finite() && m > 0.0 && v.is_finite() && v >= 0.0) {
+            return Err(QueueError::InvalidParam(
+                "M/G/1 needs a service law with finite mean and variance".to_string(),
+            ));
+        }
+        let rho = arrival_rate * m;
+        if rho >= 1.0 {
+            return Err(QueueError::Unstable { utilization: rho });
+        }
+        Ok(Self { arrival_rate, service_mean: m, service_scv: v / (m * m) })
+    }
+
+    /// Utilization `ρ = λ·E[S]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.arrival_rate * self.service_mean
+    }
+
+    /// Pollaczek–Khinchine mean waiting time:
+    /// `W = ρ·E[S]·(1 + c²)/(2(1−ρ))`.
+    #[must_use]
+    pub fn mean_wait(&self) -> f64 {
+        let rho = self.utilization();
+        rho * self.service_mean * (1.0 + self.service_scv) / (2.0 * (1.0 - rho))
+    }
+
+    /// Mean sojourn time `W + E[S]`.
+    #[must_use]
+    pub fn mean_sojourn(&self) -> f64 {
+        self.mean_wait() + self.service_mean
+    }
+
+    /// Mean number in system (Little's law).
+    #[must_use]
+    pub fn mean_in_system(&self) -> f64 {
+        self.arrival_rate * self.mean_sojourn()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memlat_dist::{Deterministic, Exponential, Hyperexponential};
+
+    #[test]
+    fn rejects_invalid() {
+        let s = Exponential::new(1.0).unwrap();
+        assert!(MG1::new(-1.0, &s).is_err());
+        assert!(matches!(MG1::new(1.0, &s), Err(QueueError::Unstable { .. })));
+        let heavy = memlat_dist::GeneralizedPareto::with_mean(0.6, 0.1).unwrap();
+        assert!(MG1::new(0.5, &heavy).is_err()); // infinite variance
+    }
+
+    #[test]
+    fn md1_is_half_mm1_wait() {
+        // Deterministic service halves the P-K waiting time vs M/M/1.
+        let lam = 0.8;
+        let exp = MG1::new(lam, &Exponential::with_mean(1.0).unwrap()).unwrap();
+        let det = MG1::new(lam, &Deterministic::new(1.0).unwrap()).unwrap();
+        assert!((det.mean_wait() - 0.5 * exp.mean_wait()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variability_increases_wait() {
+        let lam = 0.5;
+        let low = MG1::new(lam, &Deterministic::new(1.0).unwrap()).unwrap();
+        let mid = MG1::new(lam, &Exponential::with_mean(1.0).unwrap()).unwrap();
+        let high = MG1::new(lam, &Hyperexponential::with_mean_scv(1.0, 5.0).unwrap()).unwrap();
+        assert!(low.mean_wait() < mid.mean_wait());
+        assert!(mid.mean_wait() < high.mean_wait());
+    }
+
+    #[test]
+    fn littles_law() {
+        let q = MG1::new(0.6, &Exponential::with_mean(1.0).unwrap()).unwrap();
+        assert!((q.mean_in_system() - 0.6 * q.mean_sojourn()).abs() < 1e-12);
+    }
+}

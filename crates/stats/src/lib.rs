@@ -1,0 +1,48 @@
+//! Measurement substrate for the memlat simulator and experiments.
+//!
+//! Everything the experiments need to turn raw latency samples into the
+//! numbers the paper reports:
+//!
+//! * [`streaming`] — Welford mean/variance accumulators (one pass, stable).
+//! * [`ecdf`] — empirical CDFs with exact quantiles and
+//!   Kolmogorov–Smirnov distances against model CDFs.
+//! * [`histogram`] — log-bucketed latency histograms for cheap
+//!   high-volume percentile estimation.
+//! * [`p2`] — the P² streaming quantile estimator (constant memory).
+//! * [`ci`] — normal-approximation confidence intervals (the paper quotes
+//!   95% CIs in Table 3).
+//! * [`maxstat`] — max-statistics helpers: `E[max of N] ≈ (N/(N+1))`-th
+//!   quantile, the approximation at the heart of the paper's eq. 12.
+//!
+//! # Examples
+//!
+//! ```
+//! use memlat_stats::{Ecdf, StreamingStats};
+//!
+//! let samples = [1.0, 2.0, 3.0, 4.0, 5.0];
+//! let mut s = StreamingStats::new();
+//! for &x in &samples {
+//!     s.push(x);
+//! }
+//! assert_eq!(s.mean(), 3.0);
+//!
+//! let e = Ecdf::from_samples(&samples);
+//! assert_eq!(e.quantile(0.5), 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ci;
+pub mod ecdf;
+pub mod histogram;
+pub mod maxstat;
+pub mod p2;
+pub mod streaming;
+
+pub use ci::ConfidenceInterval;
+pub use ecdf::Ecdf;
+pub use histogram::LogHistogram;
+pub use maxstat::max_order_quantile;
+pub use p2::P2Quantile;
+pub use streaming::StreamingStats;

@@ -1,0 +1,210 @@
+//! The P² (Jain & Chlamtac) streaming quantile estimator.
+
+use serde::{Deserialize, Serialize};
+
+/// Estimates a single quantile online with O(1) memory (five markers).
+///
+/// Used where the simulator cannot afford to keep every sample — e.g.
+/// tracking the `N/(N+1)`-quantile of per-key latency over tens of
+/// millions of keys.
+///
+/// # Examples
+///
+/// ```
+/// use memlat_stats::P2Quantile;
+///
+/// let mut p2 = P2Quantile::new(0.5);
+/// for i in 1..=10_001 {
+///     p2.push(i as f64);
+/// }
+/// let est = p2.estimate().unwrap();
+/// assert!((est / 5_001.0 - 1.0).abs() < 0.02, "est={est}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    p: f64,
+    heights: [f64; 5],
+    positions: [f64; 5],
+    desired: [f64; 5],
+    increments: [f64; 5],
+    count: usize,
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `p`-th quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p ∈ (0, 1)`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "P² requires p in (0,1), got {p}");
+        Self {
+            p,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            increments: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// The tracked probability `p`.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of samples seen.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial.sort_by(f64::total_cmp);
+                self.heights.copy_from_slice(&self.initial);
+            }
+            return;
+        }
+
+        // Locate the cell containing x and update extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for pos in self.positions.iter_mut().skip(k + 1) {
+            *pos += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(&self.increments) {
+            *d += inc;
+        }
+
+        // Adjust interior markers with parabolic (or linear) moves.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate; `None` until five samples have arrived.
+    #[must_use]
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.initial.len() < 5 {
+            // Fall back to the exact small-sample quantile.
+            let mut v = self.initial.clone();
+            v.sort_by(f64::total_cmp);
+            let idx = ((self.p * v.len() as f64).ceil() as usize).clamp(1, v.len());
+            return Some(v[idx - 1]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn small_samples_exact() {
+        let mut p2 = P2Quantile::new(0.5);
+        assert_eq!(p2.estimate(), None);
+        p2.push(3.0);
+        p2.push(1.0);
+        p2.push(2.0);
+        assert_eq!(p2.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn uniform_median() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut p2 = P2Quantile::new(0.5);
+        for _ in 0..100_000 {
+            p2.push(rng.gen::<f64>());
+        }
+        let est = p2.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.01, "est={est}");
+    }
+
+    #[test]
+    fn exponential_p99() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut p2 = P2Quantile::new(0.99);
+        for _ in 0..200_000 {
+            let u: f64 = rng.gen();
+            p2.push(-(1.0 - u).ln());
+        }
+        let est = p2.estimate().unwrap();
+        let exact = -(0.01f64).ln(); // ≈ 4.605
+        assert!((est / exact - 1.0).abs() < 0.05, "est={est} exact={exact}");
+    }
+
+    #[test]
+    fn against_exact_quantile_on_skewed_data() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..50_000).map(|_| rng.gen::<f64>().powi(4)).collect();
+        let mut p2 = P2Quantile::new(0.9);
+        for &x in &xs {
+            p2.push(x);
+        }
+        let exact = crate::Ecdf::from_samples(&xs).quantile(0.9);
+        let est = p2.estimate().unwrap();
+        assert!((est / exact - 1.0).abs() < 0.05, "est={est} exact={exact}");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires p in (0,1)")]
+    fn rejects_extreme_p() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

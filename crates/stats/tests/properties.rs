@@ -1,0 +1,96 @@
+//! Property-based tests for the measurement substrate.
+
+use memlat_stats::{ConfidenceInterval, Ecdf, LogHistogram, P2Quantile, StreamingStats};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Streaming statistics agree with direct computation.
+    #[test]
+    fn streaming_matches_batch(xs in proptest::collection::vec(-1e3f64..1e3, 2..300)) {
+        let s: StreamingStats = xs.iter().copied().collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() < 1e-9 * (1.0 + mean.abs()));
+        prop_assert!((s.sample_variance() - var).abs() < 1e-6 * (1.0 + var));
+        prop_assert_eq!(s.min(), xs.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Merging arbitrary splits equals one-pass accumulation.
+    #[test]
+    fn merge_associative(xs in proptest::collection::vec(-100f64..100.0, 2..200), cut in 0usize..200) {
+        let cut = cut.min(xs.len());
+        let whole: StreamingStats = xs.iter().copied().collect();
+        let mut left: StreamingStats = xs[..cut].iter().copied().collect();
+        let right: StreamingStats = xs[cut..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((left.sample_variance() - whole.sample_variance()).abs() < 1e-7);
+    }
+
+    /// ECDF quantiles are order statistics: monotone in p and within
+    /// sample range; cdf∘quantile ≥ p.
+    #[test]
+    fn ecdf_quantile_laws(xs in proptest::collection::vec(-1e3f64..1e3, 1..200), p in 0.0f64..1.0, dp in 0.0f64..0.2) {
+        let e = Ecdf::from_samples(&xs);
+        let q1 = e.quantile(p);
+        let q2 = e.quantile((p + dp).min(1.0));
+        prop_assert!(q1 <= q2);
+        prop_assert!(q1 >= e.min() && q1 <= e.max());
+        prop_assert!(e.cdf(q1) + 1e-12 >= p);
+    }
+
+    /// KS distance is within [0, 1]; against the ECDF's own (right-
+    /// continuous) step function it equals the step height 1/n — the
+    /// left-limit term of the supremum.
+    #[test]
+    fn ks_distance_bounds(xs in proptest::collection::vec(0.0f64..100.0, 2..200)) {
+        let e = Ecdf::from_samples(&xs);
+        let d_self = e.ks_distance(|x| e.cdf(x));
+        prop_assert!(d_self <= 1.0 / e.len() as f64 + 1e-12, "self distance {d_self}");
+        let d_other = e.ks_distance(|_| 0.0);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d_other));
+    }
+
+    /// P² stays within the sample range and tracks the exact quantile on
+    /// well-behaved data.
+    #[test]
+    fn p2_within_range(xs in proptest::collection::vec(0.0f64..1e4, 50..3000), p in 0.05f64..0.95) {
+        let mut p2 = P2Quantile::new(p);
+        for &x in &xs {
+            p2.push(x);
+        }
+        let est = p2.estimate().unwrap();
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "est {est} outside [{lo}, {hi}]");
+    }
+
+    /// Log-histogram quantiles respect the bucket's relative-error bound.
+    #[test]
+    fn histogram_quantile_error_bounded(xs in proptest::collection::vec(1e-6f64..10.0, 10..2000), p in 0.05f64..0.95) {
+        let mut h = LogHistogram::new(1e-7, 100.0, 100);
+        for &x in &xs {
+            h.record(x);
+        }
+        let approx = h.quantile(p);
+        let exact = Ecdf::from_samples(&xs).quantile(p);
+        // One bucket is 10^(1/100) ≈ 2.33% wide; allow a couple buckets
+        // of slack for ties at the boundary.
+        prop_assert!((approx / exact).ln().abs() < 0.06, "approx {approx} vs exact {exact}");
+    }
+
+    /// Confidence intervals contain their own mean and shrink with level.
+    #[test]
+    fn ci_laws(xs in proptest::collection::vec(-50f64..50.0, 3..500)) {
+        let s: StreamingStats = xs.iter().copied().collect();
+        let narrow = ConfidenceInterval::for_mean(&s, 0.5);
+        let wide = ConfidenceInterval::for_mean(&s, 0.99);
+        prop_assert!(narrow.contains(s.mean()));
+        prop_assert!(wide.half_width() + 1e-15 >= narrow.half_width());
+    }
+}

@@ -1,0 +1,172 @@
+//! Batch arrival processes — the `GI^X` part of the paper's `GI^X/M/1`.
+
+use memlat_dist::{Continuous, Discrete, GeometricBatch, ParamError};
+use rand::RngCore;
+
+/// A stream of key *batches*: general i.i.d. inter-batch gaps and
+/// geometric batch sizes.
+///
+/// Matches §3 of the paper: keys arriving within a tiny window (< 1 µs in
+/// the Facebook measurements) are modeled as one batch whose size follows
+/// `P{X = n} = q^{n-1}(1−q)`.
+///
+/// The process is stateful (it tracks the current clock) and consumes an
+/// external RNG so multiple servers can run independent streams from
+/// per-stream RNGs.
+///
+/// # Examples
+///
+/// ```
+/// use memlat_dist::GeneralizedPareto;
+/// use memlat_workload::BatchArrivals;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), memlat_dist::ParamError> {
+/// let gaps = GeneralizedPareto::facebook(0.15, 56_250.0)?;
+/// let mut s = BatchArrivals::new(Box::new(gaps), 0.1)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let (t1, _) = s.next_batch(&mut rng);
+/// let (t2, _) = s.next_batch(&mut rng);
+/// assert!(t2 > t1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BatchArrivals {
+    gaps: Box<dyn Continuous>,
+    batch: GeometricBatch,
+    clock: f64,
+}
+
+impl BatchArrivals {
+    /// Creates a batch process from an inter-batch gap law and the
+    /// concurrency probability `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `q ∉ [0, 1)`.
+    pub fn new(gaps: Box<dyn Continuous>, q: f64) -> Result<Self, ParamError> {
+        Ok(Self { gaps, batch: GeometricBatch::new(q)?, clock: 0.0 })
+    }
+
+    /// Implied per-key arrival rate `λ = E[X]/E[T_X]`.
+    #[must_use]
+    pub fn key_rate(&self) -> f64 {
+        self.batch.mean() / self.gaps.mean()
+    }
+
+    /// The concurrency probability `q`.
+    #[must_use]
+    pub fn concurrency(&self) -> f64 {
+        self.batch.q()
+    }
+
+    /// Current clock (time of the last emitted batch).
+    #[must_use]
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Advances the stream: returns the next batch's arrival time and its
+    /// size (≥ 1).
+    pub fn next_batch(&mut self, rng: &mut dyn RngCore) -> (f64, u64) {
+        self.clock += self.gaps.sample(rng);
+        (self.clock, self.batch.sample(rng))
+    }
+
+    /// Resets the clock to zero (the RNG is external, so this alone does
+    /// not reproduce a stream).
+    pub fn reset(&mut self) {
+        self.clock = 0.0;
+    }
+}
+
+/// Generates batches until `horizon` (exclusive), invoking `f` for each
+/// `(time, batch_size)`.
+///
+/// Returns the number of *keys* (not batches) generated.
+pub fn for_each_batch_until(
+    stream: &mut BatchArrivals,
+    horizon: f64,
+    rng: &mut dyn RngCore,
+    mut f: impl FnMut(f64, u64),
+) -> u64 {
+    let mut keys = 0;
+    loop {
+        let (t, b) = stream.next_batch(rng);
+        if t >= horizon {
+            return keys;
+        }
+        keys += b;
+        f(t, b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memlat_dist::{Deterministic, Exponential, GeneralizedPareto};
+    use rand::SeedableRng;
+
+    #[test]
+    fn key_rate_accounts_for_batching() {
+        let gaps = Exponential::new(900.0).unwrap();
+        let s = BatchArrivals::new(Box::new(gaps), 0.1).unwrap();
+        // batch rate 900, mean batch 1/0.9 ⇒ key rate 1000.
+        assert!((s.key_rate() - 1000.0).abs() < 1e-9);
+        assert_eq!(s.concurrency(), 0.1);
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let gaps = GeneralizedPareto::facebook(0.5, 100.0).unwrap();
+        let mut s = BatchArrivals::new(Box::new(gaps), 0.2).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut prev = 0.0;
+        for _ in 0..1000 {
+            let (t, b) = s.next_batch(&mut rng);
+            assert!(t > prev);
+            assert!(b >= 1);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn empirical_key_rate_matches() {
+        let gaps = GeneralizedPareto::facebook(0.15, 56_250.0).unwrap();
+        let mut s = BatchArrivals::new(Box::new(gaps), 0.1).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let horizon = 20.0;
+        let keys = for_each_batch_until(&mut s, horizon, &mut rng, |_, _| {});
+        let rate = keys as f64 / horizon;
+        assert!((rate / 62_500.0 - 1.0).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn deterministic_gaps_are_even() {
+        let gaps = Deterministic::new(0.5).unwrap();
+        let mut s = BatchArrivals::new(Box::new(gaps), 0.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let (t1, b1) = s.next_batch(&mut rng);
+        let (t2, b2) = s.next_batch(&mut rng);
+        assert_eq!((t1, t2), (0.5, 1.0));
+        assert_eq!((b1, b2), (1, 1));
+    }
+
+    #[test]
+    fn reset_clears_clock() {
+        let gaps = Exponential::new(10.0).unwrap();
+        let mut s = BatchArrivals::new(Box::new(gaps), 0.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        s.next_batch(&mut rng);
+        assert!(s.clock() > 0.0);
+        s.reset();
+        assert_eq!(s.clock(), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_q() {
+        let gaps = Exponential::new(10.0).unwrap();
+        assert!(BatchArrivals::new(Box::new(gaps), 1.0).is_err());
+    }
+}

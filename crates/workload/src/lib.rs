@@ -1,0 +1,49 @@
+//! Workload substrate: the traffic the memlat simulator drives through
+//! the memcached system.
+//!
+//! Implements the statistical workload model the paper takes from
+//! Facebook's measurements (Atikoglu et al., SIGMETRICS 2012) and uses
+//! via `mutilate`:
+//!
+//! * [`arrival`] — batch arrival processes: heavy-tailed Generalized
+//!   Pareto inter-batch gaps with geometric batch sizes (the paper's
+//!   `GI^X` traffic), plus Poisson/deterministic/trace variants.
+//! * [`popularity`] — Zipf key popularity, the root cause of the paper's
+//!   unbalanced load distribution `{p_j}`.
+//! * [`placement`] — key-to-server mappings: static probabilities,
+//!   hash-mod, and a consistent-hash ring with virtual nodes.
+//! * [`request`] — end-user request generation (`N` keys per request).
+//! * [`facebook`] — the §5.1 preset constants (`q = 0.1`, `ξ = 0.15`,
+//!   `λ = 62.5 Kps`, `μ_S = 80 Kps`, …) and key/value size laws.
+//! * [`trace`] — serializable traces for record/replay.
+//!
+//! # Examples
+//!
+//! ```
+//! use memlat_workload::arrival::BatchArrivals;
+//! use memlat_workload::facebook;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut arrivals = facebook::batch_arrivals().unwrap();
+//! let (t, batch) = arrivals.next_batch(&mut rng);
+//! assert!(t > 0.0 && batch >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod facebook;
+pub mod placement;
+pub mod popularity;
+pub mod request;
+pub mod trace;
+
+pub use arrival::BatchArrivals;
+pub use placement::{ConsistentHashRing, HashMod, Placement, StaticProbability};
+pub use popularity::ZipfPopularity;
+pub use request::RequestGenerator;
+
+/// A key identifier in the simulated key space.
+pub type KeyId = u64;

@@ -1,0 +1,134 @@
+//! Key popularity — the skew behind the unbalanced load distribution.
+
+use memlat_dist::{Discrete, ParamError, Zipf};
+use rand::RngCore;
+
+use crate::KeyId;
+
+/// A Zipf-popular key population: rank 1 is the hottest key.
+///
+/// The paper's §2.1 observation — "a small percentage of values are
+/// accessed quite frequently, while the rest numerous ones are accessed
+/// only a handful of times" — is what this type generates. Feeding it
+/// through a [`crate::Placement`] yields an emergent unbalanced `{p_j}`,
+/// the simulator's alternative to imposing shares directly.
+///
+/// # Examples
+///
+/// ```
+/// use memlat_workload::ZipfPopularity;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), memlat_dist::ParamError> {
+/// let pop = ZipfPopularity::new(1_000_000, 1.01)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let key = pop.sample_key(&mut rng);
+/// assert!(key < 1_000_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfPopularity {
+    zipf: Zipf,
+}
+
+impl ZipfPopularity {
+    /// Creates a population of `keys` keys with Zipf exponent `skew`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] for an empty key space or negative skew.
+    pub fn new(keys: u64, skew: f64) -> Result<Self, ParamError> {
+        Ok(Self { zipf: Zipf::new(keys, skew)? })
+    }
+
+    /// Facebook-like preset: the ETC pool's popularity is roughly Zipf
+    /// with exponent ≈ 1 over a very large key space (Atikoglu et al.).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the preset constants (kept as `Result` for API
+    /// uniformity).
+    pub fn facebook_etc() -> Result<Self, ParamError> {
+        Self::new(50_000_000, 1.01)
+    }
+
+    /// Key-space size.
+    #[must_use]
+    pub fn keys(&self) -> u64 {
+        self.zipf.n()
+    }
+
+    /// The Zipf exponent.
+    #[must_use]
+    pub fn skew(&self) -> f64 {
+        self.zipf.exponent()
+    }
+
+    /// Samples a key; hot keys (low ids) are sampled more often.
+    ///
+    /// Returned ids are 0-based (`rank − 1`).
+    #[must_use]
+    pub fn sample_key(&self, rng: &mut dyn RngCore) -> KeyId {
+        self.zipf.sample(rng) - 1
+    }
+
+    /// Probability that a single access hits the given key id.
+    #[must_use]
+    pub fn access_probability(&self, key: KeyId) -> f64 {
+        self.zipf.pmf(key + 1)
+    }
+
+    /// Fraction of accesses landing on the hottest `n` keys.
+    #[must_use]
+    pub fn head_mass(&self, n: u64) -> f64 {
+        self.zipf.cdf(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hot_keys_dominate() {
+        let pop = ZipfPopularity::new(10_000, 1.0).unwrap();
+        assert!(pop.access_probability(0) > pop.access_probability(1));
+        // With exponent 1, the top 100 of 10k keys draw roughly half the
+        // traffic.
+        let head = pop.head_mass(100);
+        assert!(head > 0.4 && head < 0.6, "head={head}");
+    }
+
+    #[test]
+    fn sample_respects_bounds_and_skew() {
+        let pop = ZipfPopularity::new(1000, 1.2).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut hot = 0;
+        let n = 50_000;
+        for _ in 0..n {
+            let k = pop.sample_key(&mut rng);
+            assert!(k < 1000);
+            if k < 10 {
+                hot += 1;
+            }
+        }
+        let frac = f64::from(hot) / f64::from(n);
+        let expect = pop.head_mass(10);
+        assert!((frac - expect).abs() < 0.02, "frac={frac} expect={expect}");
+    }
+
+    #[test]
+    fn facebook_preset_is_large_and_skewed() {
+        let pop = ZipfPopularity::facebook_etc().unwrap();
+        assert!(pop.keys() >= 10_000_000);
+        assert!(pop.skew() > 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(ZipfPopularity::new(0, 1.0).is_err());
+        assert!(ZipfPopularity::new(10, -0.5).is_err());
+    }
+}

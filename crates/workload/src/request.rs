@@ -1,0 +1,122 @@
+//! End-user request generation.
+
+use memlat_dist::{Continuous, ParamError};
+use rand::RngCore;
+
+/// Generates end-user requests: each request arrives after a sampled gap
+/// and fans out into `N` memcached keys.
+///
+/// Used by the simulator's end-to-end mode, where requests — not
+/// per-server key streams — are the primary arrival process, and the
+/// per-server traffic *emerges* from placement.
+///
+/// # Examples
+///
+/// ```
+/// use memlat_dist::Exponential;
+/// use memlat_workload::RequestGenerator;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), memlat_dist::ParamError> {
+/// let gaps = Exponential::new(500.0)?; // 500 requests/s
+/// let mut g = RequestGenerator::new(Box::new(gaps), 150)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let r = g.next_request(&mut rng);
+/// assert_eq!(r.request.keys, 150);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct RequestGenerator {
+    gaps: Box<dyn Continuous>,
+    keys_per_request: u64,
+    clock: f64,
+    next_id: u64,
+}
+
+/// One generated end-user request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Sequential request id.
+    pub id: u64,
+    /// Number of memcached keys the request fans out into (`N`).
+    pub keys: u64,
+}
+
+/// A request paired with its arrival time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedRequest {
+    /// The request.
+    pub request: Request,
+    /// Arrival time (seconds).
+    pub at: f64,
+}
+
+impl RequestGenerator {
+    /// Creates a generator with the given inter-request gap law and a
+    /// fixed fan-out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `keys_per_request == 0`.
+    pub fn new(gaps: Box<dyn Continuous>, keys_per_request: u64) -> Result<Self, ParamError> {
+        if keys_per_request == 0 {
+            return Err(ParamError::new("requests must fan out into at least one key"));
+        }
+        Ok(Self { gaps, keys_per_request, clock: 0.0, next_id: 0 })
+    }
+
+    /// Request arrival rate (1/mean gap).
+    #[must_use]
+    pub fn request_rate(&self) -> f64 {
+        1.0 / self.gaps.mean()
+    }
+
+    /// Implied aggregate key rate: `request_rate · N`.
+    #[must_use]
+    pub fn key_rate(&self) -> f64 {
+        self.request_rate() * self.keys_per_request as f64
+    }
+
+    /// Generates the next request.
+    pub fn next_request(&mut self, rng: &mut dyn RngCore) -> TimedRequest {
+        self.clock += self.gaps.sample(rng);
+        let id = self.next_id;
+        self.next_id += 1;
+        TimedRequest { request: Request { id, keys: self.keys_per_request }, at: self.clock }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memlat_dist::Exponential;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ids_are_sequential_and_times_monotone() {
+        let mut g =
+            RequestGenerator::new(Box::new(Exponential::new(100.0).unwrap()), 10).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut prev_t = 0.0;
+        for expect_id in 0..100 {
+            let r = g.next_request(&mut rng);
+            assert_eq!(r.request.id, expect_id);
+            assert_eq!(r.request.keys, 10);
+            assert!(r.at > prev_t);
+            prev_t = r.at;
+        }
+    }
+
+    #[test]
+    fn rates_are_consistent() {
+        let g = RequestGenerator::new(Box::new(Exponential::new(500.0).unwrap()), 150).unwrap();
+        assert!((g.request_rate() - 500.0).abs() < 1e-9);
+        assert!((g.key_rate() - 75_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_zero_fanout() {
+        assert!(RequestGenerator::new(Box::new(Exponential::new(1.0).unwrap()), 0).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! Run the discrete-event cluster simulator next to the analytical model
+//! and print a Table-3 style comparison.
+//!
+//! ```sh
+//! cargo run --release --example cluster_simulation
+//! ```
+
+use memlat::cluster::{assembly::assemble_requests, ClusterSim, SimConfig};
+use memlat::model::ModelParams;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = ModelParams::builder().build()?;
+    let estimate = params.estimate()?;
+
+    println!("analytical model (Theorem 1):");
+    println!("{estimate}\n");
+
+    println!("simulating 2 s of Facebook traffic on 4 servers…");
+    let cfg = SimConfig::new(params.clone()).duration(2.0).warmup(0.2).seed(42);
+    let out = ClusterSim::run(&cfg)?;
+    println!(
+        "  {} keys, observed utilization {:?}, miss ratio {:.4}\n",
+        out.total_keys(),
+        out.utilization().iter().map(|u| (u * 100.0).round()).collect::<Vec<_>>(),
+        out.miss_ratio()
+    );
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let stats = assemble_requests(&out, params.keys_per_request(), 50_000, &mut rng);
+    println!("measured (50 000 assembled requests):");
+    println!("{stats}");
+
+    println!(
+        "\nmodel bounds contain the measurement: T_S {} | T(N) {}",
+        estimate.server.contains(stats.ts.mean, 0.1 * estimate.server.upper),
+        stats.total.mean <= estimate.network + estimate.server.upper + estimate.database_exact * 1.1
+    );
+    Ok(())
+}

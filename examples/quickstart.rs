@@ -1,0 +1,36 @@
+//! Quickstart: estimate end-user latency for the paper's Facebook
+//! workload and print the model's recommendations.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use memlat::model::{analysis, ArrivalPattern, ModelParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The configuration of §5.1 of the paper: four balanced memcached
+    // servers under the measured Facebook workload.
+    let params = ModelParams::builder()
+        .servers(4)
+        .keys_per_request(150)
+        .arrival(ArrivalPattern::GeneralizedPareto { xi: 0.15 })
+        .key_rate_per_server(62_500.0)
+        .concurrency(0.1)
+        .service_rate(80_000.0)
+        .miss_ratio(0.01)
+        .db_service_rate(1_000.0)
+        .network_latency(20e-6)
+        .build()?;
+
+    println!("memcached latency model — Theorem 1 estimate (N = {})", params.keys_per_request());
+    println!("peak server utilization: {:.1}%\n", params.peak_utilization()? * 100.0);
+
+    let estimate = params.estimate()?;
+    println!("{estimate}\n");
+
+    println!("recommendations (§5.3):");
+    for rec in analysis::recommendations(&params)? {
+        println!("  • {rec}");
+    }
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Which factor should you optimize? Ranks the latency impact of
+//! improving each factor of the paper's Table 2 in isolation — the §5.3
+//! quantitative comparison as a tool.
+//!
+//! ```sh
+//! cargo run --release --example what_if
+//! ```
+
+use memlat::model::{analysis, asymptotics, ModelParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = ModelParams::builder().build()?;
+    let base = params.estimate()?;
+    println!(
+        "base configuration: E[T(N)] point estimate {:.1} µs\n",
+        base.point() * 1e6
+    );
+
+    println!("impact of improving each factor in isolation (sorted by gain):");
+    for impact in analysis::factor_impacts(&params)? {
+        println!("  {impact}");
+    }
+
+    // The headline N-vs-r insight, quantified via elasticities.
+    let n = params.keys_per_request();
+    let e_r = asymptotics::elasticity(
+        |r| memlat::model::database::db_latency_mean(n, r, params.db_service_rate()),
+        params.miss_ratio(),
+    );
+    // Continuous relaxation of eq. 23 in N, so the central difference is
+    // meaningful (u64 truncation would destroy it).
+    let (r, mu_d) = (params.miss_ratio(), params.db_service_rate());
+    let e_n = asymptotics::elasticity(
+        |x| {
+            let p_any = 1.0 - (1.0 - r).powf(x);
+            p_any / mu_d * (x * r / p_any + 1.0).ln()
+        },
+        n as f64,
+    );
+    println!("\nelasticities of E[T_D(N)] at the base point:");
+    println!("  d ln T_D / d ln r = {e_r:.2}   (≪ 1: halving the miss ratio barely helps)");
+    println!("  d ln T_D / d ln N = {e_n:.2}   (reducing the fan-out helps about as much…");
+    println!("   …and, unlike r, N also drives T_S(N) = Θ(log N))");
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! Integration: the end-to-end simulation (keys of one request arrive
+//! together — real temporal correlation) vs the assembly estimator
+//! (per-key independence, the model's eq. 10 assumption).
+//!
+//! The paper assumes independence is "acceptable" because each request's
+//! keys are few relative to concurrent traffic; this test quantifies
+//! that claim for the base configuration.
+
+use memlat::cluster::{assembly::assemble_requests, e2e, ClusterSim, SimConfig};
+use memlat::model::ModelParams;
+use rand::SeedableRng;
+
+/// Ratio of end-to-end to assembly `T_S(N)` for `m` servers at equal
+/// per-server utilization.
+fn correlation_ratio(m: usize, seed: u64) -> f64 {
+    let params = ModelParams::builder()
+        .servers(m)
+        .key_rate_per_server(62_500.0)
+        .build()
+        .unwrap();
+    let out = ClusterSim::run(&SimConfig::new(params.clone()).duration(1.0).warmup(0.2).seed(seed))
+        .unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
+    let indep = assemble_requests(&out, 150, 15_000, &mut rng);
+    let e2e_out =
+        e2e::run_e2e(&e2e::E2eConfig::new(params).requests(12_000).seed(seed + 2)).unwrap();
+    e2e_out.ts.mean / indep.ts.mean
+}
+
+#[test]
+fn independence_assumption_fails_for_small_clusters() {
+    // Reproduction finding (extension #4 in EXPERIMENTS.md): with N=150
+    // keys over only M=4 servers, each request lands a ~37-key
+    // synchronized burst on every server — far burstier than the model's
+    // calibrated q=0.1 — so the true (end-to-end) request latency is
+    // SEVERAL TIMES the independence-based estimate. The paper's
+    // justification of eq. 10 implicitly needs the cluster to interleave
+    // many requests per server (N/M small).
+    let ratio = correlation_ratio(4, 51);
+    assert!(
+        ratio > 1.5 && ratio < 10.0,
+        "expected a large correlation penalty at M=4, got ratio {ratio:.2}"
+    );
+}
+
+#[test]
+fn independence_assumption_improves_with_more_servers() {
+    // Spreading the same per-server load across more servers shrinks the
+    // per-request burst (N/M keys) and with it the correlation penalty.
+    let small = correlation_ratio(4, 55);
+    let large = correlation_ratio(32, 57);
+    assert!(
+        large < small,
+        "correlation penalty should fall with M: M=4 → {small:.2}, M=32 → {large:.2}"
+    );
+    assert!(large < 2.5, "at M=32 the assumption should be decent, got {large:.2}");
+}
+
+#[test]
+fn both_paths_show_the_same_load_response() {
+    // Doubling the load moves both estimators in the same direction by a
+    // comparable factor.
+    let measure = |lam: f64, seed: u64| {
+        let params = ModelParams::builder().key_rate_per_server(lam).build().unwrap();
+        let out = ClusterSim::run(
+            &SimConfig::new(params.clone()).duration(0.8).warmup(0.1).seed(seed),
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
+        let a = assemble_requests(&out, 150, 8_000, &mut rng).ts.mean;
+        let b = e2e::run_e2e(&e2e::E2eConfig::new(params).requests(6_000).seed(seed + 2))
+            .unwrap()
+            .ts
+            .mean;
+        (a, b)
+    };
+    let (a_lo, b_lo) = measure(30_000.0, 61);
+    let (a_hi, b_hi) = measure(65_000.0, 62);
+    assert!(a_hi > 1.5 * a_lo, "assembly load response: {a_lo} -> {a_hi}");
+    assert!(b_hi > 1.5 * b_lo, "e2e load response: {b_lo} -> {b_hi}");
+}

@@ -1,0 +1,41 @@
+//! Integration: the cache-backed miss mode — a real slab/LRU store under
+//! Zipf popularity producing an *emergent* miss ratio (extension over the
+//! paper's fixed `r`).
+
+use memlat::cluster::{CacheBackedConfig, ClusterSim, MissMode, SimConfig};
+use memlat::model::ModelParams;
+
+fn emergent_r(memory_bytes: usize, seed: u64) -> f64 {
+    let params = ModelParams::builder().build().unwrap();
+    let mode = MissMode::CacheBacked(CacheBackedConfig {
+        memory_bytes,
+        keyspace: 100_000,
+        skew: 1.01,
+        mean_value_bytes: 300.0,
+    });
+    let cfg = SimConfig::new(params)
+        .duration(0.5)
+        .warmup(2.0)
+        .seed(seed)
+        .miss_mode(mode);
+    ClusterSim::run(&cfg).unwrap().miss_ratio()
+}
+
+#[test]
+fn more_memory_fewer_misses() {
+    let small = emergent_r(2 << 20, 71);
+    let large = emergent_r(48 << 20, 71);
+    assert!(small > large, "miss ratio did not fall with memory: {small} vs {large}");
+    assert!(small > 0.05, "tiny cache should miss a lot, got {small}");
+    assert!(large < 0.2, "large cache should mostly hit, got {large}");
+}
+
+#[test]
+fn emergent_ratio_feeds_the_model() {
+    // The emergent r slots into Theorem 1 exactly like a configured one.
+    let r = emergent_r(16 << 20, 72);
+    let params = ModelParams::builder().build().unwrap().with_miss_ratio(r).unwrap();
+    let est = params.estimate().unwrap();
+    assert!(est.database > 0.0);
+    assert!(est.total.lower <= est.total.upper);
+}

@@ -1,0 +1,99 @@
+//! Integration: Theorem 1 (analytical) vs the discrete-event simulator,
+//! across the factors the paper sweeps — spot checks of Figs. 5, 6, 7
+//! and 10 with generous tolerances (short runs).
+
+use memlat::cluster::{ClusterSim, SimConfig};
+use memlat::model::{ArrivalPattern, LoadDistribution, ModelParams, ServerLatencyModel};
+
+/// Measured vs model `E[T_S(N)]` agreement for one parameter set.
+fn assert_agreement(params: ModelParams, seed: u64, tolerance: f64, label: &str) {
+    let model = ServerLatencyModel::new(&params).expect("stable config");
+    let bounds = model.product_form_bounds(150);
+    let cfg = SimConfig::new(params).duration(1.5).warmup(0.2).seed(seed);
+    let out = ClusterSim::run(&cfg).expect("simulates");
+    let measured = out.expected_server_latency(150);
+    assert!(
+        measured > bounds.lower * (1.0 - tolerance) && measured < bounds.upper * (1.0 + tolerance),
+        "{label}: measured {:.1} µs outside band [{:.1}, {:.1}] µs ±{tolerance}",
+        measured * 1e6,
+        bounds.lower * 1e6,
+        bounds.upper * 1e6,
+    );
+}
+
+#[test]
+fn fig5_spot_concurrency() {
+    for (q, seed) in [(0.0, 1), (0.3, 2), (0.5, 3)] {
+        let params = ModelParams::builder().concurrency(q).build().unwrap();
+        assert_agreement(params, seed, 0.15, &format!("q={q}"));
+    }
+}
+
+#[test]
+fn fig6_spot_burst_degree() {
+    for (xi, seed) in [(0.0, 4), (0.3, 5), (0.6, 6)] {
+        let params = ModelParams::builder()
+            .arrival(ArrivalPattern::GeneralizedPareto { xi })
+            .build()
+            .unwrap();
+        // Burstier traffic mixes slower; wider tolerance at ξ = 0.6.
+        let tol = if xi >= 0.5 { 0.35 } else { 0.15 };
+        assert_agreement(params, seed, tol, &format!("xi={xi}"));
+    }
+}
+
+#[test]
+fn fig7_spot_arrival_rate() {
+    for (lam, seed) in [(20_000.0, 7), (50_000.0, 8), (70_000.0, 9)] {
+        let params = ModelParams::builder().key_rate_per_server(lam).build().unwrap();
+        assert_agreement(params, seed, 0.2, &format!("lam={lam}"));
+    }
+}
+
+#[test]
+fn fig10_spot_imbalance() {
+    for (p1, seed) in [(0.4, 10), (0.75, 11)] {
+        let params = ModelParams::builder()
+            .load(LoadDistribution::HotServer { p1 })
+            .total_key_rate(80_000.0)
+            .build()
+            .unwrap();
+        assert_agreement(params, seed, 0.2, &format!("p1={p1}"));
+    }
+}
+
+#[test]
+fn fig7_cliff_location_matches_prop2() {
+    // Latency at 75 Kps dwarfs latency at 50 Kps (cliff between them, at
+    // ρ ≈ 75% per Table 4), both in the model and in the simulation.
+    let at = |lam: f64, seed: u64| {
+        let params = ModelParams::builder().key_rate_per_server(lam).build().unwrap();
+        let model = ServerLatencyModel::new(&params).unwrap().expected_latency(150);
+        let out = ClusterSim::run(&SimConfig::new(params).duration(1.0).warmup(0.2).seed(seed))
+            .unwrap();
+        (model, out.expected_server_latency(150))
+    };
+    let (m50, s50) = at(50_000.0, 21);
+    let (m75, s75) = at(75_000.0, 22);
+    assert!(m75 / m50 > 4.0, "model cliff missing: {m50} -> {m75}");
+    assert!(s75 / s50 > 3.0, "sim cliff missing: {s50} -> {s75}");
+}
+
+#[test]
+fn arrival_pattern_ordering_preserved_by_sim() {
+    // D < Erlang < M < H2 in latency at equal utilization — the
+    // burstiness ordering the δ theory predicts, reproduced by the DES.
+    let measure = |pattern: ArrivalPattern, seed: u64| {
+        let params = ModelParams::builder().arrival(pattern).build().unwrap();
+        let out = ClusterSim::run(&SimConfig::new(params).duration(1.0).warmup(0.2).seed(seed))
+            .unwrap();
+        out.expected_server_latency(150)
+    };
+    let det = measure(ArrivalPattern::Deterministic, 31);
+    let erl = measure(ArrivalPattern::Erlang { k: 4 }, 32);
+    let poi = measure(ArrivalPattern::Poisson, 33);
+    let h2 = measure(ArrivalPattern::Hyperexponential { scv: 4.0 }, 34);
+    assert!(det < erl, "D !< E4: {det} vs {erl}");
+    assert!(erl < poi, "E4 !< M: {erl} vs {poi}");
+    assert!(poi < h2, "M !< H2: {poi} vs {h2}");
+}
