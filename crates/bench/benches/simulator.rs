@@ -15,7 +15,10 @@ fn bench_cluster(c: &mut Criterion) {
         b.iter_batched(
             || {
                 seed += 1;
-                SimConfig::new(base_params()).duration(0.2).warmup(0.0).seed(seed)
+                SimConfig::new(base_params())
+                    .duration(0.2)
+                    .warmup(0.0)
+                    .seed(seed)
             },
             |cfg| ClusterSim::run(&cfg).unwrap(),
             BatchSize::SmallInput,
@@ -24,9 +27,37 @@ fn bench_cluster(c: &mut Criterion) {
     g.finish();
 }
 
+/// Sequential vs parallel dispatch on the Table-3 configuration.
+/// The outputs are bit-identical; only wall-clock should differ.
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_threads");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        g.bench_function(format!("table3_0p5s_t{threads}").as_str(), |b| {
+            let mut seed = 0u64;
+            b.iter_batched(
+                || {
+                    seed += 1;
+                    SimConfig::new(base_params())
+                        .duration(0.5)
+                        .warmup(0.1)
+                        .seed(seed)
+                        .threads(threads)
+                },
+                |cfg| ClusterSim::run(&cfg).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
 fn bench_assembly(c: &mut Criterion) {
     let out = ClusterSim::run(
-        &SimConfig::new(base_params()).duration(0.5).warmup(0.1).seed(3),
+        &SimConfig::new(base_params())
+            .duration(0.5)
+            .warmup(0.1)
+            .seed(3),
     )
     .unwrap();
     let mut g = c.benchmark_group("assembly");
@@ -57,5 +88,11 @@ fn bench_e2e(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cluster, bench_assembly, bench_e2e);
+criterion_group!(
+    benches,
+    bench_cluster,
+    bench_parallel_speedup,
+    bench_assembly,
+    bench_e2e
+);
 criterion_main!(benches);

@@ -93,5 +93,11 @@ fn bench_db_estimators(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_delta, bench_theorem1, bench_cliff, bench_db_estimators);
+criterion_group!(
+    benches,
+    bench_delta,
+    bench_theorem1,
+    bench_cliff,
+    bench_db_estimators
+);
 criterion_main!(benches);

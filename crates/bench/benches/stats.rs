@@ -6,7 +6,9 @@ use rand::{Rng, SeedableRng};
 
 fn samples(n: usize) -> Vec<f64> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    (0..n).map(|_| -(1.0 - rng.gen::<f64>()).max(1e-15).ln() * 1e-4).collect()
+    (0..n)
+        .map(|_| -(1.0 - rng.gen::<f64>()).max(1e-15).ln() * 1e-4)
+        .collect()
 }
 
 fn bench_ecdf(c: &mut Criterion) {

@@ -25,5 +25,7 @@ use memlat_model::ModelParams;
 /// The paper's base configuration, shared by benches.
 #[must_use]
 pub fn base_params() -> ModelParams {
-    ModelParams::builder().build().expect("paper defaults are valid")
+    ModelParams::builder()
+        .build()
+        .expect("paper defaults are valid")
 }

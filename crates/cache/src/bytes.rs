@@ -1,0 +1,87 @@
+//! A minimal, cheaply-cloneable byte buffer.
+//!
+//! Stand-in for the external `bytes::Bytes` (the build is offline):
+//! an `Arc<[u8]>` with the small API surface the store needs. Clones
+//! share the allocation; the buffer is immutable once created.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte slice.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// Wraps a static byte slice (copied once into shared storage).
+    #[must_use]
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self(Arc::from(bytes))
+    }
+
+    /// Copies a slice into shared storage.
+    #[must_use]
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Self(Arc::from(bytes))
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self(Arc::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn clones_share_and_compare_equal() {
+        let a = Bytes::from_static(b"memcached");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 9);
+        assert!(!a.is_empty());
+        assert_eq!(&a[..3], b"mem");
+        assert_eq!(Some(&b).map(|x| x.as_ref()), Some(b"memcached".as_slice()));
+    }
+
+    #[test]
+    fn from_vec_and_slice() {
+        let v = Bytes::from(vec![1u8, 2, 3]);
+        let s = Bytes::from(&[1u8, 2, 3][..]);
+        assert_eq!(v, s);
+    }
+}

@@ -174,7 +174,11 @@ impl CostAwareCache {
     fn push_entry(&mut self, key: KeyId, cost: f64) -> u64 {
         let stamp = self.next_stamp;
         self.next_stamp += 1;
-        self.heap.push(Reverse(HeapEntry { priority: self.clock + cost, stamp, key }));
+        self.heap.push(Reverse(HeapEntry {
+            priority: self.clock + cost,
+            stamp,
+            key,
+        }));
         stamp
     }
 
@@ -318,8 +322,8 @@ mod tests {
     fn aging_lets_stale_expensive_items_leave_eventually() {
         let mut c = CostAwareCache::new(500).unwrap();
         c.insert(999, 100, 50.0); // expensive but never touched again
-        // Keep hammering cheap items; each eviction raises the clock, so
-        // fresh cheap items eventually outrank the stale expensive one.
+                                  // Keep hammering cheap items; each eviction raises the clock, so
+                                  // fresh cheap items eventually outrank the stale expensive one.
         for k in 0..2_000u64 {
             c.insert(k % 64, 100, 1.0);
             let _ = c.get(k % 64, 1.0);

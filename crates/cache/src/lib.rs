@@ -33,11 +33,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod gdw;
 pub mod lru;
 pub mod slab;
 pub mod store;
 
+pub use bytes::Bytes;
 pub use gdw::{CostAwareCache, GdwStats};
 pub use slab::{SlabAllocator, SlabConfig};
 pub use store::{Lookup, Store, StoreConfig, StoreError, StoreStats};

@@ -17,7 +17,10 @@ pub struct Links {
 
 impl Default for Links {
     fn default() -> Self {
-        Self { prev: NONE, next: NONE }
+        Self {
+            prev: NONE,
+            next: NONE,
+        }
     }
 }
 
@@ -68,7 +71,11 @@ impl LruList {
     /// Creates an empty list.
     #[must_use]
     pub fn new() -> Self {
-        Self { head: NONE, tail: NONE, len: 0 }
+        Self {
+            head: NONE,
+            tail: NONE,
+            len: 0,
+        }
     }
 
     /// Number of linked entries.
@@ -101,7 +108,10 @@ impl LruList {
     ///
     /// Panics if `slot` is out of the arena's bounds.
     pub fn push_front(&mut self, slot: SlotId, links: &mut [Links]) {
-        links[slot] = Links { prev: NONE, next: self.head };
+        links[slot] = Links {
+            prev: NONE,
+            next: self.head,
+        };
         if self.head != NONE {
             links[self.head].prev = slot;
         } else {

@@ -20,7 +20,12 @@ pub struct SlabConfig {
 
 impl Default for SlabConfig {
     fn default() -> Self {
-        Self { memory_limit: 64 << 20, page_size: 1 << 20, base_chunk: 96, growth_factor: 1.25 }
+        Self {
+            memory_limit: 64 << 20,
+            page_size: 1 << 20,
+            base_chunk: 96,
+            growth_factor: 1.25,
+        }
     }
 }
 
@@ -98,7 +103,10 @@ impl SlabAllocator {
             return Err("page and chunk sizes must be positive".to_string());
         }
         if config.growth_factor <= 1.0 {
-            return Err(format!("growth factor must exceed 1, got {}", config.growth_factor));
+            return Err(format!(
+                "growth factor must exceed 1, got {}",
+                config.growth_factor
+            ));
         }
         if config.base_chunk > config.page_size {
             return Err("base chunk cannot exceed the page size".to_string());
@@ -125,7 +133,11 @@ impl SlabAllocator {
             pages: 0,
             used_chunks: 0,
         });
-        Ok(Self { config, classes, pages_assigned: 0 })
+        Ok(Self {
+            config,
+            classes,
+            pages_assigned: 0,
+        })
     }
 
     /// The configuration in force.
@@ -201,7 +213,10 @@ impl SlabAllocator {
     /// Bytes actually in use by chunks.
     #[must_use]
     pub fn used_bytes(&self) -> usize {
-        self.classes.iter().map(|c| c.used_chunks * c.chunk_size).sum()
+        self.classes
+            .iter()
+            .map(|c| c.used_chunks * c.chunk_size)
+            .sum()
     }
 }
 
@@ -220,7 +235,10 @@ mod tests {
             // Growth ratio ≈ 1.25 between consecutive classes (truncation
             // allows slack).
             let ratio = w[1].chunk_size as f64 / w[0].chunk_size as f64;
-            assert!(ratio < 1.3 + 1e-9 || w[1].chunk_size == s.config().page_size, "{ratio}");
+            assert!(
+                ratio < 1.3 + 1e-9 || w[1].chunk_size == s.config().page_size,
+                "{ratio}"
+            );
         }
         assert_eq!(cs.last().unwrap().chunk_size, 1 << 20);
     }
@@ -278,9 +296,21 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        assert!(SlabAllocator::new(SlabConfig { growth_factor: 1.0, ..Default::default() }).is_err());
-        assert!(SlabAllocator::new(SlabConfig { base_chunk: 0, ..Default::default() }).is_err());
-        assert!(SlabAllocator::new(SlabConfig { memory_limit: 10, ..Default::default() }).is_err());
+        assert!(SlabAllocator::new(SlabConfig {
+            growth_factor: 1.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(SlabAllocator::new(SlabConfig {
+            base_chunk: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(SlabAllocator::new(SlabConfig {
+            memory_limit: 10,
+            ..Default::default()
+        })
+        .is_err());
         assert!(SlabAllocator::new(SlabConfig {
             base_chunk: 2 << 20,
             ..Default::default()

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 
 use crate::lru::{Links, LruList, SlotId};
 use crate::slab::{Allocation, SlabAllocator, SlabConfig};
@@ -22,7 +22,10 @@ pub struct StoreConfig {
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        Self { slab: SlabConfig::default(), item_overhead: 80 }
+        Self {
+            slab: SlabConfig::default(),
+            item_overhead: 80,
+        }
     }
 }
 
@@ -30,7 +33,13 @@ impl StoreConfig {
     /// A default-configured store with the given memory budget.
     #[must_use]
     pub fn with_memory(bytes: usize) -> Self {
-        Self { slab: SlabConfig { memory_limit: bytes, ..SlabConfig::default() }, ..Self::default() }
+        Self {
+            slab: SlabConfig {
+                memory_limit: bytes,
+                ..SlabConfig::default()
+            },
+            ..Self::default()
+        }
     }
 }
 
@@ -52,7 +61,9 @@ pub enum StoreError {
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StoreError::ItemTooLarge { size } => write!(f, "item of {size} bytes exceeds the largest chunk"),
+            StoreError::ItemTooLarge { size } => {
+                write!(f, "item of {size} bytes exceeds the largest chunk")
+            }
             StoreError::OutOfMemory => write!(f, "no chunk available and nothing to evict"),
             StoreError::Config(m) => write!(f, "invalid store configuration: {m}"),
         }
@@ -223,7 +234,10 @@ impl Store {
         self.lrus[class].touch(slot, &mut self.links);
         self.stats.hits += 1;
         let e = &self.arena[slot];
-        Lookup::Hit { value_size: e.value_size, payload: e.payload.clone() }
+        Lookup::Hit {
+            value_size: e.value_size,
+            payload: e.payload.clone(),
+        }
     }
 
     /// Stores `key` with a value of `value_size` bytes and optional
@@ -300,7 +314,14 @@ impl Store {
             }
         }
 
-        let entry = Entry { key, value_size, class, expires_at, payload, live: true };
+        let entry = Entry {
+            key,
+            value_size,
+            class,
+            expires_at,
+            payload,
+            live: true,
+        };
         let slot = if let Some(slot) = self.free_slots.pop() {
             self.arena[slot] = entry;
             self.links[slot] = Links::new();
@@ -450,7 +471,10 @@ mod tests {
         }
         // …then a big item has no page and nothing of its own class to
         // evict.
-        assert_eq!(s.set(10_000, 500_000, None, 0.0), Err(StoreError::OutOfMemory));
+        assert_eq!(
+            s.set(10_000, 500_000, None, 0.0),
+            Err(StoreError::OutOfMemory)
+        );
     }
 
     #[test]
@@ -459,7 +483,10 @@ mod tests {
         let data = Bytes::from_static(b"hello memcached");
         s.set_with_payload(7, data.clone(), None, 0.0).unwrap();
         match s.get(7, 0.0) {
-            Lookup::Hit { value_size, payload } => {
+            Lookup::Hit {
+                value_size,
+                payload,
+            } => {
                 assert_eq!(value_size, data.len());
                 assert_eq!(payload.as_deref(), Some(b"hello memcached".as_slice()));
             }

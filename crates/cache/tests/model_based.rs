@@ -14,10 +14,20 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Set { key: u64, size: usize, ttl: Option<f64> },
-    Get { key: u64 },
-    Delete { key: u64 },
-    Advance { dt: f64 },
+    Set {
+        key: u64,
+        size: usize,
+        ttl: Option<f64>,
+    },
+    Get {
+        key: u64,
+    },
+    Delete {
+        key: u64,
+    },
+    Advance {
+        dt: f64,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

@@ -48,9 +48,28 @@ pub struct RequestStats {
 impl std::fmt::Display for RequestStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "T_N(N) = {:>9.1} µs (constant)", self.network * 1e6)?;
-        writeln!(f, "T_S(N) = {:>9.1} µs  CI [{:.1}, {:.1}] µs", self.ts.mean * 1e6, self.ts.lower * 1e6, self.ts.upper * 1e6)?;
-        writeln!(f, "T_D(N) = {:>9.1} µs  CI [{:.1}, {:.1}] µs", self.td.mean * 1e6, self.td.lower * 1e6, self.td.upper * 1e6)?;
-        write!(f, "T(N)   = {:>9.1} µs  CI [{:.1}, {:.1}] µs  ({} requests)", self.total.mean * 1e6, self.total.lower * 1e6, self.total.upper * 1e6, self.requests)
+        writeln!(
+            f,
+            "T_S(N) = {:>9.1} µs  CI [{:.1}, {:.1}] µs",
+            self.ts.mean * 1e6,
+            self.ts.lower * 1e6,
+            self.ts.upper * 1e6
+        )?;
+        writeln!(
+            f,
+            "T_D(N) = {:>9.1} µs  CI [{:.1}, {:.1}] µs",
+            self.td.mean * 1e6,
+            self.td.lower * 1e6,
+            self.td.upper * 1e6
+        )?;
+        write!(
+            f,
+            "T(N)   = {:>9.1} µs  CI [{:.1}, {:.1}] µs  ({} requests)",
+            self.total.mean * 1e6,
+            self.total.lower * 1e6,
+            self.total.upper * 1e6,
+            self.requests
+        )
     }
 }
 
@@ -134,8 +153,9 @@ pub fn assemble_requests_replicated(
 ) -> RequestStats {
     assert!(n > 0, "requests need at least one key");
     let shares = out.shares().to_vec();
-    let loaded: Vec<usize> =
-        (0..shares.len()).filter(|&j| shares[j] > 0.0 && !out.records(j).is_empty()).collect();
+    let loaded: Vec<usize> = (0..shares.len())
+        .filter(|&j| shares[j] > 0.0 && !out.records(j).is_empty())
+        .collect();
     assert!(
         (1..=loaded.len()).contains(&replicas),
         "replicas must be in 1..={}, got {replicas}",

@@ -32,8 +32,30 @@ pub struct CacheBackedConfig {
 
 impl Default for CacheBackedConfig {
     fn default() -> Self {
-        Self { memory_bytes: 64 << 20, keyspace: 5_000_000, skew: 1.01, mean_value_bytes: 329.0 }
+        Self {
+            memory_bytes: 64 << 20,
+            keyspace: 5_000_000,
+            skew: 1.01,
+            mean_value_bytes: 329.0,
+        }
     }
+}
+
+/// What per-key data a simulation run keeps in memory.
+///
+/// Streaming summaries (Welford statistics, quantile sketch, activity
+/// counters) are always collected; this only controls the raw buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Retention {
+    /// Keep every per-key `(server, db)` latency pair — required by
+    /// request assembly ([`crate::assembly`]) and exact ECDFs.
+    #[default]
+    Full,
+    /// Drop per-key buffers as soon as each server's summaries are
+    /// folded in: memory stays `O(servers + sketch bins)` regardless of
+    /// duration. Quantiles are answered by the sketch (≤ 1% relative
+    /// error); [`crate::SimOutput::records`] becomes unavailable.
+    Summary,
 }
 
 /// Full simulation configuration: the paper's model parameters plus
@@ -55,6 +77,15 @@ pub struct SimConfig {
     pub db_shards: usize,
     /// Miss decision mode.
     pub miss_mode: MissMode,
+    /// Worker threads for the per-server simulations. `1` forces the
+    /// legacy sequential path; `0` (default) auto-detects: the
+    /// `MEMLAT_THREADS` environment variable if set, else the machine's
+    /// available parallelism. Any value produces bit-identical output —
+    /// every server draws from its own seed-derived RNG stream and
+    /// results are merged in server order.
+    pub threads: usize,
+    /// Per-key data retention policy.
+    pub retention: Retention,
 }
 
 impl SimConfig {
@@ -69,6 +100,8 @@ impl SimConfig {
             seed: 0x6d656d6c,
             db_shards: 0,
             miss_mode: MissMode::FixedRatio,
+            threads: 0,
+            retention: Retention::default(),
         }
     }
 
@@ -107,6 +140,20 @@ impl SimConfig {
         self
     }
 
+    /// Sets the worker thread count (`0` = auto, `1` = sequential).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the per-key data retention policy.
+    #[must_use]
+    pub fn retention(mut self, retention: Retention) -> Self {
+        self.retention = retention;
+        self
+    }
+
     /// Validates the simulation controls.
     ///
     /// # Errors
@@ -141,6 +188,24 @@ impl SimConfig {
         let per_shard_target = 0.05 * self.params.db_service_rate();
         ((miss_rate / per_shard_target).ceil() as usize).max(1)
     }
+
+    /// The worker thread count to actually use: the explicit value, else
+    /// `MEMLAT_THREADS`, else the machine's available parallelism.
+    /// Always at least 1.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Ok(v) = std::env::var("MEMLAT_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
 }
 
 #[cfg(test)]
@@ -153,18 +218,37 @@ mod tests {
 
     #[test]
     fn builder_chain() {
-        let c = SimConfig::new(base()).duration(1.0).warmup(0.1).seed(9).db_shards(3);
+        let c = SimConfig::new(base())
+            .duration(1.0)
+            .warmup(0.1)
+            .seed(9)
+            .db_shards(3)
+            .threads(2)
+            .retention(Retention::Summary);
         assert_eq!(c.duration, 1.0);
         assert_eq!(c.warmup, 0.1);
         assert_eq!(c.seed, 9);
         assert_eq!(c.effective_db_shards(), 3);
+        assert_eq!(c.effective_threads(), 2);
+        assert_eq!(c.retention, Retention::Summary);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn thread_auto_detection_is_positive() {
+        let c = SimConfig::new(base());
+        assert_eq!(c.threads, 0);
+        assert_eq!(c.retention, Retention::Full);
+        assert!(c.effective_threads() >= 1);
     }
 
     #[test]
     fn validation_catches_bad_durations() {
         assert!(SimConfig::new(base()).duration(0.0).validate().is_err());
-        assert!(SimConfig::new(base()).duration(f64::NAN).validate().is_err());
+        assert!(SimConfig::new(base())
+            .duration(f64::NAN)
+            .validate()
+            .is_err());
         assert!(SimConfig::new(base()).warmup(-1.0).validate().is_err());
     }
 

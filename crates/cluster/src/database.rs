@@ -32,10 +32,29 @@ pub fn run_db_stage(
     mu_d: f64,
     rng: &mut dyn RngCore,
 ) -> Vec<((u32, u32), f64)> {
+    let mut out = Vec::with_capacity(misses.len());
+    run_db_stage_with(misses, shards, mu_d, rng, |origin, d| out.push((origin, d)));
+    out
+}
+
+/// Streaming variant of [`run_db_stage`]: delivers each `(origin,
+/// db_latency)` to `sink` as it is computed instead of materializing a
+/// vector. RNG consumption and outcomes are identical to
+/// [`run_db_stage`], so the two are interchangeable for a fixed seed.
+///
+/// # Panics
+///
+/// Same contract as [`run_db_stage`].
+pub fn run_db_stage_with(
+    misses: &[MissArrival],
+    shards: usize,
+    mu_d: f64,
+    rng: &mut dyn RngCore,
+    mut sink: impl FnMut((u32, u32), f64),
+) {
     assert!(shards > 0, "need at least one database shard");
     assert!(mu_d > 0.0, "database service rate must be positive");
     let mut stations: Vec<FcfsStation> = (0..shards).map(|_| FcfsStation::new()).collect();
-    let mut out = Vec::with_capacity(misses.len());
     let mut next = 0usize;
     let mut prev_t = f64::NEG_INFINITY;
     for m in misses {
@@ -45,9 +64,8 @@ pub fn run_db_stage(
         let shard = next;
         next = (next + 1) % shards;
         let done = stations[shard].submit(m.time, svc);
-        out.push((m.origin, done.sojourn()));
+        sink(m.origin, done.sojourn());
     }
-    out
 }
 
 /// Statistics of a db-only experiment run.
@@ -87,7 +105,10 @@ pub fn db_only_experiment(
 ) -> DbExperimentResult {
     assert!((0.0..=1.0).contains(&r), "miss ratio out of range: {r}");
     assert!(mu_d > 0.0, "database service rate must be positive");
-    assert!((0.0..1.0).contains(&shard_utilization), "shard utilization must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&shard_utilization),
+        "shard utilization must be in [0,1)"
+    );
     let k_dist = Binomial::new(n, r).expect("validated");
     let effective_rate = (1.0 - shard_utilization) * mu_d;
     let mut sum_td = 0.0;
@@ -122,11 +143,33 @@ mod tests {
     #[test]
     fn db_stage_is_fcfs_per_shard() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let misses: Vec<MissArrival> =
-            (0..100).map(|i| MissArrival { time: i as f64 * 1e-4, origin: (0, i) }).collect();
+        let misses: Vec<MissArrival> = (0..100)
+            .map(|i| MissArrival {
+                time: i as f64 * 1e-4,
+                origin: (0, i),
+            })
+            .collect();
         let out = run_db_stage(&misses, 4, 1_000.0, &mut rng);
         assert_eq!(out.len(), 100);
         assert!(out.iter().all(|&(_, d)| d > 0.0));
+    }
+
+    #[test]
+    fn streaming_variant_is_identical() {
+        let misses: Vec<MissArrival> = (0..500)
+            .map(|i| MissArrival {
+                time: f64::from(i) * 2e-4,
+                origin: (1, i),
+            })
+            .collect();
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(7);
+        let vec_form = run_db_stage(&misses, 3, 1_000.0, &mut rng_a);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(7);
+        let mut streamed = Vec::new();
+        run_db_stage_with(&misses, 3, 1_000.0, &mut rng_b, |o, d| {
+            streamed.push((o, d))
+        });
+        assert_eq!(vec_form, streamed);
     }
 
     #[test]
@@ -134,8 +177,14 @@ mod tests {
     fn db_stage_rejects_unsorted() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let misses = vec![
-            MissArrival { time: 1.0, origin: (0, 0) },
-            MissArrival { time: 0.5, origin: (0, 1) },
+            MissArrival {
+                time: 1.0,
+                origin: (0, 0),
+            },
+            MissArrival {
+                time: 0.5,
+                origin: (0, 1),
+            },
         ];
         let _ = run_db_stage(&misses, 1, 1_000.0, &mut rng);
     }
@@ -149,7 +198,10 @@ mod tests {
         let misses: Vec<MissArrival> = (0..20_000)
             .map(|i| {
                 t += -memlat_dist::open_unit(&mut rng).ln() / 50.0;
-                MissArrival { time: t, origin: (0, i) }
+                MissArrival {
+                    time: t,
+                    origin: (0, i),
+                }
             })
             .collect();
         let out = run_db_stage(&misses, 10, 1_000.0, &mut rng);
@@ -175,7 +227,10 @@ mod tests {
         // value (~1084 µs); the paper's own measurement (867 µs) is near
         // the approximation — see EXPERIMENTS.md for the discussion.
         let eq23 = memlat_model::database::db_latency_mean(150, 0.01, 1_000.0);
-        assert!(res.mean_td > eq23, "simulation should exceed the eq. 23 estimate");
+        assert!(
+            res.mean_td > eq23,
+            "simulation should exceed the eq. 23 estimate"
+        );
         assert!(res.mean_td < 1.45 * eq23);
         assert!((res.frac_any_miss - 0.7785).abs() < 0.01);
         assert!((res.mean_misses - 1.5).abs() < 0.05);

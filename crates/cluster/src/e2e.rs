@@ -44,7 +44,13 @@ impl E2eConfig {
     /// A default end-to-end configuration.
     #[must_use]
     pub fn new(params: ModelParams) -> Self {
-        Self { params, requests: 20_000, warmup_requests: 2_000, seed: 0xe2e, db_shards: 0 }
+        Self {
+            params,
+            requests: 20_000,
+            warmup_requests: 2_000,
+            seed: 0xe2e,
+            db_shards: 0,
+        }
     }
 
     /// Sets the measured request count.
@@ -88,8 +94,8 @@ pub fn run_e2e(cfg: &E2eConfig) -> Result<E2eOutput, SimError> {
     let n = params.keys_per_request();
     let shares = params.load().shares(params.servers())?;
     let request_rate = params.total_key_rate() / n as f64;
-    let gaps = Exponential::new(request_rate)
-        .map_err(|e| SimError::InvalidConfig(e.to_string()))?;
+    let gaps =
+        Exponential::new(request_rate).map_err(|e| SimError::InvalidConfig(e.to_string()))?;
 
     let mut rng = stream_rng(cfg.seed, 42);
     let mut stations: Vec<FcfsStation> =
@@ -187,8 +193,10 @@ pub fn run_e2e(cfg: &E2eConfig) -> Result<E2eOutput, SimError> {
     let _ = total_misses;
 
     let horizon = clock;
-    let utilization: Vec<f64> =
-        stations.iter().map(|s| s.utilization(horizon).min(1.0)).collect();
+    let utilization: Vec<f64> = stations
+        .iter()
+        .map(|s| s.utilization(horizon).min(1.0))
+        .collect();
 
     Ok(E2eOutput {
         total: ConfidenceInterval::for_mean(&total, 0.95),
@@ -230,11 +238,17 @@ mod tests {
     #[test]
     fn e2e_latency_grows_with_load() {
         let slow = {
-            let p = ModelParams::builder().key_rate_per_server(30_000.0).build().unwrap();
+            let p = ModelParams::builder()
+                .key_rate_per_server(30_000.0)
+                .build()
+                .unwrap();
             run_e2e(&E2eConfig::new(p).requests(4_000).seed(2)).unwrap()
         };
         let fast = {
-            let p = ModelParams::builder().key_rate_per_server(70_000.0).build().unwrap();
+            let p = ModelParams::builder()
+                .key_rate_per_server(70_000.0)
+                .build()
+                .unwrap();
             run_e2e(&E2eConfig::new(p).requests(4_000).seed(2)).unwrap()
         };
         assert!(fast.ts.mean > slow.ts.mean);
@@ -262,7 +276,10 @@ mod tests {
         // Doubling the constant network latency moves the mean by exactly
         // the extra constant (same seed ⇒ same queueing sample path).
         let base_p = base();
-        let slow = ModelParams::builder().network_latency(220e-6).build().unwrap();
+        let slow = ModelParams::builder()
+            .network_latency(220e-6)
+            .build()
+            .unwrap();
         let a = run_e2e(&E2eConfig::new(base_p).requests(1_500).seed(19)).unwrap();
         let b = run_e2e(&E2eConfig::new(slow).requests(1_500).seed(19)).unwrap();
         assert!(((b.total.mean - a.total.mean) - 200e-6).abs() < 1e-9);
@@ -277,6 +294,11 @@ mod tests {
         let mut cfg_one = E2eConfig::new(base()).requests(4_000).seed(20);
         cfg_one.db_shards = 3; // miss rate ≈2.5 K/s vs capacity 3 K/s: ρ≈0.83
         let scarce = run_e2e(&cfg_one).unwrap();
-        assert!(scarce.td.mean > 1.5 * plenty.td.mean, "{} vs {}", scarce.td.mean, plenty.td.mean);
+        assert!(
+            scarce.td.mean > 1.5 * plenty.td.mean,
+            "{} vs {}",
+            scarce.td.mean,
+            plenty.td.mean
+        );
     }
 }

@@ -60,10 +60,10 @@ pub mod server;
 pub mod sim;
 
 pub use assembly::{RequestSample, RequestStats};
-pub use config::{CacheBackedConfig, MissMode, SimConfig};
+pub use config::{CacheBackedConfig, MissMode, Retention, SimConfig};
 pub use e2e::{E2eConfig, E2eOutput};
 pub use runner::{run_replications, ReplicatedStats};
-pub use sim::{ClusterSim, SimOutput};
+pub use sim::{ClusterSim, ServerSummary, SimOutput};
 
 /// Error type of the simulator.
 #[derive(Debug, Clone, PartialEq)]

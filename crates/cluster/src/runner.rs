@@ -2,10 +2,10 @@
 //!
 //! The paper reports confidence intervals over a long run; we get the
 //! same statistical strength from several shorter independent
-//! replications run across threads (crossbeam scoped threads — no
+//! replications run across threads (`std::thread::scope` — no
 //! `'static` bounds needed).
 
-use memlat_stats::{ConfidenceInterval, StreamingStats};
+use memlat_stats::{ConfidenceInterval, QuantileSketch, StreamingStats};
 use rand::SeedableRng;
 
 use crate::{assembly::assemble_requests, config::SimConfig, sim::ClusterSim, SimError};
@@ -25,6 +25,10 @@ pub struct ReplicatedStats {
     pub peak_utilization: f64,
     /// Number of replications.
     pub replications: usize,
+    /// Pooled per-key server-latency quantile sketch, merged over all
+    /// replications in replication order (merge order does not affect
+    /// the state — sketch merging is exact).
+    pub latency_sketch: QuantileSketch,
 }
 
 /// Runs `replications` independent simulations (seeds `base_seed..`),
@@ -43,21 +47,21 @@ pub fn run_replications(
     let mut results: Vec<Option<Result<RepResult, SimError>>> = Vec::new();
     results.resize_with(replications, || None);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, slot) in results.iter_mut().enumerate() {
             let cfg = cfg.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(run_one(cfg, n, i as u64, requests_per_rep));
             });
         }
-    })
-    .expect("replication thread panicked");
+    });
 
     let mut ts = StreamingStats::new();
     let mut td = StreamingStats::new();
     let mut total = StreamingStats::new();
     let mut miss = StreamingStats::new();
     let mut peak = StreamingStats::new();
+    let mut latency_sketch = QuantileSketch::new();
     for r in results.into_iter().flatten() {
         let r = r?;
         ts.push(r.ts);
@@ -65,6 +69,7 @@ pub fn run_replications(
         total.push(r.total);
         miss.push(r.miss_ratio);
         peak.push(r.peak_utilization);
+        latency_sketch.merge(&r.latency_sketch);
     }
 
     Ok(ReplicatedStats {
@@ -74,6 +79,7 @@ pub fn run_replications(
         miss_ratio: miss.mean(),
         peak_utilization: peak.mean(),
         replications,
+        latency_sketch,
     })
 }
 
@@ -83,24 +89,24 @@ struct RepResult {
     total: f64,
     miss_ratio: f64,
     peak_utilization: f64,
+    latency_sketch: QuantileSketch,
 }
 
 fn run_one(cfg: SimConfig, n: u64, rep: u64, requests: usize) -> Result<RepResult, SimError> {
-    let cfg = cfg.clone().seed(memlat_des::rng::splitmix64(cfg.seed ^ (rep + 1)));
+    let cfg = cfg
+        .clone()
+        .seed(memlat_des::rng::splitmix64(cfg.seed ^ (rep + 1)));
     let out = ClusterSim::run(&cfg)?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xa55e);
     let stats = assemble_requests(&out, n, requests, &mut rng);
-    let peak = out
-        .utilization()
-        .iter()
-        .copied()
-        .fold(0.0f64, f64::max);
+    let peak = out.utilization().iter().copied().fold(0.0f64, f64::max);
     Ok(RepResult {
         ts: stats.ts.mean,
         td: stats.td.mean,
         total: stats.total.mean,
         miss_ratio: out.miss_ratio(),
         peak_utilization: peak,
+        latency_sketch: out.pooled_latency_sketch(),
     })
 }
 
@@ -127,5 +133,19 @@ mod tests {
         assert!(stats.ts.lower <= stats.ts.mean && stats.ts.mean <= stats.ts.upper);
         assert!(stats.total.mean >= stats.ts.mean);
         assert!(stats.td.mean > 0.0);
+        // The pooled sketch covers every recorded key of every rep, and
+        // its high quantile is in the same regime as the ts estimate.
+        assert!(stats.latency_sketch.count() > 0);
+        let p99 = stats.latency_sketch.quantile(0.99);
+        assert!(p99 > 50e-6 && p99 < 2e-3, "{p99}");
+    }
+
+    #[test]
+    fn replications_are_deterministic() {
+        let params = ModelParams::builder().build().unwrap();
+        let cfg = SimConfig::new(params).duration(0.2).warmup(0.05).seed(7);
+        let a = run_replications(&cfg, 150, 3, 2_000).unwrap();
+        let b = run_replications(&cfg, 150, 3, 2_000).unwrap();
+        assert_eq!(a, b);
     }
 }

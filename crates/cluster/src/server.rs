@@ -2,6 +2,7 @@
 
 use memlat_cache::{Store, StoreConfig};
 use memlat_des::fcfs::FcfsStation;
+use memlat_des::metrics::ServerCounters;
 use memlat_dist::{Continuous, GeneralizedPareto, ParamError};
 use memlat_workload::{arrival::BatchArrivals, ZipfPopularity};
 use rand::Rng;
@@ -33,13 +34,18 @@ pub struct ServerRun {
     pub miss_ratio: f64,
     /// Observed key arrival rate (recorded keys ÷ measured duration).
     pub key_rate: f64,
+    /// Activity counters: busy time and queue high-water mark over the
+    /// full horizon (warm-up included), jobs/misses over the measured
+    /// window.
+    pub counters: ServerCounters,
 }
 
 /// The miss decider a server uses.
 enum MissDecider {
     Fixed(f64),
     Cached {
-        store: Store,
+        // Boxed: the slab store dwarfs the Fixed variant.
+        store: Box<Store>,
         popularity: ZipfPopularity,
         value_sizes: GeneralizedPareto,
     },
@@ -50,8 +56,10 @@ impl MissDecider {
         match mode {
             MissMode::FixedRatio => Ok(MissDecider::Fixed(miss_ratio)),
             MissMode::CacheBacked(cfg) => Ok(MissDecider::Cached {
-                store: Store::new(StoreConfig::with_memory(cfg.memory_bytes))
-                    .map_err(|e| ParamError::new(e.to_string()))?,
+                store: Box::new(
+                    Store::new(StoreConfig::with_memory(cfg.memory_bytes))
+                        .map_err(|e| ParamError::new(e.to_string()))?,
+                ),
                 popularity: ZipfPopularity::new(cfg.keyspace, cfg.skew)?,
                 value_sizes: GeneralizedPareto::with_mean(0.35, cfg.mean_value_bytes)?,
             }),
@@ -68,7 +76,11 @@ impl MissDecider {
                     memlat_dist::open_unit(rng) < *r
                 }
             }
-            MissDecider::Cached { store, popularity, value_sizes } => {
+            MissDecider::Cached {
+                store,
+                popularity,
+                value_sizes,
+            } => {
                 let key = popularity.sample_key(rng);
                 if store.get(key, now).is_hit() {
                     false
@@ -154,16 +166,25 @@ pub fn simulate_server(
     }
 
     let recorded = records.len() as f64;
-    let miss_ratio = decider
-        .observed_miss_ratio()
-        .unwrap_or(if recorded > 0.0 { misses as f64 / recorded } else { 0.0 });
+    let miss_ratio = decider.observed_miss_ratio().unwrap_or(if recorded > 0.0 {
+        misses as f64 / recorded
+    } else {
+        0.0
+    });
     // Tiny bias: utilization uses the full horizon (warm-up included).
     let utilization = station.utilization(horizon).min(1.0);
+    let counters = ServerCounters {
+        busy_time: station.busy_time(),
+        queue_max: station.queue_max(),
+        jobs: records.len() as u64,
+        misses,
+    };
     Ok(ServerRun {
         records,
         utilization,
         miss_ratio,
         key_rate: recorded / p.duration,
+        counters,
     })
 }
 
@@ -200,9 +221,21 @@ mod tests {
     #[test]
     fn rates_and_utilization_match_configuration() {
         let run = facebook_run(2.0, 1);
-        assert!((run.key_rate / facebook::KEY_RATE - 1.0).abs() < 0.05, "{}", run.key_rate);
+        assert!(
+            (run.key_rate / facebook::KEY_RATE - 1.0).abs() < 0.05,
+            "{}",
+            run.key_rate
+        );
         assert!((run.utilization - 0.78).abs() < 0.05, "{}", run.utilization);
         assert!((run.miss_ratio - 0.01).abs() < 0.005, "{}", run.miss_ratio);
+        // Counters agree with the record-level view.
+        assert_eq!(run.counters.jobs, run.records.len() as u64);
+        assert_eq!(
+            run.counters.misses,
+            run.records.iter().filter(|r| r.missed).count() as u64
+        );
+        assert!(run.counters.queue_max >= 1);
+        assert!(run.counters.busy_time > 0.0);
     }
 
     #[test]
@@ -234,7 +267,10 @@ mod tests {
             assert!((r.server_latency - (r.completion - r.arrival)).abs() < 1e-12);
         }
         // Completions at one FCFS server are non-decreasing.
-        assert!(run.records.windows(2).all(|w| w[1].completion >= w[0].completion));
+        assert!(run
+            .records
+            .windows(2)
+            .all(|w| w[1].completion >= w[0].completion));
     }
 
     #[test]
@@ -280,7 +316,11 @@ mod tests {
         )
         .unwrap();
         // Some misses, but far fewer than hits: a working cache.
-        assert!(run.miss_ratio > 0.0 && run.miss_ratio < 0.5, "{}", run.miss_ratio);
+        assert!(
+            run.miss_ratio > 0.0 && run.miss_ratio < 0.5,
+            "{}",
+            run.miss_ratio
+        );
         assert!(run.records.iter().any(|r| r.missed));
         assert!(run.records.iter().any(|r| !r.missed));
     }

@@ -1,11 +1,20 @@
 //! The cluster simulation: M servers → sharded database.
+//!
+//! The per-server simulations are embarrassingly parallel *by
+//! construction*: server `j` draws every random number from its own
+//! seed-derived stream (`stream_rng(seed, 1000 + j)`), and the database
+//! stage consumes the merged miss stream in a fixed, execution-order
+//! independent order. [`ClusterSim::run`] therefore dispatches servers
+//! across [`SimConfig::threads`] worker threads and still produces
+//! **bit-identical** output to the sequential path for a fixed seed.
 
+use memlat_des::metrics::ServerCounters;
 use memlat_des::rng::stream_rng;
-use memlat_stats::Ecdf;
+use memlat_stats::{Ecdf, QuantileSketch, StreamingStats};
 
 use crate::{
-    config::SimConfig,
-    database::{run_db_stage, MissArrival},
+    config::{Retention, SimConfig},
+    database::{run_db_stage_with, MissArrival},
     server::{simulate_server, ServerSimParams},
     SimError,
 };
@@ -20,11 +29,52 @@ pub struct ClusterSim;
 /// sweeps produce.
 type KeyPair = (f32, f32);
 
+/// Streaming summary of one server's run: always collected, independent
+/// of the [`Retention`] policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSummary {
+    /// Welford statistics of the per-key server latency `s`.
+    pub latency: StreamingStats,
+    /// Quantile sketch of `s` (≤ 1% relative error, exactly mergeable).
+    pub sketch: QuantileSketch,
+    /// Busy time, queue high-water mark, jobs, misses.
+    pub counters: ServerCounters,
+    /// Observed utilization (busy time ÷ horizon).
+    pub utilization: f64,
+}
+
+impl ServerSummary {
+    fn empty() -> Self {
+        Self {
+            latency: StreamingStats::new(),
+            sketch: QuantileSketch::new(),
+            counters: ServerCounters::default(),
+            utilization: 0.0,
+        }
+    }
+}
+
+/// What one server worker hands back to the merge step.
+struct ServerOutcome {
+    /// `(s, 0)` pairs in arrival order (db latency filled in later).
+    pairs: Vec<KeyPair>,
+    /// Missed keys: arrival time at the database + origin `(server, idx)`.
+    misses: Vec<MissArrival>,
+    summary: ServerSummary,
+}
+
 /// Everything a simulation run produces.
 #[derive(Debug)]
 pub struct SimOutput {
-    /// Per-server `(s, d)` pairs in arrival order.
-    server_records: Vec<Vec<KeyPair>>,
+    /// Per-server `(s, d)` pairs in arrival order; `None` under
+    /// [`Retention::Summary`].
+    server_records: Option<Vec<Vec<KeyPair>>>,
+    /// Always-on per-server streaming summaries.
+    summaries: Vec<ServerSummary>,
+    /// Welford statistics of db latency over the missed keys.
+    db_latency: StreamingStats,
+    /// Quantile sketch of db latency over the missed keys.
+    db_sketch: QuantileSketch,
     /// Load shares used (for request assembly).
     shares: Vec<f64>,
     /// Constant network latency.
@@ -58,20 +108,22 @@ impl ClusterSim {
         let shares = params.load().shares(params.servers())?;
         let q = params.concurrency();
 
-        let mut server_records: Vec<Vec<KeyPair>> = Vec::with_capacity(shares.len());
-        let mut utilization = Vec::with_capacity(shares.len());
-        let mut misses: Vec<MissArrival> = Vec::new();
-        let mut total_keys = 0u64;
-        let mut total_misses = 0u64;
-
-        for (j, &p) in shares.iter().enumerate() {
+        // One worker per server; identical code on the sequential and
+        // parallel paths, so thread count cannot change the output.
+        let worker = |j: usize| -> Result<ServerOutcome, SimError> {
+            let p = shares[j];
             if p <= 0.0 {
-                server_records.push(Vec::new());
-                utilization.push(0.0);
-                continue;
+                return Ok(ServerOutcome {
+                    pairs: Vec::new(),
+                    misses: Vec::new(),
+                    summary: ServerSummary::empty(),
+                });
             }
             let lam_j = p * params.total_key_rate();
-            let gaps = params.arrival().interarrival((1.0 - q) * lam_j)?;
+            let gaps = params
+                .arrival()
+                .interarrival((1.0 - q) * lam_j)
+                .map_err(|e| SimError::InvalidConfig(e.to_string()))?;
             let mut rng = stream_rng(cfg.seed, 1000 + j as u64);
             let run = simulate_server(
                 ServerSimParams {
@@ -88,33 +140,84 @@ impl ClusterSim {
             .map_err(|e| SimError::InvalidConfig(e.to_string()))?;
 
             let mut pairs: Vec<KeyPair> = Vec::with_capacity(run.records.len());
+            let mut misses: Vec<MissArrival> = Vec::new();
+            let mut latency = StreamingStats::new();
+            let mut sketch = QuantileSketch::new();
             for (i, r) in run.records.iter().enumerate() {
                 if r.missed {
                     misses.push(MissArrival {
                         time: r.completion,
                         origin: (j as u32, i as u32),
                     });
-                    total_misses += 1;
                 }
+                latency.push(r.server_latency);
+                sketch.push(r.server_latency);
                 pairs.push((r.server_latency as f32, 0.0));
             }
-            total_keys += run.records.len() as u64;
-            server_records.push(pairs);
-            utilization.push(run.utilization);
+            Ok(ServerOutcome {
+                pairs,
+                misses,
+                summary: ServerSummary {
+                    latency,
+                    sketch,
+                    counters: run.counters,
+                    utilization: run.utilization,
+                },
+            })
+        };
+
+        let outcomes = dispatch(shares.len(), cfg.effective_threads(), &worker)?;
+
+        // Merge in server order — the only order-sensitive step, and it
+        // is fixed regardless of which thread finished first.
+        let keep_records = cfg.retention == Retention::Full;
+        let mut server_records: Vec<Vec<KeyPair>> = Vec::new();
+        let mut summaries = Vec::with_capacity(outcomes.len());
+        let mut utilization = Vec::with_capacity(outcomes.len());
+        let mut misses: Vec<MissArrival> = Vec::new();
+        let mut total_keys = 0u64;
+        let mut total_misses = 0u64;
+        // Under Summary retention the per-key server latencies of missed
+        // keys still matter for nothing — db latencies are summarized on
+        // the fly — so each server's buffer is dropped right here.
+        for out in outcomes {
+            total_keys += out.pairs.len() as u64;
+            total_misses += out.misses.len() as u64;
+            misses.extend(out.misses);
+            utilization.push(out.summary.utilization);
+            summaries.push(out.summary);
+            if keep_records {
+                server_records.push(out.pairs);
+            }
         }
 
         // Merge miss streams in time order and run the database stage.
+        // `sort_by` is stable, so ties resolve in (server, index) order —
+        // exactly what the sequential loop produced.
         misses.sort_by(|a, b| a.time.total_cmp(&b.time));
         let shards = cfg.effective_db_shards();
         let mut db_rng = stream_rng(cfg.seed, 2_000_000);
-        for ((server, idx), d) in
-            run_db_stage(&misses, shards, params.db_service_rate(), &mut db_rng)
-        {
-            server_records[server as usize][idx as usize].1 = d as f32;
-        }
+        let mut db_latency = StreamingStats::new();
+        let mut db_sketch = QuantileSketch::new();
+        run_db_stage_with(
+            &misses,
+            shards,
+            params.db_service_rate(),
+            &mut db_rng,
+            |(server, idx), d| {
+                db_latency.push(d);
+                db_sketch.push(d);
+                if keep_records {
+                    server_records[server as usize][idx as usize].1 = d as f32;
+                }
+            },
+        );
 
         Ok(SimOutput {
-            server_records,
+            server_records: keep_records.then_some(server_records),
+            summaries,
+            db_latency,
+            db_sketch,
             shares,
             network: params.network_latency(),
             utilization,
@@ -126,6 +229,42 @@ impl ClusterSim {
             total_keys,
         })
     }
+}
+
+/// Runs `worker(0..servers)` on up to `threads` scoped threads, returning
+/// outcomes in server order. Servers are interleaved round-robin across
+/// threads so a hot server does not serialize a whole chunk.
+fn dispatch<F>(servers: usize, threads: usize, worker: &F) -> Result<Vec<ServerOutcome>, SimError>
+where
+    F: Fn(usize) -> Result<ServerOutcome, SimError> + Sync,
+{
+    let mut slots: Vec<Option<Result<ServerOutcome, SimError>>> = Vec::new();
+    slots.resize_with(servers, || None);
+    let threads = threads.clamp(1, servers.max(1));
+    if threads <= 1 {
+        for (j, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(worker(j));
+        }
+    } else {
+        let mut lanes: Vec<Vec<(usize, &mut Option<Result<ServerOutcome, SimError>>)>> = Vec::new();
+        lanes.resize_with(threads, Vec::new);
+        for (j, slot) in slots.iter_mut().enumerate() {
+            lanes[j % threads].push((j, slot));
+        }
+        std::thread::scope(|scope| {
+            for lane in lanes {
+                scope.spawn(move || {
+                    for (j, slot) in lane {
+                        *slot = Some(worker(j));
+                    }
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("server worker slot unfilled"))
+        .collect()
 }
 
 impl SimOutput {
@@ -159,10 +298,71 @@ impl SimOutput {
         self.network
     }
 
+    /// Whether per-key records were retained ([`Retention::Full`]).
+    #[must_use]
+    pub fn has_records(&self) -> bool {
+        self.server_records.is_some()
+    }
+
     /// Per-server `(s, d)` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`Retention::Summary`] — use the streaming accessors
+    /// ([`Self::summary`], [`Self::server_latency_quantile`],
+    /// [`Self::db_latency_stats`]) instead.
     #[must_use]
     pub fn records(&self, server: usize) -> &[(f32, f32)] {
-        &self.server_records[server]
+        &self
+            .server_records
+            .as_ref()
+            .expect("per-key records dropped (Retention::Summary); use the streaming summaries")
+            [server]
+    }
+
+    /// Per-server streaming summaries (always available).
+    #[must_use]
+    pub fn summaries(&self) -> &[ServerSummary] {
+        &self.summaries
+    }
+
+    /// One server's streaming summary.
+    #[must_use]
+    pub fn summary(&self, server: usize) -> &ServerSummary {
+        &self.summaries[server]
+    }
+
+    /// Pooled Welford statistics of per-key server latency (all servers,
+    /// exact merge in server order).
+    #[must_use]
+    pub fn pooled_latency_stats(&self) -> StreamingStats {
+        let mut pooled = StreamingStats::new();
+        for s in &self.summaries {
+            pooled.merge(&s.latency);
+        }
+        pooled
+    }
+
+    /// Pooled quantile sketch of per-key server latency (all servers).
+    #[must_use]
+    pub fn pooled_latency_sketch(&self) -> QuantileSketch {
+        let mut pooled = QuantileSketch::new();
+        for s in &self.summaries {
+            pooled.merge(&s.sketch);
+        }
+        pooled
+    }
+
+    /// Welford statistics of db latency over the missed keys.
+    #[must_use]
+    pub fn db_latency_stats(&self) -> &StreamingStats {
+        &self.db_latency
+    }
+
+    /// Quantile sketch of db latency over the missed keys.
+    #[must_use]
+    pub fn db_latency_sketch(&self) -> &QuantileSketch {
+        &self.db_sketch
     }
 
     /// Pooled ECDF of per-key **server** latency (all servers). Because
@@ -171,11 +371,16 @@ impl SimOutput {
     ///
     /// # Panics
     ///
-    /// Panics when the run recorded no keys.
+    /// Panics when the run recorded no keys, or under
+    /// [`Retention::Summary`] (use [`Self::server_latency_quantile`]).
     #[must_use]
     pub fn server_latency_ecdf(&self) -> Ecdf {
+        let records = self
+            .server_records
+            .as_ref()
+            .expect("exact ECDF needs Retention::Full; use server_latency_quantile");
         let mut all: Vec<f64> = Vec::with_capacity(self.total_keys as usize);
-        for recs in &self.server_records {
+        for recs in records {
             all.extend(recs.iter().map(|&(s, _)| f64::from(s)));
         }
         Ecdf::from_samples(&all)
@@ -185,12 +390,32 @@ impl SimOutput {
     ///
     /// # Panics
     ///
-    /// Panics when that server recorded no keys.
+    /// Panics when that server recorded no keys or under
+    /// [`Retention::Summary`].
     #[must_use]
     pub fn server_latency_ecdf_of(&self, server: usize) -> Ecdf {
-        let s: Vec<f64> =
-            self.server_records[server].iter().map(|&(s, _)| f64::from(s)).collect();
+        let s: Vec<f64> = self
+            .records(server)
+            .iter()
+            .map(|&(s, _)| f64::from(s))
+            .collect();
         Ecdf::from_samples(&s)
+    }
+
+    /// The `p`-th quantile of pooled per-key server latency: exact (ECDF
+    /// order statistic) under [`Retention::Full`], sketch-answered (≤ 1%
+    /// relative error, same rank convention) under [`Retention::Summary`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run recorded no keys or `p ∉ [0, 1]`.
+    #[must_use]
+    pub fn server_latency_quantile(&self, p: f64) -> f64 {
+        if self.server_records.is_some() {
+            self.server_latency_ecdf().quantile(p)
+        } else {
+            self.pooled_latency_sketch().quantile(p)
+        }
     }
 
     /// Measured `E[T_S(N)]`: the `N/(N+1)` quantile of the pooled per-key
@@ -200,7 +425,7 @@ impl SimOutput {
     #[must_use]
     pub fn expected_server_latency(&self, n: u64) -> f64 {
         let k = memlat_stats::max_order_quantile(n);
-        self.server_latency_ecdf().quantile(k)
+        self.server_latency_quantile(k)
     }
 }
 
@@ -219,6 +444,7 @@ mod tests {
         let out = quick(1);
         assert_eq!(out.shares().len(), 4);
         assert_eq!(out.utilization().len(), 4);
+        assert_eq!(out.summaries().len(), 4);
         let sum: usize = (0..4).map(|j| out.records(j).len()).sum();
         assert_eq!(sum as u64, out.total_keys());
         // Balanced load: every server sees ~1/4 of the keys.
@@ -231,7 +457,11 @@ mod tests {
     #[test]
     fn observed_quantities_match_configuration() {
         let out = quick(2);
-        assert!((out.miss_ratio() - 0.01).abs() < 0.004, "{}", out.miss_ratio());
+        assert!(
+            (out.miss_ratio() - 0.01).abs() < 0.004,
+            "{}",
+            out.miss_ratio()
+        );
         for &u in out.utilization() {
             assert!((u - 0.78).abs() < 0.06, "{u}");
         }
@@ -254,14 +484,16 @@ mod tests {
         }
         assert!(missed > 0, "no misses recorded");
         assert!(hit > missed * 50, "hit/miss ratio implausible");
+        // The streaming db summary counts exactly the missed keys.
+        assert_eq!(out.db_latency_stats().count(), missed as u64);
+        assert_eq!(out.db_latency_sketch().count(), missed as u64);
     }
 
     #[test]
     fn measured_ts_in_theorem1_band() {
         let out = quick(4);
-        let model =
-            memlat_model::ServerLatencyModel::new(&ModelParams::builder().build().unwrap())
-                .unwrap();
+        let model = memlat_model::ServerLatencyModel::new(&ModelParams::builder().build().unwrap())
+            .unwrap();
         let bounds = model.product_form_bounds(150);
         let measured = out.expected_server_latency(150);
         // Generous slack: short run, high quantile.
@@ -282,9 +514,83 @@ mod tests {
     }
 
     #[test]
+    fn parallel_output_is_bit_identical_to_sequential() {
+        let params = ModelParams::builder().build().unwrap();
+        let base = SimConfig::new(params)
+            .duration(0.5)
+            .warmup(0.1)
+            .seed(0xbeef);
+        let seq = ClusterSim::run(&base.clone().threads(1)).unwrap();
+        let par = ClusterSim::run(&base.clone().threads(4)).unwrap();
+        // Raw records: every per-key pair identical.
+        assert_eq!(seq.total_keys(), par.total_keys());
+        for j in 0..seq.shares().len() {
+            assert_eq!(seq.records(j), par.records(j), "server {j} records differ");
+        }
+        // Streaming summaries: bit-identical to full precision.
+        assert_eq!(seq.summaries(), par.summaries());
+        assert_eq!(seq.db_latency_stats(), par.db_latency_stats());
+        assert_eq!(seq.db_latency_sketch(), par.db_latency_sketch());
+        assert_eq!(seq.utilization(), par.utilization());
+        assert_eq!(seq.miss_ratio(), par.miss_ratio());
+        assert_eq!(
+            seq.expected_server_latency(150).to_bits(),
+            par.expected_server_latency(150).to_bits()
+        );
+        // And an oversubscribed thread count changes nothing either.
+        let over = ClusterSim::run(&base.threads(64)).unwrap();
+        assert_eq!(seq.summaries(), over.summaries());
+    }
+
+    #[test]
+    fn summary_retention_matches_full_statistics() {
+        let params = ModelParams::builder().build().unwrap();
+        let base = SimConfig::new(params).duration(0.5).warmup(0.1).seed(21);
+        let full = ClusterSim::run(&base.clone()).unwrap();
+        let lean = ClusterSim::run(&base.retention(Retention::Summary)).unwrap();
+        assert!(full.has_records());
+        assert!(!lean.has_records());
+        // Same simulation, same summaries.
+        assert_eq!(full.summaries(), lean.summaries());
+        assert_eq!(full.total_keys(), lean.total_keys());
+        assert_eq!(full.miss_ratio(), lean.miss_ratio());
+        assert_eq!(full.db_latency_stats(), lean.db_latency_stats());
+        // Sketch quantiles agree with the exact ECDF within the bound.
+        for p in [0.5, 0.9, 0.99, memlat_stats::max_order_quantile(150)] {
+            let exact = full.server_latency_ecdf().quantile(p);
+            let approx = lean.server_latency_quantile(p);
+            assert!(
+                (approx - exact).abs() <= 0.011 * exact,
+                "p={p}: approx={approx} exact={exact}"
+            );
+        }
+        // Pooled Welford mean is exact (f32 record rounding aside).
+        let pooled = lean.pooled_latency_stats();
+        assert_eq!(pooled.count(), lean.total_keys());
+        let exact_mean = full.server_latency_ecdf().mean();
+        assert!((pooled.mean() / exact_mean - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "Retention::Summary")]
+    fn summary_retention_records_panics() {
+        let params = ModelParams::builder().build().unwrap();
+        let out = ClusterSim::run(
+            &SimConfig::new(params)
+                .duration(0.3)
+                .seed(5)
+                .retention(Retention::Summary),
+        )
+        .unwrap();
+        let _ = out.records(0);
+    }
+
+    #[test]
     fn zero_share_server_records_nothing() {
         let params = ModelParams::builder()
-            .load(memlat_model::LoadDistribution::Custom(vec![0.5, 0.5, 0.0, 0.0]))
+            .load(memlat_model::LoadDistribution::Custom(vec![
+                0.5, 0.5, 0.0, 0.0,
+            ]))
             .total_key_rate(100_000.0)
             .build()
             .unwrap();
@@ -292,5 +598,7 @@ mod tests {
         assert!(out.records(2).is_empty());
         assert!(out.records(3).is_empty());
         assert!(!out.records(0).is_empty());
+        assert!(out.summary(2).latency.count() == 0);
+        assert_eq!(out.summary(2).counters, ServerCounters::default());
     }
 }

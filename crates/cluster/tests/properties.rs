@@ -13,7 +13,10 @@ fn quick_cfg(rho: f64, q: f64, xi: f64, r: f64, seed: u64) -> SimConfig {
         .miss_ratio(r)
         .build()
         .unwrap();
-    SimConfig::new(params).duration(0.15).warmup(0.05).seed(seed)
+    SimConfig::new(params)
+        .duration(0.15)
+        .warmup(0.05)
+        .seed(seed)
 }
 
 proptest! {

@@ -58,6 +58,11 @@ pub struct FcfsStation {
     jobs: u64,
     total_wait: f64,
     total_sojourn: f64,
+    /// Departure times of jobs still in the system at the last arrival.
+    /// FCFS departures are nondecreasing, so this is a sorted queue and
+    /// expiry is a pop-front scan.
+    in_system: std::collections::VecDeque<f64>,
+    queue_max: usize,
 }
 
 impl FcfsStation {
@@ -87,7 +92,19 @@ impl FcfsStation {
         self.jobs += 1;
         self.total_wait += start - arrival;
         self.total_sojourn += departure - arrival;
-        Completion { arrival, start, departure }
+        // Queue-length high-water mark: the in-system count changes by +1
+        // at arrivals and −1 at departures, so its maximum is attained
+        // right after an arrival. Expire finished jobs, admit this one.
+        while self.in_system.front().is_some_and(|&d| d <= arrival) {
+            self.in_system.pop_front();
+        }
+        self.in_system.push_back(departure);
+        self.queue_max = self.queue_max.max(self.in_system.len());
+        Completion {
+            arrival,
+            start,
+            departure,
+        }
     }
 
     /// Number of jobs served.
@@ -100,6 +117,19 @@ impl FcfsStation {
     #[must_use]
     pub fn busy_until(&self) -> f64 {
         self.last_departure
+    }
+
+    /// Total service time accumulated (the utilization numerator).
+    #[must_use]
+    pub fn busy_time(&self) -> f64 {
+        self.busy_time
+    }
+
+    /// Largest number of jobs simultaneously in the system (queued +
+    /// in service), observed exactly at arrival instants.
+    #[must_use]
+    pub fn queue_max(&self) -> usize {
+        self.queue_max
     }
 
     /// Empirical utilization over `[0, horizon]`.
@@ -159,6 +189,22 @@ mod tests {
         assert_eq!(c.departure, 3.0);
         assert_eq!(s.jobs(), 3);
         assert_eq!(s.busy_until(), 3.0);
+        assert_eq!(s.queue_max(), 3);
+        assert_eq!(s.busy_time(), 3.0);
+    }
+
+    #[test]
+    fn queue_max_tracks_overlap_not_total() {
+        let mut s = FcfsStation::new();
+        // Two overlapping jobs, then the system drains, then one more.
+        s.submit(0.0, 1.0);
+        s.submit(0.5, 1.0); // in system with the first → high-water 2
+        s.submit(10.0, 1.0); // alone
+        assert_eq!(s.queue_max(), 2);
+        // A lone job on an idle server never raises the mark above 1.
+        let mut idle = FcfsStation::new();
+        idle.submit(0.0, 1.0);
+        assert_eq!(idle.queue_max(), 1);
     }
 
     #[test]
@@ -181,7 +227,11 @@ mod tests {
             let svc = -(1.0 - rng.gen::<f64>()).max(1e-15).ln();
             s.submit(t, svc);
         }
-        assert!((s.mean_sojourn() - 2.0).abs() < 0.08, "{}", s.mean_sojourn());
+        assert!(
+            (s.mean_sojourn() - 2.0).abs() < 0.08,
+            "{}",
+            s.mean_sojourn()
+        );
         assert!((s.utilization(t) - 0.5).abs() < 0.01);
     }
 

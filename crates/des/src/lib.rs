@@ -38,7 +38,7 @@ pub mod rng;
 pub mod time;
 
 pub use fcfs::{Completion, FcfsStation};
-pub use metrics::TimeWeighted;
+pub use metrics::{ServerCounters, TimeWeighted};
 pub use queue::EventQueue;
 pub use rng::stream_rng;
 pub use time::SimTime;

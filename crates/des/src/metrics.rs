@@ -27,7 +27,12 @@ impl TimeWeighted {
     /// Starts the signal at `initial` at time 0.
     #[must_use]
     pub fn new(initial: f64) -> Self {
-        Self { value: initial, last_change: 0.0, integral: 0.0, max: initial }
+        Self {
+            value: initial,
+            last_change: 0.0,
+            integral: 0.0,
+            max: initial,
+        }
     }
 
     /// Sets the signal to `value` at time `now`.
@@ -84,9 +89,77 @@ impl TimeWeighted {
     }
 }
 
+/// Per-server activity counters surfaced by the cluster simulation.
+///
+/// These are the cheap always-on observables the streaming simulator
+/// keeps per server (the full per-key sample buffers are optional): how
+/// long the server was busy, how deep its queue got, and how many keys
+/// it served and missed. Counters from replicated or sharded runs
+/// combine with [`ServerCounters::merge`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServerCounters {
+    /// Total service time accumulated (utilization numerator).
+    pub busy_time: f64,
+    /// High-water mark of jobs simultaneously in the system.
+    pub queue_max: usize,
+    /// Keys served (post-warmup measurement window).
+    pub jobs: u64,
+    /// Keys that missed in the cache and went to the database.
+    pub misses: u64,
+}
+
+impl ServerCounters {
+    /// Combines counters from two disjoint observation streams: sums the
+    /// extensive quantities, takes the max of the high-water mark.
+    pub fn merge(&mut self, other: &Self) {
+        self.busy_time += other.busy_time;
+        self.queue_max = self.queue_max.max(other.queue_max);
+        self.jobs += other.jobs;
+        self.misses += other.misses;
+    }
+
+    /// Miss ratio over the served keys (0 when nothing was served).
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.jobs as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counters_merge_and_ratio() {
+        let mut a = ServerCounters {
+            busy_time: 1.0,
+            queue_max: 3,
+            jobs: 10,
+            misses: 1,
+        };
+        let b = ServerCounters {
+            busy_time: 2.0,
+            queue_max: 5,
+            jobs: 30,
+            misses: 3,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            ServerCounters {
+                busy_time: 3.0,
+                queue_max: 5,
+                jobs: 40,
+                misses: 4
+            }
+        );
+        assert!((a.miss_ratio() - 0.1).abs() < 1e-12);
+        assert_eq!(ServerCounters::default().miss_ratio(), 0.0);
+    }
 
     #[test]
     fn square_wave_average() {
@@ -152,7 +225,11 @@ mod tests {
         let l = in_system.time_average(horizon);
         let w = station.mean_sojourn();
         let lam_hat = events.len() as f64 / horizon;
-        assert!((l - lam_hat * w).abs() / l < 0.01, "L={l} λW={}", lam_hat * w);
+        assert!(
+            (l - lam_hat * w).abs() / l < 0.01,
+            "L={l} λW={}",
+            lam_hat * w
+        );
         // And both match the M/M/1 closed form ρ/(1−ρ) ≈ 2.333.
         assert!((l - 0.7 / 0.3).abs() < 0.15, "L={l}");
     }

@@ -56,13 +56,19 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Creates an empty queue with reserved capacity.
     #[must_use]
     pub fn with_capacity(cap: usize) -> Self {
-        Self { heap: BinaryHeap::with_capacity(cap), seq: 0 }
+        Self {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+        }
     }
 
     /// Schedules `event` at `time`.

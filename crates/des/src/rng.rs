@@ -44,8 +44,14 @@ mod tests {
 
     #[test]
     fn reproducible_per_stream() {
-        let xs: Vec<u64> = (0..8).map(|_| 0u64).scan(stream_rng(1, 2), |r, _| Some(r.gen())).collect();
-        let ys: Vec<u64> = (0..8).map(|_| 0u64).scan(stream_rng(1, 2), |r, _| Some(r.gen())).collect();
+        let xs: Vec<u64> = (0..8)
+            .map(|_| 0u64)
+            .scan(stream_rng(1, 2), |r, _| Some(r.gen()))
+            .collect();
+        let ys: Vec<u64> = (0..8)
+            .map(|_| 0u64)
+            .scan(stream_rng(1, 2), |r, _| Some(r.gen()))
+            .collect();
         assert_eq!(xs, ys);
     }
 

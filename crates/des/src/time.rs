@@ -31,7 +31,10 @@ impl SimTime {
     /// Panics if `secs` is negative, NaN or infinite.
     #[must_use]
     pub fn new(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "invalid simulation time: {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "invalid simulation time: {secs}"
+        );
         Self(secs)
     }
 

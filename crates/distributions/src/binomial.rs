@@ -153,7 +153,10 @@ impl Discrete for Binomial {
                 self.sample_geometric_skip(rng)
             } else {
                 // Count failures instead.
-                let mirror = Self { n: self.n, p: 1.0 - self.p };
+                let mirror = Self {
+                    n: self.n,
+                    p: 1.0 - self.p,
+                };
                 self.n - mirror.sample_geometric_skip(rng)
             }
         } else {

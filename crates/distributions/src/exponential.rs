@@ -33,7 +33,9 @@ impl Exponential {
     /// Returns [`ParamError`] unless `rate` is finite and positive.
     pub fn new(rate: f64) -> Result<Self, ParamError> {
         if !(rate.is_finite() && rate > 0.0) {
-            return Err(ParamError::new(format!("exponential rate must be positive, got {rate}")));
+            return Err(ParamError::new(format!(
+                "exponential rate must be positive, got {rate}"
+            )));
         }
         Ok(Self { rate })
     }
@@ -45,7 +47,9 @@ impl Exponential {
     /// Returns [`ParamError`] unless `mean` is finite and positive.
     pub fn with_mean(mean: f64) -> Result<Self, ParamError> {
         if !(mean.is_finite() && mean > 0.0) {
-            return Err(ParamError::new(format!("exponential mean must be positive, got {mean}")));
+            return Err(ParamError::new(format!(
+                "exponential mean must be positive, got {mean}"
+            )));
         }
         Self::new(1.0 / mean)
     }
@@ -84,7 +88,10 @@ impl Continuous for Exponential {
     }
 
     fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "quantile requires p in [0,1), got {p}"
+        );
         -(-p).ln_1p() / self.rate
     }
 }

@@ -39,10 +39,14 @@ impl Gamma {
     /// positive.
     pub fn new(shape: f64, rate: f64) -> Result<Self, ParamError> {
         if !(shape.is_finite() && shape > 0.0) {
-            return Err(ParamError::new(format!("gamma shape must be positive, got {shape}")));
+            return Err(ParamError::new(format!(
+                "gamma shape must be positive, got {shape}"
+            )));
         }
         if !(rate.is_finite() && rate > 0.0) {
-            return Err(ParamError::new(format!("gamma rate must be positive, got {rate}")));
+            return Err(ParamError::new(format!(
+                "gamma rate must be positive, got {rate}"
+            )));
         }
         Ok(Self { shape, rate })
     }
@@ -58,7 +62,9 @@ impl Gamma {
             return Err(ParamError::new("erlang shape must be at least 1"));
         }
         if !(mean.is_finite() && mean > 0.0) {
-            return Err(ParamError::new(format!("erlang mean must be positive, got {mean}")));
+            return Err(ParamError::new(format!(
+                "erlang mean must be positive, got {mean}"
+            )));
         }
         Self::new(f64::from(k), f64::from(k) / mean)
     }
@@ -89,9 +95,7 @@ impl Gamma {
                 continue;
             }
             let u = open_unit(rng);
-            if u < 1.0 - 0.0331 * z.powi(4)
-                || u.ln() < 0.5 * z * z + d * (1.0 - v + v.ln())
-            {
+            if u < 1.0 - 0.0331 * z.powi(4) || u.ln() < 0.5 * z * z + d * (1.0 - v + v.ln()) {
                 return d * v;
             }
         }
@@ -158,9 +162,9 @@ mod tests {
     fn erlang_cdf_closed_form() {
         // Erlang(3, rate β): F(t) = 1 - e^{-βt}(1 + βt + (βt)²/2)
         let g = Gamma::new(3.0, 1.5).unwrap();
-        for t in [0.2, 1.0, 2.0, 5.0] {
+        for t in [0.2f64, 1.0, 2.0, 5.0] {
             let x = 1.5 * t;
-            let expect = 1.0 - (-x as f64).exp() * (1.0 + x + x * x / 2.0);
+            let expect = 1.0 - (-x).exp() * (1.0 + x + x * x / 2.0);
             assert!((g.cdf(t) - expect).abs() < 1e-12, "t={t}");
         }
     }

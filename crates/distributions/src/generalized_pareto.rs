@@ -71,7 +71,9 @@ impl GeneralizedPareto {
     /// Returns [`ParamError`] if `xi ∉ [0, 1)` or `rate ≤ 0`.
     pub fn facebook(xi: f64, rate: f64) -> Result<Self, ParamError> {
         if !(rate.is_finite() && rate > 0.0) {
-            return Err(ParamError::new(format!("arrival rate must be positive, got {rate}")));
+            return Err(ParamError::new(format!(
+                "arrival rate must be positive, got {rate}"
+            )));
         }
         if xi == 0.0 {
             // Exponential limit: σ = 1/rate.
@@ -88,7 +90,9 @@ impl GeneralizedPareto {
     /// [`GeneralizedPareto::new`].
     pub fn with_mean(xi: f64, mean: f64) -> Result<Self, ParamError> {
         if !(mean.is_finite() && mean > 0.0) {
-            return Err(ParamError::new(format!("mean must be positive, got {mean}")));
+            return Err(ParamError::new(format!(
+                "mean must be positive, got {mean}"
+            )));
         }
         Self::new(xi, mean * (1.0 - xi))
     }
@@ -141,7 +145,10 @@ impl Continuous for GeneralizedPareto {
     }
 
     fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "quantile requires p in [0,1), got {p}"
+        );
         if self.xi == 0.0 {
             -self.sigma * (-p).ln_1p()
         } else {
@@ -203,8 +210,14 @@ mod tests {
 
     #[test]
     fn heavy_tail_has_infinite_variance() {
-        assert!(GeneralizedPareto::facebook(0.6, 1.0).unwrap().variance().is_infinite());
-        assert!(GeneralizedPareto::facebook(0.3, 1.0).unwrap().variance().is_finite());
+        assert!(GeneralizedPareto::facebook(0.6, 1.0)
+            .unwrap()
+            .variance()
+            .is_infinite());
+        assert!(GeneralizedPareto::facebook(0.3, 1.0)
+            .unwrap()
+            .variance()
+            .is_finite());
     }
 
     #[test]

@@ -53,7 +53,9 @@ impl Hyperexponential {
         }
         for &w in weights {
             if !(w.is_finite() && w >= 0.0) {
-                return Err(ParamError::new(format!("weight must be non-negative, got {w}")));
+                return Err(ParamError::new(format!(
+                    "weight must be non-negative, got {w}"
+                )));
             }
         }
         for &r in rates {
@@ -61,7 +63,10 @@ impl Hyperexponential {
                 return Err(ParamError::new(format!("rate must be positive, got {r}")));
             }
         }
-        Ok(Self { weights: weights.to_vec(), rates: rates.to_vec() })
+        Ok(Self {
+            weights: weights.to_vec(),
+            rates: rates.to_vec(),
+        })
     }
 
     /// Builds a two-phase hyperexponential with the given mean and squared
@@ -72,7 +77,9 @@ impl Hyperexponential {
     /// Returns [`ParamError`] if `mean ≤ 0` or `scv ≤ 1`.
     pub fn with_mean_scv(mean: f64, scv: f64) -> Result<Self, ParamError> {
         if !(mean.is_finite() && mean > 0.0) {
-            return Err(ParamError::new(format!("mean must be positive, got {mean}")));
+            return Err(ParamError::new(format!(
+                "mean must be positive, got {mean}"
+            )));
         }
         if !(scv.is_finite() && scv > 1.0) {
             return Err(ParamError::new(format!(
@@ -106,7 +113,11 @@ impl Continuous for Hyperexponential {
     }
 
     fn mean(&self) -> f64 {
-        self.weights.iter().zip(&self.rates).map(|(w, r)| w / r).sum()
+        self.weights
+            .iter()
+            .zip(&self.rates)
+            .map(|(w, r)| w / r)
+            .sum()
     }
 
     fn variance(&self) -> f64 {
@@ -126,7 +137,9 @@ impl Continuous for Hyperexponential {
         for (w, r) in self.weights.iter().zip(&self.rates) {
             acc += w;
             if u <= acc {
-                return Exponential::new(*r).expect("validated at construction").sample(rng);
+                return Exponential::new(*r)
+                    .expect("validated at construction")
+                    .sample(rng);
             }
         }
         // Floating-point slack: fall through to the last phase.

@@ -48,7 +48,11 @@ pub fn numeric_laplace(cdf: &dyn Fn(f64) -> f64, s: f64, scale: f64) -> f64 {
     if s == 0.0 {
         return 1.0;
     }
-    let scale = if scale.is_finite() && scale > 0.0 { scale } else { 1.0 / s };
+    let scale = if scale.is_finite() && scale > 0.0 {
+        scale
+    } else {
+        1.0 / s
+    };
     let t_max = U_MAX / s;
     let f = |t: f64| s * (-s * t).exp() * cdf(t);
 
@@ -59,7 +63,7 @@ pub fn numeric_laplace(cdf: &dyn Fn(f64) -> f64, s: f64, scale: f64) -> f64 {
         // Adaptive within each octave: smooth octaves terminate at the
         // first level; octaves containing a kink (e.g. a uniform CDF's
         // endpoints) refine locally.
-        acc.add(adaptive_simpson(&f, lo, hi, 1e-13));
+        acc.add(adaptive_simpson(f, lo, hi, 1e-13));
         if hi >= t_max {
             break;
         }

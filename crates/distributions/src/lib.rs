@@ -147,7 +147,10 @@ pub trait Continuous: fmt::Debug + Send + Sync {
     ///
     /// Panics if `p` is outside `[0, 1)`.
     fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "quantile requires p in [0,1), got {p}"
+        );
         if p == 0.0 {
             return 0.0;
         }

@@ -35,10 +35,14 @@ impl LogNormal {
     /// and positive.
     pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
         if !mu.is_finite() {
-            return Err(ParamError::new(format!("lognormal mu must be finite, got {mu}")));
+            return Err(ParamError::new(format!(
+                "lognormal mu must be finite, got {mu}"
+            )));
         }
         if !(sigma.is_finite() && sigma > 0.0) {
-            return Err(ParamError::new(format!("lognormal sigma must be positive, got {sigma}")));
+            return Err(ParamError::new(format!(
+                "lognormal sigma must be positive, got {sigma}"
+            )));
         }
         Ok(Self { mu, sigma })
     }
@@ -51,7 +55,9 @@ impl LogNormal {
     /// Returns [`ParamError`] if `mean ≤ 0` or `scv ≤ 0`.
     pub fn with_mean_scv(mean: f64, scv: f64) -> Result<Self, ParamError> {
         if !(mean.is_finite() && mean > 0.0) {
-            return Err(ParamError::new(format!("mean must be positive, got {mean}")));
+            return Err(ParamError::new(format!(
+                "mean must be positive, got {mean}"
+            )));
         }
         if !(scv.is_finite() && scv > 0.0) {
             return Err(ParamError::new(format!("scv must be positive, got {scv}")));
@@ -74,7 +80,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 

@@ -39,7 +39,9 @@ pub fn multinomial_counts(
     }
     let sum: f64 = probs.iter().sum();
     if (sum - 1.0).abs() > 1e-9 {
-        return Err(ParamError::new(format!("probabilities must sum to 1, got {sum}")));
+        return Err(ParamError::new(format!(
+            "probabilities must sum to 1, got {sum}"
+        )));
     }
     for &p in probs {
         if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
@@ -61,7 +63,9 @@ pub fn multinomial_counts(
             continue;
         }
         let cond = (p / remaining_p).clamp(0.0, 1.0);
-        let c = Binomial::new(remaining, cond).expect("validated conditional probability").sample(rng);
+        let c = Binomial::new(remaining, cond)
+            .expect("validated conditional probability")
+            .sample(rng);
         counts.push(c);
         remaining -= c;
         remaining_p = (remaining_p - p).max(f64::MIN_POSITIVE);

@@ -49,7 +49,9 @@ impl Uniform {
     /// Returns [`ParamError`] unless `mean` is finite and positive.
     pub fn with_mean(mean: f64) -> Result<Self, ParamError> {
         if !(mean.is_finite() && mean > 0.0) {
-            return Err(ParamError::new(format!("uniform mean must be positive, got {mean}")));
+            return Err(ParamError::new(format!(
+                "uniform mean must be positive, got {mean}"
+            )));
         }
         Self::new(0.0, 2.0 * mean)
     }
@@ -95,7 +97,10 @@ impl Continuous for Uniform {
     }
 
     fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "quantile requires p in [0,1), got {p}"
+        );
         self.lo + p * (self.hi - self.lo)
     }
 }

@@ -37,10 +37,14 @@ impl Weibull {
     /// positive.
     pub fn new(shape: f64, scale: f64) -> Result<Self, ParamError> {
         if !(shape.is_finite() && shape > 0.0) {
-            return Err(ParamError::new(format!("weibull shape must be positive, got {shape}")));
+            return Err(ParamError::new(format!(
+                "weibull shape must be positive, got {shape}"
+            )));
         }
         if !(scale.is_finite() && scale > 0.0) {
-            return Err(ParamError::new(format!("weibull scale must be positive, got {scale}")));
+            return Err(ParamError::new(format!(
+                "weibull scale must be positive, got {scale}"
+            )));
         }
         Ok(Self { shape, scale })
     }
@@ -52,10 +56,14 @@ impl Weibull {
     /// Returns [`ParamError`] if `shape ≤ 0` or `mean ≤ 0`.
     pub fn with_mean(shape: f64, mean: f64) -> Result<Self, ParamError> {
         if !(mean.is_finite() && mean > 0.0) {
-            return Err(ParamError::new(format!("weibull mean must be positive, got {mean}")));
+            return Err(ParamError::new(format!(
+                "weibull mean must be positive, got {mean}"
+            )));
         }
         if !(shape.is_finite() && shape > 0.0) {
-            return Err(ParamError::new(format!("weibull shape must be positive, got {shape}")));
+            return Err(ParamError::new(format!(
+                "weibull shape must be positive, got {shape}"
+            )));
         }
         // mean = λ Γ(1 + 1/k)
         let g = ln_gamma(1.0 + 1.0 / shape).exp();
@@ -99,7 +107,10 @@ impl Continuous for Weibull {
     }
 
     fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "quantile requires p in [0,1), got {p}"
+        );
         self.scale * (-(-p).ln_1p()).powf(1.0 / self.shape)
     }
 }

@@ -84,7 +84,14 @@ impl Zipf {
             };
             head + tail
         };
-        Ok(Self { n, exponent, h_integral_x1, h_integral_n, rejection_s, norm })
+        Ok(Self {
+            n,
+            exponent,
+            h_integral_x1,
+            h_integral_n,
+            rejection_s,
+            norm,
+        })
     }
 
     /// Number of ranks.
@@ -183,8 +190,7 @@ impl Discrete for Zipf {
 
     fn sample(&self, rng: &mut dyn RngCore) -> u64 {
         loop {
-            let u = self.h_integral_n
-                + open_unit(rng) * (self.h_integral_x1 - self.h_integral_n);
+            let u = self.h_integral_n + open_unit(rng) * (self.h_integral_x1 - self.h_integral_n);
             let x = h_integral_inverse(u, self.exponent);
             let k64 = (x + 0.5).floor();
             let k = (k64.max(1.0) as u64).min(self.n);
@@ -236,7 +242,7 @@ mod tests {
         let z = Zipf::new(1000, 0.99).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let n = 500_000;
-        let mut counts = vec![0u64; 11];
+        let mut counts = [0u64; 11];
         for _ in 0..n {
             let k = z.sample(&mut rng);
             assert!((1..=1000).contains(&k));

@@ -13,7 +13,12 @@ fn run(pattern: ArrivalPattern, label: &str) {
     for k in [0.99, 0.999, 0.9995, 0.9999] {
         let (lo, hi) = q1.key_latency_quantile_bounds(k);
         let sim = ecdf.quantile(k);
-        println!("  k={k}: band=({:.1},{:.1})us sim={:.1}us", lo*1e6, hi*1e6, sim*1e6);
+        println!(
+            "  k={k}: band=({:.1},{:.1})us sim={:.1}us",
+            lo * 1e6,
+            hi * 1e6,
+            sim * 1e6
+        );
     }
 }
 

@@ -28,9 +28,17 @@ pub fn ablation_redundancy() -> ExpResult {
     let requests = if quick_mode() { 4_000 } else { 20_000 };
     let rows = parallel_sweep(lams, |lam0| {
         let run = |rate: f64, seed: u64| {
-            let params = ModelParams::builder().key_rate_per_server(rate).build().unwrap();
-            ClusterSim::run(&SimConfig::new(params).duration(sim_duration()).warmup(0.2).seed(seed))
-                .unwrap()
+            let params = ModelParams::builder()
+                .key_rate_per_server(rate)
+                .build()
+                .unwrap();
+            ClusterSim::run(
+                &SimConfig::new(params)
+                    .duration(sim_duration())
+                    .warmup(0.2)
+                    .seed(seed),
+            )
+            .unwrap()
         };
         // Plain: load λ₀, one copy per key.
         let plain_out = run(lam0, 0xab1);
@@ -40,8 +48,15 @@ pub fn ablation_redundancy() -> ExpResult {
         // min-of-2 per key.
         let dup_out = run(2.0 * lam0, 0xab3);
         let mut rng = rand::rngs::StdRng::seed_from_u64(0xab4);
-        let dup = assemble_requests_replicated(&dup_out, n, requests, 2, &mut rng).ts.mean;
-        vec![lam0 / 1e3, plain * 1e6, dup * 1e6, if dup < plain { 1.0 } else { 0.0 }]
+        let dup = assemble_requests_replicated(&dup_out, n, requests, 2, &mut rng)
+            .ts
+            .mean;
+        vec![
+            lam0 / 1e3,
+            plain * 1e6,
+            dup * 1e6,
+            if dup < plain { 1.0 } else { 0.0 },
+        ]
     });
     let mut r = ExpResult::new(
         "ablation_redundancy",
@@ -51,7 +66,9 @@ pub fn ablation_redundancy() -> ExpResult {
     for row in rows {
         r.push_row(row);
     }
-    r.note("redundancy wins while 2λ₀ stays well below the cliff; past it the extra load dominates");
+    r.note(
+        "redundancy wins while 2λ₀ stays well below the cliff; past it the extra load dominates",
+    );
     r
 }
 
@@ -74,7 +91,10 @@ pub fn ablation_bound_tightness() -> ExpResult {
         let model = ServerLatencyModel::new(&params).unwrap();
         let wide = model.theorem1_bounds(150);
         let tight = model.product_form_bounds(150);
-        let cfg = SimConfig::new(params).duration(sim_duration()).warmup(0.2).seed(0xab5);
+        let cfg = SimConfig::new(params)
+            .duration(sim_duration())
+            .warmup(0.2)
+            .seed(0xab5);
         let sim = ClusterSim::run(&cfg).unwrap().expected_server_latency(150);
         vec![
             p1,
@@ -86,7 +106,12 @@ pub fn ablation_bound_tightness() -> ExpResult {
     let mut r = ExpResult::new(
         "ablation_bounds",
         "Ablation — relative width of Theorem-1 band vs product form, and product-vs-sim error",
-        &["p1", "thm1_rel_width", "product_rel_width", "product_vs_sim_err"],
+        &[
+            "p1",
+            "thm1_rel_width",
+            "product_rel_width",
+            "product_vs_sim_err",
+        ],
     );
     for row in rows {
         r.push_row(row);
@@ -145,7 +170,10 @@ pub fn ablation_independence() -> ExpResult {
             .build()
             .unwrap();
         let out = ClusterSim::run(
-            &SimConfig::new(params.clone()).duration(sim_duration()).warmup(0.2).seed(0xab6),
+            &SimConfig::new(params.clone())
+                .duration(sim_duration())
+                .warmup(0.2)
+                .seed(0xab6),
         )
         .unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(0xab7);
@@ -154,12 +182,24 @@ pub fn ablation_independence() -> ExpResult {
             .unwrap()
             .ts
             .mean;
-        vec![m as f64, n as f64 / m as f64, indep * 1e6, corr * 1e6, corr / indep]
+        vec![
+            m as f64,
+            n as f64 / m as f64,
+            indep * 1e6,
+            corr * 1e6,
+            corr / indep,
+        ]
     });
     let mut r = ExpResult::new(
         "ablation_independence",
         "Ablation — true fan-out (e2e) vs independent-draw assembly, E[T_S(N)]",
-        &["servers", "keys_per_server_per_req", "assembly_us", "e2e_us", "ratio"],
+        &[
+            "servers",
+            "keys_per_server_per_req",
+            "assembly_us",
+            "e2e_us",
+            "ratio",
+        ],
     );
     for row in rows {
         r.push_row(row);
@@ -184,12 +224,16 @@ pub fn ablation_eviction_policy() -> ExpResult {
 
     let keyspace = 200_000u64;
     let zipf = memlat_dist::Zipf::new(keyspace, 1.01).unwrap();
-    let accesses = if quick_mode() { 300_000usize } else { 2_000_000 };
+    let accesses = if quick_mode() {
+        300_000usize
+    } else {
+        2_000_000
+    };
     let value_size = 300usize;
     // Per-key refetch cost (ms): keys whose hash lands in the top decile
     // are served by a slow backend.
     let cost_of = |key: u64| {
-        if memlat_workload::placement::mix64(key) % 10 == 0 {
+        if memlat_workload::placement::mix64(key).is_multiple_of(10) {
             10.0
         } else {
             1.0
@@ -261,7 +305,10 @@ pub fn ablation_request_law() -> ExpResult {
         let params = ModelParams::builder().miss_ratio(miss).build().unwrap();
         let law = RequestLatencyLaw::new(&params).unwrap();
         let out = ClusterSim::run(
-            &SimConfig::new(params.clone()).duration(sim_duration()).warmup(0.2).seed(0xaba),
+            &SimConfig::new(params.clone())
+                .duration(sim_duration())
+                .warmup(0.2)
+                .seed(0xaba),
         )
         .unwrap();
         // Raw request samples (not just means): draw totals directly.
@@ -291,14 +338,22 @@ pub fn ablation_request_law() -> ExpResult {
     let mut r = ExpResult::new(
         "ablation_request_law",
         "Ablation — closed-form T(N) law vs simulated request samples (KS distance)",
-        &["miss_ratio", "law_mean_us", "sim_mean_us", "ks_distance", "rel_mean_err"],
+        &[
+            "miss_ratio",
+            "law_mean_us",
+            "sim_mean_us",
+            "ks_distance",
+            "rel_mean_err",
+        ],
     );
     for row in rows {
         r.push_row(row);
     }
     r.note("small KS ⇒ the analytic distribution (not just the mean) matches the simulated one");
-    r.note("KS shrinks as r grows: the (exactly iid-exponential) database maxima dominate; at r=0 \
-            the residual is finite-sample burst correlation in the server records");
+    r.note(
+        "KS shrinks as r grows: the (exactly iid-exponential) database maxima dominate; at r=0 \
+            the residual is finite-sample burst correlation in the server records",
+    );
     r
 }
 
@@ -351,7 +406,11 @@ mod tests {
         let wins = t.column("redundancy_wins").unwrap();
         // Redundancy wins at the lightest load and loses at the heaviest.
         assert_eq!(wins[0], 1.0, "redundancy should win at 10 Kps");
-        assert_eq!(*wins.last().unwrap(), 0.0, "redundancy should lose at 35 Kps (70 Kps doubled)");
+        assert_eq!(
+            *wins.last().unwrap(),
+            0.0,
+            "redundancy should lose at 35 Kps (70 Kps doubled)"
+        );
     }
 
     #[test]
@@ -362,7 +421,10 @@ mod tests {
         // At every budget, GDW's cost per lookup is at most LRU's (ratio
         // ≥ 1), and strictly better at the tight budgets.
         assert!(advantage.iter().all(|&a| a > 0.95), "{advantage:?}");
-        assert!(advantage[0] > 1.02, "no cost advantage at the tightest budget: {advantage:?}");
+        assert!(
+            advantage[0] > 1.02,
+            "no cost advantage at the tightest budget: {advantage:?}"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! * every function is deterministic given the ambient profile
 //!   (seeds are fixed constants).
 
-use memlat_cluster::{assembly::assemble_requests, ClusterSim, SimConfig};
+use memlat_cluster::{assembly::assemble_requests, ClusterSim, Retention, SimConfig};
 use memlat_model::{
     cliff, database, ArrivalPattern, LoadDistribution, ModelParams, ServerLatencyModel,
 };
@@ -21,7 +21,9 @@ use crate::{parallel_sweep, quick_mode, request_count, sim_duration, ExpResult};
 /// The paper's §5.1 base configuration.
 #[must_use]
 pub fn base_params() -> ModelParams {
-    ModelParams::builder().build().expect("paper defaults are valid")
+    ModelParams::builder()
+        .build()
+        .expect("paper defaults are valid")
 }
 
 fn with_key_rate(lam: f64) -> ModelParams {
@@ -33,8 +35,16 @@ fn with_key_rate(lam: f64) -> ModelParams {
 
 /// Measured `E[T_S(N)]` (µs) for a parameter set via the simulator's
 /// pooled-quantile estimator.
+///
+/// Sweeps only need the pooled quantile, so the run keeps streaming
+/// summaries instead of per-key buffers ([`Retention::Summary`]): memory
+/// stays flat however long the simulated duration.
 fn ts_sim_us(params: &ModelParams, n: u64, seed: u64) -> f64 {
-    let cfg = SimConfig::new(params.clone()).duration(sim_duration()).warmup(0.2).seed(seed);
+    let cfg = SimConfig::new(params.clone())
+        .duration(sim_duration())
+        .warmup(0.2)
+        .seed(seed)
+        .retention(Retention::Summary);
     let out = ClusterSim::run(&cfg).expect("stable sweep point");
     out.expected_server_latency(n) * 1e6
 }
@@ -93,22 +103,31 @@ pub fn table3() -> ExpResult {
         (est.total.lower * 1e6, est.total.upper * 1e6),
     ];
     let sim = [
-        (stats.network * 1e6, stats.network * 1e6, stats.network * 1e6),
-        (stats.ts.mean * 1e6, stats.ts.lower * 1e6, stats.ts.upper * 1e6),
-        (stats.td.mean * 1e6, stats.td.lower * 1e6, stats.td.upper * 1e6),
-        (stats.total.mean * 1e6, stats.total.lower * 1e6, stats.total.upper * 1e6),
+        (
+            stats.network * 1e6,
+            stats.network * 1e6,
+            stats.network * 1e6,
+        ),
+        (
+            stats.ts.mean * 1e6,
+            stats.ts.lower * 1e6,
+            stats.ts.upper * 1e6,
+        ),
+        (
+            stats.td.mean * 1e6,
+            stats.td.lower * 1e6,
+            stats.td.upper * 1e6,
+        ),
+        (
+            stats.total.mean * 1e6,
+            stats.total.lower * 1e6,
+            stats.total.upper * 1e6,
+        ),
     ];
     for i in 0..4 {
         r.push_row(vec![
-            i as f64,
-            paper[i].0,
-            paper[i].1,
-            paper[i].2,
-            model[i].0,
-            model[i].1,
-            sim[i].0,
-            sim[i].1,
-            sim[i].2,
+            i as f64, paper[i].0, paper[i].1, paper[i].2, model[i].0, model[i].1, sim[i].0,
+            sim[i].1, sim[i].2,
         ]);
     }
     r.note("rows: 0=T_N(N) 1=T_S(N) 2=T_D(N) 3=T(N)");
@@ -133,9 +152,13 @@ pub fn table3() -> ExpResult {
 pub fn fig04() -> ExpResult {
     let params = base_params();
     let model = ServerLatencyModel::new(&params).expect("stable");
-    let cfg = SimConfig::new(params).duration(sim_duration()).warmup(0.2).seed(0xf14);
+    let cfg = SimConfig::new(params)
+        .duration(sim_duration())
+        .warmup(0.2)
+        .seed(0xf14)
+        .retention(Retention::Summary);
     let out = ClusterSim::run(&cfg).expect("stable");
-    let ecdf = out.server_latency_ecdf();
+    let sketch = out.pooled_latency_sketch();
 
     let mut r = ExpResult::new(
         "fig04",
@@ -145,11 +168,11 @@ pub fn fig04() -> ExpResult {
     for i in 1..20 {
         let k = i as f64 / 20.0;
         let (lo, hi) = model.single_key_quantile_bounds(k);
-        r.push_row(vec![k, lo * 1e6, hi * 1e6, ecdf.quantile(k) * 1e6]);
+        r.push_row(vec![k, lo * 1e6, hi * 1e6, sketch.quantile(k) * 1e6]);
     }
     for k in [0.97, 0.99] {
         let (lo, hi) = model.single_key_quantile_bounds(k);
-        r.push_row(vec![k, lo * 1e6, hi * 1e6, ecdf.quantile(k) * 1e6]);
+        r.push_row(vec![k, lo * 1e6, hi * 1e6, sketch.quantile(k) * 1e6]);
     }
     r.note("paper Fig. 4: measured quantiles tightly sandwiched by the eq. (9) band up to ~300 µs");
     r
@@ -160,7 +183,10 @@ pub fn fig04() -> ExpResult {
 pub fn fig05() -> ExpResult {
     let qs: Vec<f64> = vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
     let rows = parallel_sweep(qs, |q| {
-        let params = ModelParams::builder().concurrency(q).build().expect("valid q");
+        let params = ModelParams::builder()
+            .concurrency(q)
+            .build()
+            .expect("valid q");
         let (lo, hi) = ts_model_us(&params, 150);
         let sim = ts_sim_us(&params, 150, 0xf15 + (q * 100.0) as u64);
         vec![q, lo, hi, sim]
@@ -205,8 +231,7 @@ pub fn fig06() -> ExpResult {
 /// Fig. 7 — `E[T_S(N)]` vs per-server arrival rate `λ ∈ [10, 75] Kps`.
 #[must_use]
 pub fn fig07() -> ExpResult {
-    let lams: Vec<f64> =
-        vec![10e3, 20e3, 30e3, 40e3, 50e3, 55e3, 60e3, 65e3, 70e3, 75e3];
+    let lams: Vec<f64> = vec![10e3, 20e3, 30e3, 40e3, 50e3, 55e3, 60e3, 65e3, 70e3, 75e3];
     let rows = parallel_sweep(lams, |lam| {
         let params = with_key_rate(lam);
         let (lo, hi) = ts_model_us(&params, 150);
@@ -315,7 +340,13 @@ pub fn fig10() -> ExpResult {
         let wide = model.theorem1_bounds(150);
         let tight = model.product_form_bounds(150);
         let sim = ts_sim_us(&params, 150, 0xf1a + (p1 * 100.0) as u64);
-        vec![p1, wide.lower * 1e6, wide.upper * 1e6, tight.upper * 1e6, sim]
+        vec![
+            p1,
+            wide.lower * 1e6,
+            wide.upper * 1e6,
+            tight.upper * 1e6,
+            sim,
+        ]
     });
     let mut r = ExpResult::new(
         "fig10",
@@ -341,12 +372,18 @@ pub fn fig11() -> ExpResult {
         "Fig. 11 — E[T_D(N)] (ms) vs cache miss ratio r (1/µ_D = 1 ms)",
         &[
             "r",
-            "n1_model_ms", "n1_sim_ms",
-            "n4_model_ms", "n4_sim_ms",
-            "n10_model_ms", "n10_sim_ms",
-            "n100_model_ms", "n100_sim_ms",
-            "n1000_model_ms", "n1000_sim_ms",
-            "n10000_model_ms", "n10000_sim_ms",
+            "n1_model_ms",
+            "n1_sim_ms",
+            "n4_model_ms",
+            "n4_sim_ms",
+            "n10_model_ms",
+            "n10_sim_ms",
+            "n100_model_ms",
+            "n100_sim_ms",
+            "n1000_model_ms",
+            "n1000_sim_ms",
+            "n10000_model_ms",
+            "n10000_sim_ms",
         ],
     );
     let rows = parallel_sweep(rs.to_vec(), |miss| {
@@ -371,7 +408,9 @@ pub fn fig11() -> ExpResult {
         r.push_row(row);
     }
     r.note("paper Fig. 11: Θ(r) growth for small N (left panel), Θ(log r) for large N (right)");
-    r.note("sim exceeds eq. 23 systematically for moderate N·r — the ln(K+1) bias (EXPERIMENTS.md)");
+    r.note(
+        "sim exceeds eq. 23 systematically for moderate N·r — the ln(K+1) bias (EXPERIMENTS.md)",
+    );
     r
 }
 
@@ -386,9 +425,15 @@ pub fn fig12() -> ExpResult {
     // N = 10⁴ needs the 0.9999-quantile: bursty (GPD) arrivals correlate
     // tail samples, so the run must be long for the estimate to settle.
     let dur = if quick_mode() { 1.0 } else { 20.0 };
-    let cfg = SimConfig::new(params).duration(dur).warmup(0.2).seed(0xf1c);
+    // The long run is exactly where per-key buffers hurt: Summary
+    // retention answers every quantile from the constant-size sketch.
+    let cfg = SimConfig::new(params)
+        .duration(dur)
+        .warmup(0.2)
+        .seed(0xf1c)
+        .retention(Retention::Summary);
     let out = ClusterSim::run(&cfg).expect("stable");
-    let ecdf = out.server_latency_ecdf();
+    let sketch = out.pooled_latency_sketch();
 
     let ns: &[u64] = if quick_mode() {
         &[1, 10, 100, 1_000]
@@ -403,7 +448,12 @@ pub fn fig12() -> ExpResult {
     for &n in ns {
         let b = model.product_form_bounds(n);
         let k = memlat_stats::max_order_quantile(n);
-        r.push_row(vec![n as f64, b.lower * 1e6, b.upper * 1e6, ecdf.quantile(k) * 1e6]);
+        r.push_row(vec![
+            n as f64,
+            b.lower * 1e6,
+            b.upper * 1e6,
+            sketch.quantile(k) * 1e6,
+        ]);
     }
     r.note("paper Fig. 12: logarithmic growth, ~150 µs at N=1 to ~600 µs at N=10⁴");
     r.note("the N=10⁴ sim point estimates an extreme (0.9999) quantile under bursty arrivals; expect a few % of upward noise");
@@ -483,7 +533,11 @@ mod tests {
         let hi = t.rows[1][5];
         assert!(lo > 300.0 && hi < 450.0, "({lo}, {hi})");
         // Sim T_S mean within 25% of the paper's 368 µs.
-        assert!((t.rows[1][6] / 368.0 - 1.0).abs() < 0.25, "{}", t.rows[1][6]);
+        assert!(
+            (t.rows[1][6] / 368.0 - 1.0).abs() < 0.25,
+            "{}",
+            t.rows[1][6]
+        );
     }
 
     #[test]
@@ -549,7 +603,12 @@ mod tests {
         // Sim tracks the exact column better than eq. 23 at mid N.
         let exact = f.column("model_exact_ms").unwrap();
         for i in 1..sim.len() {
-            assert!((sim[i] / exact[i] - 1.0).abs() < 0.25, "i={i}: {} vs {}", sim[i], exact[i]);
+            assert!(
+                (sim[i] / exact[i] - 1.0).abs() < 0.25,
+                "i={i}: {} vs {}",
+                sim[i],
+                exact[i]
+            );
         }
     }
 

@@ -59,7 +59,12 @@ impl ExpResult {
     ///
     /// Panics if the row width does not match the headers.
     pub fn push_row(&mut self, row: Vec<f64>) {
-        assert_eq!(row.len(), self.columns.len(), "row width mismatch in {}", self.id);
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width mismatch in {}",
+            self.id
+        );
         self.rows.push(row);
     }
 
@@ -73,11 +78,7 @@ impl ExpResult {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.title);
-        let widths: Vec<usize> = self
-            .columns
-            .iter()
-            .map(|c| c.len().max(12))
-            .collect();
+        let widths: Vec<usize> = self.columns.iter().map(|c| c.len().max(12)).collect();
         for (c, w) in self.columns.iter().zip(&widths) {
             let _ = write!(out, "{c:>w$} ", w = w);
         }
@@ -165,7 +166,9 @@ pub fn results_dir() -> PathBuf {
 /// Whether the cheap profile is requested (`MEMLAT_QUICK=1`).
 #[must_use]
 pub fn quick_mode() -> bool {
-    std::env::var("MEMLAT_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("MEMLAT_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Simulated seconds per sweep point for the current profile.
@@ -188,7 +191,7 @@ pub fn request_count() -> usize {
     }
 }
 
-/// Runs sweep points in parallel with crossbeam, preserving order.
+/// Runs sweep points in parallel with scoped threads, preserving order.
 pub fn parallel_sweep<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
 where
     I: Send,
@@ -197,16 +200,18 @@ where
 {
     let mut outputs: Vec<Option<O>> = Vec::new();
     outputs.resize_with(inputs.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (input, slot) in inputs.into_iter().zip(outputs.iter_mut()) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(f(input));
             });
         }
-    })
-    .expect("sweep thread panicked");
-    outputs.into_iter().map(|o| o.expect("sweep slot unfilled")).collect()
+    });
+    outputs
+        .into_iter()
+        .map(|o| o.expect("sweep slot unfilled"))
+        .collect()
 }
 
 #[cfg(test)]

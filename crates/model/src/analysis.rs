@@ -97,7 +97,12 @@ pub fn factor_impacts(params: &ModelParams) -> Result<Vec<FactorImpact>, ModelEr
     let mut push = |factor: &'static str, change: String, alt: Result<ModelParams, ModelError>| {
         if let Ok(p) = alt {
             if let Ok(est) = LatencyEstimate::compute(&p) {
-                out.push(FactorImpact { factor, change, before: base, after: est.point() });
+                out.push(FactorImpact {
+                    factor,
+                    change,
+                    before: base,
+                    after: est.point(),
+                });
             }
         }
     };
@@ -136,8 +141,14 @@ pub fn factor_impacts(params: &ModelParams) -> Result<Vec<FactorImpact>, ModelEr
             let balanced = 1.0 / m as f64;
             if p1 > balanced + 1e-9 {
                 let new_p1 = balanced + (p1 - balanced) / 2.0;
-                let alt = rebuild(params, |b| b.load(LoadDistribution::HotServer { p1: new_p1 }));
-                push("load imbalance p1", format!("p1: {p1:.2} → {new_p1:.2}"), alt);
+                let alt = rebuild(params, |b| {
+                    b.load(LoadDistribution::HotServer { p1: new_p1 })
+                });
+                push(
+                    "load imbalance p1",
+                    format!("p1: {p1:.2} → {new_p1:.2}"),
+                    alt,
+                );
             }
         }
     }
@@ -190,8 +201,7 @@ pub fn recommendations(params: &ModelParams) -> Result<Vec<Recommendation>, Mode
     let xi = params.arrival().burst_degree().unwrap_or(0.0);
     let cliff = cliff::cliff_utilization(xi, params.concurrency())?;
     let peak = params.peak_utilization()?;
-    let mean_util =
-        params.total_key_rate() / (params.servers() as f64 * params.service_rate());
+    let mean_util = params.total_key_rate() / (params.servers() as f64 * params.service_rate());
 
     // Recommendation 1: utilization headroom.
     if peak > cliff {
@@ -297,7 +307,11 @@ mod tests {
         let mut prev = f64::INFINITY;
         for i in &impacts {
             assert!(i.relative_gain() <= prev + 1e-12);
-            assert!(i.after <= i.before + 1e-12, "{} made things worse", i.factor);
+            assert!(
+                i.after <= i.before + 1e-12,
+                "{} made things worse",
+                i.factor
+            );
             prev = i.relative_gain();
             assert!(!i.to_string().is_empty());
         }
@@ -320,16 +334,27 @@ mod tests {
         // the model recommends reducing utilization; and N = 150 is the
         // logarithmic regime, so it recommends reducing N over r.
         let recs = recommendations(&base()).unwrap();
-        let text = recs.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n");
+        let text = recs
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(text.contains("reduce peak server utilization"), "{text}");
         assert!(text.contains("fan-out"), "{text}");
     }
 
     #[test]
     fn light_load_recommends_nothing_drastic() {
-        let p = ModelParams::builder().key_rate_per_server(20_000.0).build().unwrap();
+        let p = ModelParams::builder()
+            .key_rate_per_server(20_000.0)
+            .build()
+            .unwrap();
         let recs = recommendations(&p).unwrap();
-        let text = recs.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n");
+        let text = recs
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(text.contains("below the cliff"), "{text}");
         assert!(text.contains("load balancing unnecessary"), "{text}");
     }
@@ -338,7 +363,11 @@ mod tests {
     fn small_fanout_flips_db_recommendation() {
         let p = ModelParams::builder().keys_per_request(4).build().unwrap();
         let recs = recommendations(&p).unwrap();
-        let text = recs.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n");
+        let text = recs
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(text.contains("linearly"), "{text}");
     }
 
@@ -348,7 +377,11 @@ mod tests {
         // halving N beats halving r.
         let impacts = factor_impacts(&base()).unwrap();
         let gain = |name: &str| {
-            impacts.iter().find(|i| i.factor == name).map(|i| i.relative_gain()).unwrap()
+            impacts
+                .iter()
+                .find(|i| i.factor == name)
+                .map(|i| i.relative_gain())
+                .unwrap()
         };
         assert!(gain("keys per request N") > gain("miss ratio r"));
     }

@@ -67,12 +67,24 @@ mod tests {
     #[test]
     fn regimes_match_eq_25() {
         // Small N: linear.
-        assert_eq!(db_scaling_regime(1, 0.01), DbScalingRegime::LinearInMissRatio);
-        assert_eq!(db_scaling_regime(10, 0.01), DbScalingRegime::LinearInMissRatio);
+        assert_eq!(
+            db_scaling_regime(1, 0.01),
+            DbScalingRegime::LinearInMissRatio
+        );
+        assert_eq!(
+            db_scaling_regime(10, 0.01),
+            DbScalingRegime::LinearInMissRatio
+        );
         // Large N: logarithmic.
-        assert_eq!(db_scaling_regime(1_000, 0.01), DbScalingRegime::LogarithmicInMissRatio);
+        assert_eq!(
+            db_scaling_regime(1_000, 0.01),
+            DbScalingRegime::LogarithmicInMissRatio
+        );
         // Large r flips even small N.
-        assert_eq!(db_scaling_regime(10, 0.5), DbScalingRegime::LogarithmicInMissRatio);
+        assert_eq!(
+            db_scaling_regime(10, 0.5),
+            DbScalingRegime::LogarithmicInMissRatio
+        );
     }
 
     #[test]

@@ -27,11 +27,7 @@ pub const DELTA_STAR: f64 = 0.80;
 /// # Errors
 ///
 /// Propagates solver errors; `ρ ≥ 1` is unstable.
-pub fn delta_at_utilization(
-    pattern: ArrivalPattern,
-    rho: f64,
-    q: f64,
-) -> Result<f64, ModelError> {
+pub fn delta_at_utilization(pattern: ArrivalPattern, rho: f64, q: f64) -> Result<f64, ModelError> {
     if !(rho.is_finite() && rho > 0.0 && rho < 1.0) {
         return Err(ModelError::InvalidParam(format!(
             "utilization must be in (0,1), got {rho}"
@@ -241,10 +237,22 @@ mod tests {
 
     #[test]
     fn knee_detector_is_range_sensitive_not_xi_sensitive() {
-        let a = knee_utilization(ArrivalPattern::GeneralizedPareto { xi: 0.0 }, 0.1, 0.1, 0.95, 100)
-            .unwrap();
-        let b = knee_utilization(ArrivalPattern::GeneralizedPareto { xi: 0.6 }, 0.1, 0.1, 0.95, 100)
-            .unwrap();
+        let a = knee_utilization(
+            ArrivalPattern::GeneralizedPareto { xi: 0.0 },
+            0.1,
+            0.1,
+            0.95,
+            100,
+        )
+        .unwrap();
+        let b = knee_utilization(
+            ArrivalPattern::GeneralizedPareto { xi: 0.6 },
+            0.1,
+            0.1,
+            0.95,
+            100,
+        )
+        .unwrap();
         // Both knees sit high and close together — the ablation result.
         assert!(a > 0.6 && b > 0.6);
         assert!((a - b).abs() < 0.15);

@@ -2,12 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{database, params::ModelParams, server::ServerLatencyModel, ModelError};
 
 /// A closed interval `[lower, upper]` of latencies (seconds).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Bounds {
     /// Lower bound (seconds).
     pub lower: f64,
@@ -51,7 +49,12 @@ impl Bounds {
 
 impl fmt::Display for Bounds {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:.1} µs, {:.1} µs]", self.lower * 1e6, self.upper * 1e6)
+        write!(
+            f,
+            "[{:.1} µs, {:.1} µs]",
+            self.lower * 1e6,
+            self.upper * 1e6
+        )
     }
 }
 
@@ -74,7 +77,7 @@ impl fmt::Display for Bounds {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyEstimate {
     /// `T_N(N)`: the constant network latency (paper eq. 2).
     pub network: f64,
@@ -108,15 +111,21 @@ impl LatencyEstimate {
         let server = server_model.product_form_bounds(n);
         let server_closed_form = server_model.theorem1_bounds(n);
         let network = params.network_latency();
-        let database =
-            database::db_latency_mean(n, params.miss_ratio(), params.db_service_rate());
+        let database = database::db_latency_mean(n, params.miss_ratio(), params.db_service_rate());
         let database_exact =
             database::db_latency_mean_exact(n, params.miss_ratio(), params.db_service_rate());
         let total = Bounds::new(
             network.max(server.lower).max(database),
             network + server.upper + database,
         );
-        Ok(Self { network, server, server_closed_form, database, database_exact, total })
+        Ok(Self {
+            network,
+            server,
+            server_closed_form,
+            database,
+            database_exact,
+            total,
+        })
     }
 
     /// A single point estimate of the end-user latency: network plus the
@@ -131,7 +140,11 @@ impl LatencyEstimate {
 impl fmt::Display for LatencyEstimate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "T_N(N)  = {:>9.1} µs (constant)", self.network * 1e6)?;
-        writeln!(f, "T_S(N)  = {} (closed form {})", self.server, self.server_closed_form)?;
+        writeln!(
+            f,
+            "T_S(N)  = {} (closed form {})",
+            self.server, self.server_closed_form
+        )?;
         writeln!(
             f,
             "T_D(N)  = {:>9.1} µs (exact-in-model {:.1} µs)",
@@ -162,7 +175,11 @@ mod tests {
         assert!((est.database * 1e6 - 836.0).abs() < 2.0);
         // T(N): paper bounds 836–1222 µs; measured 1144 µs inside.
         assert!((est.total.lower * 1e6 - 836.0).abs() < 5.0, "{}", est.total);
-        assert!((est.total.upper * 1e6 - 1222.0).abs() < 15.0, "{}", est.total);
+        assert!(
+            (est.total.upper * 1e6 - 1222.0).abs() < 15.0,
+            "{}",
+            est.total
+        );
         assert!(est.total.contains(1144e-6, 0.0));
     }
 

@@ -4,7 +4,6 @@
 use memlat_dist::{
     Continuous, Deterministic, Exponential, Gamma, GeneralizedPareto, Hyperexponential, Uniform,
 };
-use serde::{Deserialize, Serialize};
 
 use crate::{latency::LatencyEstimate, ModelError};
 
@@ -13,7 +12,7 @@ use crate::{latency::LatencyEstimate, ModelError};
 /// All variants describe the *shape* of the inter-batch gap `T_X`; the
 /// rate is supplied separately so sweeps can vary load and shape
 /// independently (the scale-invariance behind Proposition 2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ArrivalPattern {
     /// Poisson arrivals (exponential gaps) — the paper's `ξ = 0` case.
     Poisson,
@@ -83,7 +82,7 @@ impl ArrivalPattern {
 
 /// How total key load spreads across the `M` memcached servers — the
 /// paper's `{p_j}` with `Σ p_j = 1`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LoadDistribution {
     /// Every server receives `1/M` of the keys.
     Balanced,
@@ -158,10 +157,7 @@ impl LoadDistribution {
     ///
     /// Same as [`LoadDistribution::shares`].
     pub fn p1(&self, m: usize) -> Result<f64, ModelError> {
-        Ok(self
-            .shares(m)?
-            .into_iter()
-            .fold(0.0, f64::max))
+        Ok(self.shares(m)?.into_iter().fold(0.0, f64::max))
     }
 }
 
@@ -181,7 +177,7 @@ impl LoadDistribution {
 /// | `T_N` | `network_latency` |
 ///
 /// Construct with [`ModelParams::builder`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelParams {
     n_keys: u64,
     servers: usize,
@@ -313,7 +309,9 @@ impl ModelParams {
     /// Returns [`ModelError::InvalidParam`] if `r ∉ [0, 1]`.
     pub fn with_miss_ratio(&self, r: f64) -> Result<Self, ModelError> {
         if !(r.is_finite() && (0.0..=1.0).contains(&r)) {
-            return Err(ModelError::InvalidParam(format!("miss ratio must be in [0,1], got {r}")));
+            return Err(ModelError::InvalidParam(format!(
+                "miss ratio must be in [0,1], got {r}"
+            )));
         }
         let mut c = self.clone();
         c.miss_ratio = r;
@@ -451,7 +449,9 @@ impl ModelParamsBuilder {
     /// ambiguous).
     pub fn build(self) -> Result<ModelParams, ModelError> {
         if self.n_keys == 0 {
-            return Err(ModelError::InvalidParam("keys per request must be at least 1".into()));
+            return Err(ModelError::InvalidParam(
+                "keys per request must be at least 1".into(),
+            ));
         }
         if self.servers == 0 {
             return Err(ModelError::InvalidParam("need at least one server".into()));
@@ -554,8 +554,14 @@ mod tests {
         assert!(ModelParams::builder().servers(0).build().is_err());
         assert!(ModelParams::builder().concurrency(1.0).build().is_err());
         assert!(ModelParams::builder().miss_ratio(1.5).build().is_err());
-        assert!(ModelParams::builder().network_latency(-1.0).build().is_err());
-        assert!(ModelParams::builder().key_rate_per_server(-5.0).build().is_err());
+        assert!(ModelParams::builder()
+            .network_latency(-1.0)
+            .build()
+            .is_err());
+        assert!(ModelParams::builder()
+            .key_rate_per_server(-5.0)
+            .build()
+            .is_err());
         // per-server rate + unbalanced load is ambiguous.
         assert!(ModelParams::builder()
             .load(LoadDistribution::HotServer { p1: 0.75 })
@@ -570,10 +576,7 @@ mod tests {
 
     #[test]
     fn load_distribution_shapes() {
-        assert_eq!(
-            LoadDistribution::Balanced.shares(4).unwrap(),
-            vec![0.25; 4]
-        );
+        assert_eq!(LoadDistribution::Balanced.shares(4).unwrap(), vec![0.25; 4]);
         let hot = LoadDistribution::HotServer { p1: 0.7 }.shares(4).unwrap();
         assert!((hot[0] - 0.7).abs() < 1e-12);
         assert!((hot[1] - 0.1).abs() < 1e-12);
@@ -599,7 +602,9 @@ mod tests {
             assert!((d.mean() - 1e-3).abs() < 1e-12, "{pat:?}");
         }
         assert!(ArrivalPattern::Poisson.interarrival(0.0).is_err());
-        assert!(ArrivalPattern::GeneralizedPareto { xi: 1.5 }.interarrival(1.0).is_err());
+        assert!(ArrivalPattern::GeneralizedPareto { xi: 1.5 }
+            .interarrival(1.0)
+            .is_err());
     }
 
     #[test]
@@ -620,5 +625,4 @@ mod tests {
         assert!(p.with_miss_ratio(2.0).is_err());
         assert_eq!(p.with_miss_ratio(0.05).unwrap().miss_ratio(), 0.05);
     }
-
 }

@@ -79,7 +79,9 @@ impl RequestLatencyLaw {
         let shares = params.load().shares(params.servers())?;
         let mut servers = Vec::new();
         for (idx, &p) in shares.iter().filter(|&&p| p > 0.0).enumerate() {
-            let queue = model.queue(idx).expect("loaded queues align with positive shares");
+            let queue = model
+                .queue(idx)
+                .expect("loaded queues align with positive shares");
             // η_j: the per-key law at j is exactly Exp(η_j).
             debug_assert!(ExactKeyLatency::new(queue).mean() > 0.0);
             servers.push((queue.decay_rate(), p));
@@ -144,7 +146,11 @@ impl RequestLatencyLaw {
             .iter()
             .map(|&(eta, _)| eta)
             .fold(f64::INFINITY, f64::min)
-            .min(if self.miss_ratio > 0.0 { self.mu_d } else { f64::INFINITY });
+            .min(if self.miss_ratio > 0.0 {
+                self.mu_d
+            } else {
+                f64::INFINITY
+            });
         let mut hi = self.network + (self.n.ln() + 5.0) / slowest;
         let mut guard = 0;
         while self.cdf(hi) < p {
@@ -248,7 +254,10 @@ mod tests {
             .total_key_rate(80_000.0)
             .build()
             .unwrap();
-        let bal = ModelParams::builder().total_key_rate(80_000.0).build().unwrap();
+        let bal = ModelParams::builder()
+            .total_key_rate(80_000.0)
+            .build()
+            .unwrap();
         let hot_mean = RequestLatencyLaw::new(&hot).unwrap().mean();
         let bal_mean = RequestLatencyLaw::new(&bal).unwrap().mean();
         assert!(hot_mean > bal_mean, "{hot_mean} vs {bal_mean}");

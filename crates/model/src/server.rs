@@ -3,11 +3,7 @@
 
 use memlat_queue::GixM1;
 
-use crate::{
-    latency::Bounds,
-    params::ModelParams,
-    ModelError,
-};
+use crate::{latency::Bounds, params::ModelParams, ModelError};
 
 /// The per-server queueing layer of the model: one solved GI^X/M/1 queue
 /// per memcached server, plus the fork-join aggregation of §4.3.2.
@@ -73,7 +69,9 @@ impl ServerLatencyModel {
             shares.push(p);
         }
         if queues.is_empty() {
-            return Err(ModelError::InvalidParam("all servers have zero load".into()));
+            return Err(ModelError::InvalidParam(
+                "all servers have zero load".into(),
+            ));
         }
         // Re-normalize in case zero-share servers were dropped (they keep
         // Σ p_j = 1 anyway, but guard against fp drift).
@@ -83,7 +81,11 @@ impl ServerLatencyModel {
             .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
-        Ok(Self { queues, shares, heaviest })
+        Ok(Self {
+            queues,
+            shares,
+            heaviest,
+        })
     }
 
     /// The solved queue of server `j`.
@@ -385,8 +387,13 @@ mod tests {
 
     #[test]
     fn poisson_less_latency_than_pareto_at_same_load() {
-        let pareto = ServerLatencyModel::new(&base()).unwrap().expected_latency(150);
-        let poisson_params = ModelParams::builder().arrival(ArrivalPattern::Poisson).build().unwrap();
+        let pareto = ServerLatencyModel::new(&base())
+            .unwrap()
+            .expected_latency(150);
+        let poisson_params = ModelParams::builder()
+            .arrival(ArrivalPattern::Poisson)
+            .build()
+            .unwrap();
         let poisson = ServerLatencyModel::new(&poisson_params)
             .unwrap()
             .expected_latency(150);
@@ -438,8 +445,12 @@ mod tests {
             .total_key_rate(80_000.0)
             .build()
             .unwrap();
-        let q_hot = ServerLatencyModel::new(&hot).unwrap().fork_join_quantile(150, 0.99);
-        let q_bal = ServerLatencyModel::new(&balanced).unwrap().fork_join_quantile(150, 0.99);
+        let q_hot = ServerLatencyModel::new(&hot)
+            .unwrap()
+            .fork_join_quantile(150, 0.99);
+        let q_bal = ServerLatencyModel::new(&balanced)
+            .unwrap()
+            .fork_join_quantile(150, 0.99);
         assert!(q_hot > q_bal, "{q_hot} vs {q_bal}");
     }
 

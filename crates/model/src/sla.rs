@@ -69,7 +69,9 @@ fn latency_at(req: &PlanningRequest, rate: f64) -> Option<f64> {
         .service_rate(req.service_rate)
         .build()
         .ok()?;
-    ServerLatencyModel::new(&params).ok().map(|m| m.expected_latency(req.keys_per_request))
+    ServerLatencyModel::new(&params)
+        .ok()
+        .map(|m| m.expected_latency(req.keys_per_request))
 }
 
 /// Computes a [`CapacityPlan`] by bisecting the per-server rate against
@@ -82,7 +84,10 @@ fn latency_at(req: &PlanningRequest, rate: f64) -> Option<f64> {
 /// request parameters are invalid.
 pub fn plan(req: &PlanningRequest) -> Result<CapacityPlan, ModelError> {
     if !(req.sla.is_finite() && req.sla > 0.0) {
-        return Err(ModelError::InvalidParam(format!("SLA must be positive, got {}", req.sla)));
+        return Err(ModelError::InvalidParam(format!(
+            "SLA must be positive, got {}",
+            req.sla
+        )));
     }
     if !(req.total_load.is_finite() && req.total_load > 0.0) {
         return Err(ModelError::InvalidParam(format!(
@@ -128,9 +133,17 @@ mod tests {
         let p = plan(&PlanningRequest::facebook(500e-6, 1_000_000.0)).unwrap();
         // From the capacity example: ~67 Kps per server, ~84% util, 15
         // servers.
-        assert!((p.max_rate_per_server / 1e3 - 67.0).abs() < 3.0, "{}", p.max_rate_per_server);
+        assert!(
+            (p.max_rate_per_server / 1e3 - 67.0).abs() < 3.0,
+            "{}",
+            p.max_rate_per_server
+        );
         assert!((p.utilization_at_sla - 0.84).abs() < 0.04);
-        assert!((14..=16).contains(&p.servers_needed), "{}", p.servers_needed);
+        assert!(
+            (14..=16).contains(&p.servers_needed),
+            "{}",
+            p.servers_needed
+        );
         assert!((p.cliff_utilization - 0.77).abs() < 0.03);
     }
 

@@ -5,13 +5,7 @@ use memlat_model::{
 };
 use proptest::prelude::*;
 
-fn stable_params(
-    rho: f64,
-    q: f64,
-    xi: f64,
-    n: u64,
-    r: f64,
-) -> Option<ModelParams> {
+fn stable_params(rho: f64, q: f64, xi: f64, n: u64, r: f64) -> Option<ModelParams> {
     ModelParams::builder()
         .keys_per_request(n)
         .arrival(ArrivalPattern::GeneralizedPareto { xi })

@@ -74,7 +74,7 @@ pub fn bisect<F: FnMut(f64) -> f64>(
     tol: f64,
     max_iter: usize,
 ) -> Result<f64, RootError> {
-    if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+    if lo >= hi || !lo.is_finite() || !hi.is_finite() {
         return Err(RootError::InvalidBracket);
     }
     let mut a = lo;
@@ -109,7 +109,9 @@ pub fn bisect<F: FnMut(f64) -> f64>(
             b = mid;
         }
     }
-    Err(RootError::MaxIterations { best: 0.5 * (a + b) })
+    Err(RootError::MaxIterations {
+        best: 0.5 * (a + b),
+    })
 }
 
 /// Finds a root of `f` on `[lo, hi]` using Brent's method.
@@ -137,7 +139,7 @@ pub fn brent<F: FnMut(f64) -> f64>(
     tol: f64,
     max_iter: usize,
 ) -> Result<f64, RootError> {
-    if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+    if lo >= hi || !lo.is_finite() || !hi.is_finite() {
         return Err(RootError::InvalidBracket);
     }
     let mut a = lo;
@@ -250,7 +252,10 @@ pub fn unit_fixed_point<F: FnMut(f64) -> f64>(mut g: F, tol: f64) -> Result<f64,
         if fhi < 0.0 {
             return brent(&mut h, 0.0, hi, tol, 200);
         }
-        last_err = RootError::NoBracket { f_lo: h(0.0), f_hi: fhi };
+        last_err = RootError::NoBracket {
+            f_lo: h(0.0),
+            f_hi: fhi,
+        };
     }
     Err(last_err)
 }
@@ -269,9 +274,15 @@ mod tests {
     fn bisect_rejects_bad_bracket() {
         assert_eq!(
             bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100),
-            Err(RootError::NoBracket { f_lo: 2.0, f_hi: 2.0 })
+            Err(RootError::NoBracket {
+                f_lo: 2.0,
+                f_hi: 2.0
+            })
         );
-        assert_eq!(bisect(|x| x, 1.0, 1.0, 1e-12, 100), Err(RootError::InvalidBracket));
+        assert_eq!(
+            bisect(|x| x, 1.0, 1.0, 1e-12, 100),
+            Err(RootError::InvalidBracket)
+        );
     }
 
     #[test]
@@ -297,10 +308,22 @@ mod tests {
 
     #[test]
     fn brent_detects_nan() {
-        let res = brent(|x| if x > 0.5 { f64::NAN } else { -1.0 }, 0.0, 0.4, 1e-12, 100);
+        let res = brent(
+            |x| if x > 0.5 { f64::NAN } else { -1.0 },
+            0.0,
+            0.4,
+            1e-12,
+            100,
+        );
         // f(hi)=f(0.4) is fine (-1), so the bracket has no sign change.
         assert!(matches!(res, Err(RootError::NoBracket { .. })));
-        let res2 = brent(|x| if x > 0.5 { f64::NAN } else { -1.0 }, 0.0, 1.0, 1e-12, 100);
+        let res2 = brent(
+            |x| if x > 0.5 { f64::NAN } else { -1.0 },
+            0.0,
+            1.0,
+            1e-12,
+            100,
+        );
         assert_eq!(res2, Err(RootError::NotANumber));
     }
 
@@ -322,7 +345,10 @@ mod tests {
     #[test]
     fn error_display_is_nonempty() {
         for e in [
-            RootError::NoBracket { f_lo: 1.0, f_hi: 2.0 },
+            RootError::NoBracket {
+                f_lo: 1.0,
+                f_hi: 2.0,
+            },
             RootError::MaxIterations { best: 0.5 },
             RootError::NotANumber,
             RootError::InvalidBracket,

@@ -97,7 +97,8 @@ mod tests {
         let d_det = solve_delta(&Deterministic::new(mean_gap).unwrap(), mu).unwrap();
         let d_erl = solve_delta(&Gamma::erlang(4, mean_gap).unwrap(), mu).unwrap();
         let d_exp = solve_delta(&Exponential::with_mean(mean_gap).unwrap(), mu).unwrap();
-        let d_h2 = solve_delta(&Hyperexponential::with_mean_scv(mean_gap, 4.0).unwrap(), mu).unwrap();
+        let d_h2 =
+            solve_delta(&Hyperexponential::with_mean_scv(mean_gap, 4.0).unwrap(), mu).unwrap();
         let d_gpd = solve_delta(&GeneralizedPareto::with_mean(0.5, mean_gap).unwrap(), mu).unwrap();
         assert!(d_det < d_erl, "{d_det} {d_erl}");
         assert!(d_erl < d_exp, "{d_erl} {d_exp}");
@@ -117,8 +118,14 @@ mod tests {
     #[test]
     fn invalid_service_rate() {
         let gaps = Exponential::new(1.0).unwrap();
-        assert!(matches!(solve_delta(&gaps, 0.0), Err(QueueError::InvalidParam(_))));
-        assert!(matches!(solve_delta(&gaps, f64::NAN), Err(QueueError::InvalidParam(_))));
+        assert!(matches!(
+            solve_delta(&gaps, 0.0),
+            Err(QueueError::InvalidParam(_))
+        ));
+        assert!(matches!(
+            solve_delta(&gaps, f64::NAN),
+            Err(QueueError::InvalidParam(_))
+        ));
     }
 
     #[test]
@@ -127,7 +134,11 @@ mod tests {
         // core of the paper's Proposition 2.
         let d1 = solve_delta(&GeneralizedPareto::facebook(0.3, 100.0).unwrap(), 125.0).unwrap();
         let d2 = solve_delta(&GeneralizedPareto::facebook(0.3, 1_000.0).unwrap(), 1_250.0).unwrap();
-        let d3 = solve_delta(&GeneralizedPareto::facebook(0.3, 56_250.0).unwrap(), 70_312.5).unwrap();
+        let d3 = solve_delta(
+            &GeneralizedPareto::facebook(0.3, 56_250.0).unwrap(),
+            70_312.5,
+        )
+        .unwrap();
         assert!((d1 - d2).abs() < 1e-7, "{d1} {d2}");
         assert!((d1 - d3).abs() < 1e-7, "{d1} {d3}");
     }

@@ -129,7 +129,10 @@ impl ExactKeyLatency {
     /// Panics unless `k ∈ [0, 1)`.
     #[must_use]
     pub fn quantile(&self, k: f64) -> f64 {
-        assert!((0.0..1.0).contains(&k), "quantile requires k in [0,1), got {k}");
+        assert!(
+            (0.0..1.0).contains(&k),
+            "quantile requires k in [0,1), got {k}"
+        );
         -(1.0 - k).ln() / self.eta
     }
 }
@@ -224,7 +227,10 @@ mod tests {
             let idx = ((k * lat.len() as f64) as usize).min(lat.len() - 1);
             let sim = lat[idx];
             let law = exact.quantile(k);
-            assert!((sim / law - 1.0).abs() < 0.05, "k={k}: sim {sim} vs exact {law}");
+            assert!(
+                (sim / law - 1.0).abs() < 0.05,
+                "k={k}: sim {sim} vs exact {law}"
+            );
         }
     }
 }

@@ -44,7 +44,11 @@ impl GiM1 {
     pub fn solve(interarrival: &dyn Continuous, service_rate: f64) -> Result<Self, QueueError> {
         let sigma = solve_delta(interarrival, service_rate)?;
         let utilization = 1.0 / (interarrival.mean() * service_rate);
-        Ok(Self { sigma, service_rate, utilization })
+        Ok(Self {
+            sigma,
+            service_rate,
+            utilization,
+        })
     }
 
     /// Constructs a queue directly from a known decay parameter.
@@ -57,7 +61,9 @@ impl GiM1 {
     /// `μ > 0`.
     pub fn from_sigma(sigma: f64, service_rate: f64, utilization: f64) -> Result<Self, QueueError> {
         if !(sigma.is_finite() && (0.0..1.0).contains(&sigma)) {
-            return Err(QueueError::InvalidParam(format!("sigma must be in (0,1), got {sigma}")));
+            return Err(QueueError::InvalidParam(format!(
+                "sigma must be in (0,1), got {sigma}"
+            )));
         }
         if !(service_rate.is_finite() && service_rate > 0.0) {
             return Err(QueueError::InvalidParam(format!(
@@ -69,7 +75,11 @@ impl GiM1 {
                 "utilization must be in (0,1), got {utilization}"
             )));
         }
-        Ok(Self { sigma, service_rate, utilization })
+        Ok(Self {
+            sigma,
+            service_rate,
+            utilization,
+        })
     }
 
     /// The geometric decay parameter `σ` (the paper's `δ`).
@@ -125,7 +135,10 @@ impl GiM1 {
     /// Panics unless `k ∈ [0, 1)`.
     #[must_use]
     pub fn waiting_quantile(&self, k: f64) -> f64 {
-        assert!((0.0..1.0).contains(&k), "quantile requires k in [0,1), got {k}");
+        assert!(
+            (0.0..1.0).contains(&k),
+            "quantile requires k in [0,1), got {k}"
+        );
         ((self.sigma.ln() - (1.0 - k).ln()) / self.decay_rate()).max(0.0)
     }
 
@@ -137,7 +150,10 @@ impl GiM1 {
     /// Panics unless `k ∈ [0, 1)`.
     #[must_use]
     pub fn sojourn_quantile(&self, k: f64) -> f64 {
-        assert!((0.0..1.0).contains(&k), "quantile requires k in [0,1), got {k}");
+        assert!(
+            (0.0..1.0).contains(&k),
+            "quantile requires k in [0,1), got {k}"
+        );
         -(1.0 - k).ln() / self.decay_rate()
     }
 

@@ -72,7 +72,12 @@ impl GixM1 {
         // Reduce to GI/M/1 with batch service rate (1−q)μ_S.
         let batch = GiM1::solve(interarrival, (1.0 - q) * mu_s)?;
         let key_rate = 1.0 / ((1.0 - q) * interarrival.mean());
-        Ok(Self { batch, q, mu_s, key_rate })
+        Ok(Self {
+            batch,
+            q,
+            mu_s,
+            key_rate,
+        })
     }
 
     /// The decay parameter `δ` of Table 1.
@@ -131,7 +136,10 @@ impl GixM1 {
     /// Panics unless `k ∈ [0, 1)`.
     #[must_use]
     pub fn key_latency_quantile_bounds(&self, k: f64) -> (f64, f64) {
-        (self.batch.waiting_quantile(k), self.batch.sojourn_quantile(k))
+        (
+            self.batch.waiting_quantile(k),
+            self.batch.sojourn_quantile(k),
+        )
     }
 
     /// Bounds on the mean per-key processing latency, `(E[T_Q], E[T_C]]`.
@@ -173,7 +181,7 @@ mod tests {
     }
 
     #[test]
-    fn q_zero_reduces_to_plain_gi_m_1 () {
+    fn q_zero_reduces_to_plain_gi_m_1() {
         let gaps = Exponential::new(50.0).unwrap();
         let batchless = GixM1::new(&gaps, 0.0, 80.0).unwrap();
         let plain = GiM1::solve(&gaps, 80.0).unwrap();

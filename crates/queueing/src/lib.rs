@@ -108,8 +108,12 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(QueueError::Unstable { utilization: 1.2 }.to_string().contains("1.2"));
-        assert!(QueueError::InvalidParam("x".into()).to_string().contains('x'));
+        assert!(QueueError::Unstable { utilization: 1.2 }
+            .to_string()
+            .contains("1.2"));
+        assert!(QueueError::InvalidParam("x".into())
+            .to_string()
+            .contains('x'));
         let s: QueueError = memlat_numerics::RootError::NotANumber.into();
         assert!(s.to_string().contains("solver"));
     }

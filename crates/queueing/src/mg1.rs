@@ -59,7 +59,11 @@ impl MG1 {
         if rho >= 1.0 {
             return Err(QueueError::Unstable { utilization: rho });
         }
-        Ok(Self { arrival_rate, service_mean: m, service_scv: v / (m * m) })
+        Ok(Self {
+            arrival_rate,
+            service_mean: m,
+            service_scv: v / (m * m),
+        })
     }
 
     /// Utilization `ρ = λ·E[S]`.
@@ -98,7 +102,10 @@ mod tests {
     fn rejects_invalid() {
         let s = Exponential::new(1.0).unwrap();
         assert!(MG1::new(-1.0, &s).is_err());
-        assert!(matches!(MG1::new(1.0, &s), Err(QueueError::Unstable { .. })));
+        assert!(matches!(
+            MG1::new(1.0, &s),
+            Err(QueueError::Unstable { .. })
+        ));
         let heavy = memlat_dist::GeneralizedPareto::with_mean(0.6, 0.1).unwrap();
         assert!(MG1::new(0.5, &heavy).is_err()); // infinite variance
     }

@@ -46,9 +46,14 @@ impl MM1 {
             )));
         }
         if arrival_rate >= service_rate {
-            return Err(QueueError::Unstable { utilization: arrival_rate / service_rate });
+            return Err(QueueError::Unstable {
+                utilization: arrival_rate / service_rate,
+            });
         }
-        Ok(Self { arrival_rate, service_rate })
+        Ok(Self {
+            arrival_rate,
+            service_rate,
+        })
     }
 
     /// Utilization `ρ = λ/μ`.
@@ -116,7 +121,10 @@ impl MM1 {
     /// Panics unless `k ∈ [0, 1)`.
     #[must_use]
     pub fn sojourn_quantile(&self, k: f64) -> f64 {
-        assert!((0.0..1.0).contains(&k), "quantile requires k in [0,1), got {k}");
+        assert!(
+            (0.0..1.0).contains(&k),
+            "quantile requires k in [0,1), got {k}"
+        );
         -(1.0 - k).ln() / ((1.0 - self.utilization()) * self.service_rate)
     }
 }
@@ -129,8 +137,14 @@ mod tests {
     fn rejects_bad_params() {
         assert!(MM1::new(-1.0, 1.0).is_err());
         assert!(MM1::new(1.0, 0.0).is_err());
-        assert!(matches!(MM1::new(2.0, 1.0), Err(QueueError::Unstable { .. })));
-        assert!(matches!(MM1::new(1.0, 1.0), Err(QueueError::Unstable { .. })));
+        assert!(matches!(
+            MM1::new(2.0, 1.0),
+            Err(QueueError::Unstable { .. })
+        ));
+        assert!(matches!(
+            MM1::new(1.0, 1.0),
+            Err(QueueError::Unstable { .. })
+        ));
     }
 
     #[test]
@@ -154,7 +168,10 @@ mod tests {
         // As ρ → 0 the exact and approximate sojourn laws coincide.
         let q = MM1::new(1.0, 1_000.0).unwrap();
         for t in [1e-4, 1e-3, 1e-2] {
-            assert!((q.sojourn_cdf(t) - q.sojourn_cdf_light_load(t)).abs() < 2e-3, "t={t}");
+            assert!(
+                (q.sojourn_cdf(t) - q.sojourn_cdf_light_load(t)).abs() < 2e-3,
+                "t={t}"
+            );
         }
     }
 
@@ -174,7 +191,10 @@ mod tests {
         let closed = MM1::new(6.0, 10.0).unwrap();
         assert!((general.mean_sojourn() - closed.mean_sojourn()).abs() < 1e-6);
         for t in [0.05, 0.2, 1.0] {
-            assert!((general.sojourn_cdf(t) - closed.sojourn_cdf(t)).abs() < 1e-6, "t={t}");
+            assert!(
+                (general.sojourn_cdf(t) - closed.sojourn_cdf(t)).abs() < 1e-6,
+                "t={t}"
+            );
         }
     }
 

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::streaming::StreamingStats;
 
 /// A two-sided confidence interval for a mean.
@@ -20,7 +18,7 @@ use crate::streaming::StreamingStats;
 /// assert!(ci.contains(49.5));
 /// assert!(ci.half_width() < 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfidenceInterval {
     /// Point estimate (the sample mean).
     pub mean: f64,
@@ -44,10 +42,18 @@ impl ConfidenceInterval {
     /// Panics unless `level ∈ (0, 1)`.
     #[must_use]
     pub fn for_mean(stats: &StreamingStats, level: f64) -> Self {
-        assert!(level > 0.0 && level < 1.0, "level must be in (0,1), got {level}");
+        assert!(
+            level > 0.0 && level < 1.0,
+            "level must be in (0,1), got {level}"
+        );
         let mean = stats.mean();
         let half = z_value(level) * stats.std_error();
-        Self { mean, lower: mean - half, upper: mean + half, level }
+        Self {
+            mean,
+            lower: mean - half,
+            upper: mean + half,
+            level,
+        }
     }
 
     /// Half-width of the interval.
@@ -94,7 +100,10 @@ impl fmt::Display for ConfidenceInterval {
 /// ```
 #[must_use]
 pub fn z_value(level: f64) -> f64 {
-    assert!(level > 0.0 && level < 1.0, "level must be in (0,1), got {level}");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "level must be in (0,1), got {level}"
+    );
     normal_quantile(0.5 + level / 2.0)
 }
 
@@ -105,7 +114,7 @@ fn normal_quantile(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];
@@ -160,7 +169,10 @@ mod tests {
     #[test]
     fn normal_quantile_symmetry() {
         for p in [0.01, 0.1, 0.3] {
-            assert!((normal_quantile(p) + normal_quantile(1.0 - p)).abs() < 1e-9, "p={p}");
+            assert!(
+                (normal_quantile(p) + normal_quantile(1.0 - p)).abs() < 1e-9,
+                "p={p}"
+            );
         }
         assert!(normal_quantile(0.5).abs() < 1e-9);
     }

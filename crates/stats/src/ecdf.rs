@@ -78,7 +78,10 @@ impl Ecdf {
     /// Panics if `p ∉ [0, 1]`.
     #[must_use]
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "quantile requires p in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile requires p in [0,1], got {p}"
+        );
         let n = self.sorted.len();
         if p <= 0.0 {
             return self.sorted[0];
@@ -187,7 +190,7 @@ mod tests {
         let xs: Vec<f64> = (1..=100).map(|i| i as f64 / 101.0).collect();
         let e = Ecdf::from_samples(&xs);
         // Compare against Exp(1): grossly different from U(0,1).
-        let d = e.ks_distance(|x| 1.0 - (-x as f64).exp());
+        let d = e.ks_distance(|x| 1.0 - (-x).exp());
         assert!(d > 0.2, "d={d}");
     }
 

@@ -1,7 +1,5 @@
 //! Log-bucketed latency histograms.
 
-use serde::{Deserialize, Serialize};
-
 /// A histogram with logarithmically spaced buckets, tuned for latency
 /// distributions spanning several orders of magnitude (microseconds to
 /// seconds).
@@ -24,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((p50 / 5e-3 - 1.0).abs() < 0.05, "p50={p50}");
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogHistogram {
     min_value: f64,
     buckets_per_decade: usize,
@@ -45,8 +43,14 @@ impl LogHistogram {
     /// `buckets_per_decade > 0`.
     #[must_use]
     pub fn new(min_value: f64, max_value: f64, buckets_per_decade: usize) -> Self {
-        assert!(min_value > 0.0 && min_value < max_value, "need 0 < min < max");
-        assert!(buckets_per_decade > 0, "need at least one bucket per decade");
+        assert!(
+            min_value > 0.0 && min_value < max_value,
+            "need 0 < min < max"
+        );
+        assert!(
+            buckets_per_decade > 0,
+            "need at least one bucket per decade"
+        );
         let decades = (max_value / min_value).log10();
         let n = (decades * buckets_per_decade as f64).ceil() as usize + 1;
         Self {
@@ -114,7 +118,10 @@ impl LogHistogram {
     /// Panics if `p ∉ [0, 1]` or the histogram is empty.
     #[must_use]
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "quantile requires p in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile requires p in [0,1], got {p}"
+        );
         assert!(self.total > 0, "quantile of empty histogram");
         let target = (p * self.total as f64).ceil().max(1.0) as u64;
         let mut acc = self.underflow;
@@ -138,7 +145,10 @@ impl LogHistogram {
     /// Panics if the geometries differ.
     pub fn merge(&mut self, other: &LogHistogram) {
         assert_eq!(self.min_value, other.min_value, "geometry mismatch");
-        assert_eq!(self.buckets_per_decade, other.buckets_per_decade, "geometry mismatch");
+        assert_eq!(
+            self.buckets_per_decade, other.buckets_per_decade,
+            "geometry mismatch"
+        );
         assert_eq!(self.counts.len(), other.counts.len(), "geometry mismatch");
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;

@@ -9,6 +9,9 @@
 //! * [`histogram`] — log-bucketed latency histograms for cheap
 //!   high-volume percentile estimation.
 //! * [`p2`] — the P² streaming quantile estimator (constant memory).
+//! * [`sketch`] — mergeable log-binned quantile sketch (bounded relative
+//!   error, exact merge) backing the parallel simulator's streaming
+//!   summaries.
 //! * [`ci`] — normal-approximation confidence intervals (the paper quotes
 //!   95% CIs in Table 3).
 //! * [`maxstat`] — max-statistics helpers: `E[max of N] ≈ (N/(N+1))`-th
@@ -38,6 +41,7 @@ pub mod ecdf;
 pub mod histogram;
 pub mod maxstat;
 pub mod p2;
+pub mod sketch;
 pub mod streaming;
 
 pub use ci::ConfidenceInterval;
@@ -45,4 +49,5 @@ pub use ecdf::Ecdf;
 pub use histogram::LogHistogram;
 pub use maxstat::max_order_quantile;
 pub use p2::P2Quantile;
+pub use sketch::QuantileSketch;
 pub use streaming::StreamingStats;

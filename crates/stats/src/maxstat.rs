@@ -67,7 +67,9 @@ mod tests {
         // For Exp(1), E[max of n] = H_n; the approximation gives
         // -ln(1 - n/(n+1)) = ln(n+1). Check both against resampling.
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let xs: Vec<f64> = (0..200_000).map(|_| -(1.0 - rng.gen::<f64>()).max(1e-15).ln()).collect();
+        let xs: Vec<f64> = (0..200_000)
+            .map(|_| -(1.0 - rng.gen::<f64>()).max(1e-15).ln())
+            .collect();
         let e = Ecdf::from_samples(&xs);
         let n = 50;
         let approx = expected_max_from_ecdf(&e, n);
@@ -78,7 +80,10 @@ mod tests {
         // The quantile approximation has a known downward bias of
         // ≈ γ/ln n (≈ 15% at n = 50): E[max] = ln n + γ, approx = ln(n+1).
         assert!(approx < exact);
-        assert!((approx / exact - 1.0).abs() < 0.2, "approx={approx} exact={exact}");
+        assert!(
+            (approx / exact - 1.0).abs() < 0.2,
+            "approx={approx} exact={exact}"
+        );
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! The P² (Jain & Chlamtac) streaming quantile estimator.
 
-use serde::{Deserialize, Serialize};
-
 /// Estimates a single quantile online with O(1) memory (five markers).
 ///
 /// Used where the simulator cannot afford to keep every sample — e.g.
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// let est = p2.estimate().unwrap();
 /// assert!((est / 5_001.0 - 1.0).abs() < 0.02, "est={est}");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct P2Quantile {
     p: f64,
     heights: [f64; 5],

@@ -1,0 +1,353 @@
+//! Mergeable logarithmic quantile sketch (DDSketch-style).
+//!
+//! The cluster simulator used to keep every per-key latency sample in
+//! memory so experiments could ask for p95/p99 afterwards. This sketch
+//! replaces those buffers with a constant-size summary: values are
+//! counted in geometrically-spaced bins, so any quantile of the inserted
+//! positive values can be answered with **relative error at most
+//! `alpha`** (default 1%), and two sketches built from disjoint streams
+//! merge by plain counter addition — exactly associative and
+//! commutative, which is what makes the parallel per-server simulation
+//! bit-identical to the sequential one.
+//!
+//! # Accuracy contract
+//!
+//! For any `p`, [`QuantileSketch::quantile`] returns a value `q̂` such
+//! that the exact order statistic `q` (the same `ceil(p·n)` rank
+//! convention as [`crate::Ecdf::quantile`]) satisfies
+//! `|q̂ − q| ≤ alpha · q` whenever `q ≥ MIN_POSITIVE`. Values below
+//! [`MIN_POSITIVE`] (including zero) are collapsed into one underflow
+//! bin represented by the exact minimum seen there.
+//!
+//! # Examples
+//!
+//! ```
+//! use memlat_stats::QuantileSketch;
+//! let mut s = QuantileSketch::new();
+//! for i in 1..=1000 {
+//!     s.push(f64::from(i));
+//! }
+//! let p95 = s.quantile(0.95);
+//! assert!((p95 - 950.0).abs() <= 0.01 * 950.0);
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Positive values below this threshold share one underflow bin.
+///
+/// Simulated latencies are on the order of 1e-6..1e-1 seconds, far above
+/// this, so in practice the underflow bin only ever holds exact zeros.
+pub const MIN_POSITIVE: f64 = 1e-12;
+
+/// Default relative-error bound (1%).
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// A mergeable quantile sketch over nonnegative samples with bounded
+/// relative error.
+///
+/// Bin `i` covers `(γ^(i−1), γ^i]` with `γ = (1+α)/(1−α)`; the bin
+/// representative `2γ^i/(1+γ)` is within `α` (relative) of every value
+/// in the bin. Memory is `O(log(max/min)/α)` — a few hundred `u64`
+/// counters for any realistic latency range — independent of the number
+/// of samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    alpha: f64,
+    ln_gamma: f64,
+    bins: BTreeMap<i32, u64>,
+    /// Samples in `(-inf, MIN_POSITIVE)`: zeros, and negatives clamped up.
+    underflow: u64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch with the default `alpha` of 1%.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_alpha(DEFAULT_ALPHA)
+    }
+
+    /// Creates an empty sketch with relative-error bound `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha < 1`.
+    #[must_use]
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0,1), got {alpha}"
+        );
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        Self {
+            alpha,
+            ln_gamma: gamma.ln(),
+            bins: BTreeMap::new(),
+            underflow: 0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The documented relative-error bound.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of samples inserted (NaNs are dropped and not counted).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether any sample has been inserted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum inserted sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sketch.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        assert!(self.count > 0, "min of empty sketch");
+        self.min
+    }
+
+    /// Exact maximum inserted sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sketch.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        assert!(self.count > 0, "max of empty sketch");
+        self.max
+    }
+
+    /// Number of log-spaced bins currently occupied (memory footprint).
+    #[must_use]
+    pub fn bin_count(&self) -> usize {
+        self.bins.len() + usize::from(self.underflow > 0)
+    }
+
+    /// Inserts one sample. NaNs are ignored, mirroring
+    /// [`crate::Ecdf::from_samples`].
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        if x < MIN_POSITIVE {
+            self.underflow += 1;
+        } else {
+            let idx = self.bin_index(x);
+            *self.bins.entry(idx).or_insert(0) += 1;
+        }
+    }
+
+    /// Folds another sketch into this one by counter addition.
+    ///
+    /// Merging is exactly associative and commutative: any merge order
+    /// over the same set of per-stream sketches yields a bit-identical
+    /// state (and therefore identical quantile answers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sketches were built with different `alpha`.
+    pub fn merge(&mut self, other: &Self) {
+        assert!(
+            (self.alpha - other.alpha).abs() < f64::EPSILON,
+            "cannot merge sketches with different alpha ({} vs {})",
+            self.alpha,
+            other.alpha
+        );
+        for (&idx, &c) in &other.bins {
+            *self.bins.entry(idx).or_insert(0) += c;
+        }
+        self.underflow += other.underflow;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `p`-th quantile with the same rank convention as
+    /// [`crate::Ecdf::quantile`]: the (clamped) `ceil(p·n)`-th order
+    /// statistic, answered to within `alpha` relative error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]` or the sketch is empty.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile requires p in [0,1], got {p}"
+        );
+        assert!(self.count > 0, "quantile of empty sketch");
+        let rank = if p <= 0.0 {
+            1
+        } else {
+            ((p * self.count as f64).ceil() as u64).clamp(1, self.count)
+        };
+        let mut cum = self.underflow;
+        if cum >= rank {
+            // All-underflow prefix: the exact minimum is the best
+            // representative we have (in practice these are zeros).
+            return self.min;
+        }
+        for (&idx, &c) in &self.bins {
+            cum += c;
+            if cum >= rank {
+                return self.representative(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Log-bin index for a value `≥ MIN_POSITIVE`: the smallest `i` with
+    /// `γ^i ≥ x`.
+    fn bin_index(&self, x: f64) -> i32 {
+        let raw = (x.ln() / self.ln_gamma).ceil();
+        // For latencies in (1e-12, 1e12) and alpha ≥ 1e-3 this is a few
+        // tens of thousands at most; the clamp only guards pathological
+        // alpha-near-1 configurations.
+        raw.clamp(f64::from(i32::MIN), f64::from(i32::MAX)) as i32
+    }
+
+    /// Midpoint representative of bin `(γ^(i−1), γ^i]`; within `alpha`
+    /// relative error of every value in the bin.
+    fn representative(&self, idx: i32) -> f64 {
+        let gamma = (1.0 + self.alpha) / (1.0 - self.alpha);
+        2.0 * (f64::from(idx) * self.ln_gamma).exp() / (1.0 + gamma)
+    }
+}
+
+impl Extend<f64> for QuantileSketch {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ecdf;
+
+    #[test]
+    fn quantiles_within_alpha_of_exact() {
+        let samples: Vec<f64> = (1..=5000).map(|i| f64::from(i) * 1e-6).collect();
+        let mut s = QuantileSketch::new();
+        s.extend(samples.iter().copied());
+        let e = Ecdf::from_samples(&samples);
+        for p in [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = e.quantile(p);
+            let approx = s.quantile(p);
+            assert!(
+                (approx - exact).abs() <= s.alpha() * exact,
+                "p={p}: approx={approx} exact={exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let mut all = QuantileSketch::new();
+        let mut parts: Vec<QuantileSketch> = (0..4).map(|_| QuantileSketch::new()).collect();
+        for i in 0..4000u32 {
+            let x = f64::from(i % 997) + 0.5;
+            all.push(x);
+            parts[(i % 4) as usize].push(x);
+        }
+        let mut merged = QuantileSketch::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut c = QuantileSketch::new();
+        for i in 0..300 {
+            a.push(f64::from(i) + 1.0);
+            b.push(f64::from(i) * 2.0 + 0.25);
+            c.push(1e-3 * f64::from(i + 1));
+        }
+        let mut abc = a.clone();
+        abc.merge(&b);
+        abc.merge(&c);
+        let mut cba = c.clone();
+        cba.merge(&b);
+        cba.merge(&a);
+        assert_eq!(abc, cba);
+    }
+
+    #[test]
+    fn zeros_and_min_max_are_exact() {
+        let mut s = QuantileSketch::new();
+        s.push(0.0);
+        s.push(0.0);
+        s.push(3.0);
+        s.push(7.0);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 7.0);
+        // Rank 1 and 2 are zeros (underflow bin → exact min).
+        assert_eq!(s.quantile(0.25), 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.quantile(1.0).max(7.0), s.max());
+    }
+
+    #[test]
+    fn nan_dropped() {
+        let mut s = QuantileSketch::new();
+        s.push(f64::NAN);
+        s.push(1.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.quantile(0.5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different alpha")]
+    fn merge_alpha_mismatch_panics() {
+        let mut a = QuantileSketch::with_alpha(0.01);
+        let b = QuantileSketch::with_alpha(0.02);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sketch")]
+    fn empty_quantile_panics() {
+        let _ = QuantileSketch::new().quantile(0.5);
+    }
+
+    #[test]
+    fn constant_memory() {
+        let mut s = QuantileSketch::new();
+        for i in 0..200_000u32 {
+            s.push(1e-6 * (1.0 + f64::from(i % 10_000)));
+        }
+        // ~log(1e4)/log(gamma) ≈ 460 bins max for a 1e4 dynamic range.
+        assert!(s.bin_count() < 1000, "bins={}", s.bin_count());
+    }
+}

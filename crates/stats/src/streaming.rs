@@ -1,7 +1,5 @@
 //! One-pass mean/variance accumulation (Welford).
 
-use serde::{Deserialize, Serialize};
-
 /// Streaming mean, variance, min and max over `f64` samples.
 ///
 /// Uses Welford's algorithm, which is numerically stable for the long
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), 5.0);
 /// assert_eq!(s.population_variance(), 4.0);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StreamingStats {
     count: u64,
     mean: f64,
@@ -30,7 +28,13 @@ impl StreamingStats {
     /// Creates an empty accumulator.
     #[must_use]
     pub fn new() -> Self {
-        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one sample.
@@ -168,7 +172,9 @@ mod tests {
 
     #[test]
     fn textbook_variance() {
-        let s: StreamingStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: StreamingStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.mean(), 5.0);
         assert_eq!(s.population_variance(), 4.0);
         assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);

@@ -1,6 +1,8 @@
 //! Property-based tests for the measurement substrate.
 
-use memlat_stats::{ConfidenceInterval, Ecdf, LogHistogram, P2Quantile, StreamingStats};
+use memlat_stats::{
+    ConfidenceInterval, Ecdf, LogHistogram, P2Quantile, QuantileSketch, StreamingStats,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -92,5 +94,66 @@ proptest! {
         let wide = ConfidenceInterval::for_mean(&s, 0.99);
         prop_assert!(narrow.contains(s.mean()));
         prop_assert!(wide.half_width() + 1e-15 >= narrow.half_width());
+    }
+
+    /// Sketch quantiles match the exact ECDF order statistic within the
+    /// documented relative-error bound, at every probed p.
+    #[test]
+    fn sketch_quantile_error_within_alpha(
+        xs in proptest::collection::vec(1e-9f64..1e6, 1..2000),
+        p in 0.0f64..1.0,
+    ) {
+        let mut s = QuantileSketch::new();
+        s.extend(xs.iter().copied());
+        let e = Ecdf::from_samples(&xs);
+        for q in [0.0, p, 0.5, 0.95, 0.99, 1.0] {
+            let exact = e.quantile(q);
+            let approx = s.quantile(q);
+            prop_assert!(
+                (approx - exact).abs() <= s.alpha() * exact + 1e-300,
+                "q={}: approx={} exact={}", q, approx, exact
+            );
+        }
+        prop_assert_eq!(s.count(), xs.len() as u64);
+        prop_assert_eq!(s.min(), e.min());
+        prop_assert_eq!(s.max(), e.max());
+    }
+
+    /// Sketch merging is exactly associative and order-independent, and
+    /// any merge of a split equals the single-stream sketch.
+    #[test]
+    fn sketch_merge_associative(
+        xs in proptest::collection::vec(1e-9f64..1e6, 3..1200),
+        cut1 in 0usize..1200,
+        cut2 in 0usize..1200,
+    ) {
+        let (a, b) = (cut1.min(xs.len()), cut2.min(xs.len()));
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mut s1 = QuantileSketch::new();
+        s1.extend(xs[..lo].iter().copied());
+        let mut s2 = QuantileSketch::new();
+        s2.extend(xs[lo..hi].iter().copied());
+        let mut s3 = QuantileSketch::new();
+        s3.extend(xs[hi..].iter().copied());
+        let mut whole = QuantileSketch::new();
+        whole.extend(xs.iter().copied());
+
+        // (s1 ∪ s2) ∪ s3
+        let mut left = s1.clone();
+        left.merge(&s2);
+        left.merge(&s3);
+        // s1 ∪ (s2 ∪ s3)
+        let mut right = s2.clone();
+        right.merge(&s3);
+        let mut outer = s1.clone();
+        outer.merge(&right);
+        // Reversed order.
+        let mut rev = s3.clone();
+        rev.merge(&s2);
+        rev.merge(&s1);
+
+        prop_assert_eq!(&left, &whole);
+        prop_assert_eq!(&outer, &whole);
+        prop_assert_eq!(&rev, &whole);
     }
 }

@@ -46,7 +46,11 @@ impl BatchArrivals {
     ///
     /// Returns [`ParamError`] if `q ∉ [0, 1)`.
     pub fn new(gaps: Box<dyn Continuous>, q: f64) -> Result<Self, ParamError> {
-        Ok(Self { gaps, batch: GeometricBatch::new(q)?, clock: 0.0 })
+        Ok(Self {
+            gaps,
+            batch: GeometricBatch::new(q)?,
+            clock: 0.0,
+        })
     }
 
     /// Implied per-key arrival rate `λ = E[X]/E[T_X]`.

@@ -131,9 +131,16 @@ impl ConsistentHashRing {
     /// used to demo rebalancing in the examples.
     #[must_use]
     pub fn without_server(&self, server: usize) -> Self {
-        let ring: Vec<(u64, usize)> =
-            self.ring.iter().copied().filter(|&(_, s)| s != server).collect();
-        Self { ring, servers: self.servers }
+        let ring: Vec<(u64, usize)> = self
+            .ring
+            .iter()
+            .copied()
+            .filter(|&(_, s)| s != server)
+            .collect();
+        Self {
+            ring,
+            servers: self.servers,
+        }
     }
 }
 
@@ -198,7 +205,9 @@ impl StaticProbability {
     #[must_use]
     pub fn sample_server(&self, rng: &mut dyn RngCore) -> usize {
         let u = memlat_dist::open_unit(rng);
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 }
 
@@ -206,7 +215,9 @@ impl Placement for StaticProbability {
     fn server_of(&self, key: KeyId) -> usize {
         // Map the key hash to [0,1) and bin by cumulative shares.
         let u = hash_key(key) as f64 / (u64::MAX as f64 + 1.0);
-        self.cumulative.partition_point(|&c| c <= u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1)
     }
 
     fn servers(&self) -> usize {
@@ -225,7 +236,10 @@ pub fn induced_shares(
     for _ in 0..draws {
         counts[placement.server_of(sample_key())] += 1;
     }
-    counts.into_iter().map(|c| c as f64 / draws as f64).collect()
+    counts
+        .into_iter()
+        .map(|c| c as f64 / draws as f64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -290,13 +304,17 @@ mod tests {
     #[test]
     fn static_probability_matches_shares() {
         let p = StaticProbability::new(&[0.75, 0.1, 0.1, 0.05]).unwrap();
-        let shares = induced_shares(&p, {
-            let mut k = 0u64;
-            move || {
-                k += 1;
-                k.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            }
-        }, 100_000);
+        let shares = induced_shares(
+            &p,
+            {
+                let mut k = 0u64;
+                move || {
+                    k += 1;
+                    k.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                }
+            },
+            100_000,
+        );
         assert!((shares[0] - 0.75).abs() < 0.01, "{shares:?}");
         assert!((shares[3] - 0.05).abs() < 0.01, "{shares:?}");
     }
@@ -309,7 +327,10 @@ mod tests {
         for _ in 0..100_000 {
             counts[p.sample_server(&mut rng)] += 1;
         }
-        assert!((counts[0] as f64 / 100_000.0 - 0.6).abs() < 0.01, "{counts:?}");
+        assert!(
+            (counts[0] as f64 / 100_000.0 - 0.6).abs() < 0.01,
+            "{counts:?}"
+        );
     }
 
     #[test]
@@ -326,10 +347,14 @@ mod tests {
         let ring = HashMod::new(4);
         let z = memlat_dist::Zipf::new(1_000_000, 0.9).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
-        let shares = induced_shares(&ring, || {
-            use memlat_dist::Discrete;
-            z.sample(&mut rng)
-        }, 50_000);
+        let shares = induced_shares(
+            &ring,
+            || {
+                use memlat_dist::Discrete;
+                z.sample(&mut rng)
+            },
+            50_000,
+        );
         for s in &shares {
             assert!((s - 0.25).abs() < 0.1, "{shares:?}");
         }

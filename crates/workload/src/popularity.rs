@@ -39,7 +39,9 @@ impl ZipfPopularity {
     ///
     /// Returns [`ParamError`] for an empty key space or negative skew.
     pub fn new(keys: u64, skew: f64) -> Result<Self, ParamError> {
-        Ok(Self { zipf: Zipf::new(keys, skew)? })
+        Ok(Self {
+            zipf: Zipf::new(keys, skew)?,
+        })
     }
 
     /// Facebook-like preset: the ETC pool's popularity is roughly Zipf

@@ -61,9 +61,16 @@ impl RequestGenerator {
     /// Returns [`ParamError`] if `keys_per_request == 0`.
     pub fn new(gaps: Box<dyn Continuous>, keys_per_request: u64) -> Result<Self, ParamError> {
         if keys_per_request == 0 {
-            return Err(ParamError::new("requests must fan out into at least one key"));
+            return Err(ParamError::new(
+                "requests must fan out into at least one key",
+            ));
         }
-        Ok(Self { gaps, keys_per_request, clock: 0.0, next_id: 0 })
+        Ok(Self {
+            gaps,
+            keys_per_request,
+            clock: 0.0,
+            next_id: 0,
+        })
     }
 
     /// Request arrival rate (1/mean gap).
@@ -83,7 +90,13 @@ impl RequestGenerator {
         self.clock += self.gaps.sample(rng);
         let id = self.next_id;
         self.next_id += 1;
-        TimedRequest { request: Request { id, keys: self.keys_per_request }, at: self.clock }
+        TimedRequest {
+            request: Request {
+                id,
+                keys: self.keys_per_request,
+            },
+            at: self.clock,
+        }
     }
 }
 
@@ -95,8 +108,7 @@ mod tests {
 
     #[test]
     fn ids_are_sequential_and_times_monotone() {
-        let mut g =
-            RequestGenerator::new(Box::new(Exponential::new(100.0).unwrap()), 10).unwrap();
+        let mut g = RequestGenerator::new(Box::new(Exponential::new(100.0).unwrap()), 10).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let mut prev_t = 0.0;
         for expect_id in 0..100 {

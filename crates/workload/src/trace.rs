@@ -7,12 +7,11 @@
 use std::io::{BufRead, Write};
 
 use memlat_dist::{Continuous, ParamError};
-use serde::{Deserialize, Serialize};
 
 use crate::arrival::BatchArrivals;
 
 /// One recorded batch arrival.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceRecord {
     /// Which server stream the batch belongs to.
     pub server: u32,
@@ -31,37 +30,69 @@ pub fn record(
 ) -> Vec<TraceRecord> {
     let mut out = Vec::new();
     crate::arrival::for_each_batch_until(stream, duration, rng, |time, batch| {
-        out.push(TraceRecord { server, time, batch });
+        out.push(TraceRecord {
+            server,
+            time,
+            batch,
+        });
     });
     out
 }
 
 /// Writes a trace as JSON lines.
 ///
+/// `f64` times are formatted with Rust's shortest-roundtrip `Display`,
+/// so [`load`] recovers them bit-exactly.
+///
 /// # Errors
 ///
-/// Propagates I/O and serialization errors.
+/// Propagates I/O errors.
 pub fn save<W: Write>(records: &[TraceRecord], mut w: W) -> std::io::Result<()> {
     for r in records {
-        let line = serde_json::to_string(r).map_err(std::io::Error::other)?;
-        writeln!(w, "{line}")?;
+        writeln!(
+            w,
+            "{{\"server\":{},\"time\":{},\"batch\":{}}}",
+            r.server, r.time, r.batch
+        )?;
     }
     Ok(())
 }
 
-/// Reads a JSON-lines trace.
+fn parse_field<T: std::str::FromStr>(obj: &str, key: &str) -> Option<T> {
+    let needle = format!("\"{key}\":");
+    let start = obj.find(&needle)? + needle.len();
+    let rest = obj[start..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Reads a JSON-lines trace written by [`save`].
 ///
 /// # Errors
 ///
-/// Propagates I/O and parse errors.
+/// Propagates I/O errors; malformed lines become `InvalidData`.
 pub fn load<R: BufRead>(r: R) -> std::io::Result<Vec<TraceRecord>> {
     let mut out = Vec::new();
     for line in r.lines() {
         let line = line?;
-        if line.trim().is_empty() {
+        let line = line.trim();
+        if line.is_empty() {
             continue;
         }
-        out.push(serde_json::from_str(&line).map_err(std::io::Error::other)?);
+        let record = (|| {
+            Some(TraceRecord {
+                server: parse_field(line, "server")?,
+                time: parse_field(line, "time")?,
+                batch: parse_field(line, "batch")?,
+            })
+        })()
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed trace line: {line}"),
+            )
+        })?;
+        out.push(record);
     }
     Ok(out)
 }
@@ -145,7 +176,10 @@ impl EmpiricalGaps {
         let mut gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
         gaps.sort_by(f64::total_cmp);
         let mean = memlat_numerics::kahan::compensated_sum(&gaps) / gaps.len() as f64;
-        Ok(Self { sorted_gaps: gaps, mean })
+        Ok(Self {
+            sorted_gaps: gaps,
+            mean,
+        })
     }
 }
 
@@ -161,7 +195,10 @@ impl Continuous for EmpiricalGaps {
 
     fn variance(&self) -> f64 {
         let m = self.mean;
-        self.sorted_gaps.iter().map(|g| (g - m) * (g - m)).sum::<f64>()
+        self.sorted_gaps
+            .iter()
+            .map(|g| (g - m) * (g - m))
+            .sum::<f64>()
             / self.sorted_gaps.len() as f64
     }
 

@@ -38,9 +38,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sla = 500e-6; // 500 µs server-stage budget
     let total_load = 1_000_000.0; // 1M keys/s to place
 
-    println!("capacity planning: µ_S = {} Kps, N = {}, SLA E[T_S(N)] ≤ {} µs", mu_s / 1e3, n, sla * 1e6);
+    println!(
+        "capacity planning: µ_S = {} Kps, N = {}, SLA E[T_S(N)] ≤ {} µs",
+        mu_s / 1e3,
+        n,
+        sla * 1e6
+    );
     println!("target aggregate load: {} Kps\n", total_load / 1e3);
-    println!("{:>5} {:>12} {:>14} {:>14} {:>9}", "ξ", "cliff ρ_S", "max λ (SLA)", "util @ SLA", "servers");
+    println!(
+        "{:>5} {:>12} {:>14} {:>14} {:>9}",
+        "ξ", "cliff ρ_S", "max λ (SLA)", "util @ SLA", "servers"
+    );
 
     for xi in [0.0, 0.15, 0.3, 0.5, 0.7] {
         let cliff_rho = cliff::cliff_utilization(xi, 0.1)?;

@@ -17,12 +17,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{estimate}\n");
 
     println!("simulating 2 s of Facebook traffic on 4 servers…");
-    let cfg = SimConfig::new(params.clone()).duration(2.0).warmup(0.2).seed(42);
+    let cfg = SimConfig::new(params.clone())
+        .duration(2.0)
+        .warmup(0.2)
+        .seed(42);
     let out = ClusterSim::run(&cfg)?;
     println!(
         "  {} keys, observed utilization {:?}, miss ratio {:.4}\n",
         out.total_keys(),
-        out.utilization().iter().map(|u| (u * 100.0).round()).collect::<Vec<_>>(),
+        out.utilization()
+            .iter()
+            .map(|u| (u * 100.0).round())
+            .collect::<Vec<_>>(),
         out.miss_ratio()
     );
 
@@ -33,8 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "\nmodel bounds contain the measurement: T_S {} | T(N) {}",
-        estimate.server.contains(stats.ts.mean, 0.1 * estimate.server.upper),
-        stats.total.mean <= estimate.network + estimate.server.upper + estimate.database_exact * 1.1
+        estimate
+            .server
+            .contains(stats.ts.mean, 0.1 * estimate.server.upper),
+        stats.total.mean
+            <= estimate.network + estimate.server.upper + estimate.database_exact * 1.1
     );
     Ok(())
 }

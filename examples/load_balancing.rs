@@ -13,10 +13,16 @@ use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cliff_rho = cliff::cliff_utilization(0.15, 0.1)?;
-    println!("cliff utilization for the Facebook workload: {:.0}%\n", cliff_rho * 100.0);
+    println!(
+        "cliff utilization for the Facebook workload: {:.0}%\n",
+        cliff_rho * 100.0
+    );
 
     println!("E[T_S(N)] as the hottest server's share p1 grows (Λ = 80 Kps, µ_S = 80 Kps):");
-    println!("{:>6} {:>10} {:>14} {:>10}", "p1", "ρ_hot", "E[T_S(N)] µs", "balance?");
+    println!(
+        "{:>6} {:>10} {:>14} {:>10}",
+        "p1", "ρ_hot", "E[T_S(N)] µs", "balance?"
+    );
     for p1 in [0.25, 0.4, 0.55, 0.7, 0.75, 0.8, 0.9] {
         let params = ModelParams::builder()
             .load(if p1 <= 0.25 {

@@ -22,8 +22,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .network_latency(20e-6)
         .build()?;
 
-    println!("memcached latency model — Theorem 1 estimate (N = {})", params.keys_per_request());
-    println!("peak server utilization: {:.1}%\n", params.peak_utilization()? * 100.0);
+    println!(
+        "memcached latency model — Theorem 1 estimate (N = {})",
+        params.keys_per_request()
+    );
+    println!(
+        "peak server utilization: {:.1}%\n",
+        params.peak_utilization()? * 100.0
+    );
 
     let estimate = params.estimate()?;
     println!("{estimate}\n");

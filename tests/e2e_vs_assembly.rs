@@ -18,8 +18,13 @@ fn correlation_ratio(m: usize, seed: u64) -> f64 {
         .key_rate_per_server(62_500.0)
         .build()
         .unwrap();
-    let out = ClusterSim::run(&SimConfig::new(params.clone()).duration(1.0).warmup(0.2).seed(seed))
-        .unwrap();
+    let out = ClusterSim::run(
+        &SimConfig::new(params.clone())
+            .duration(1.0)
+            .warmup(0.2)
+            .seed(seed),
+    )
+    .unwrap();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
     let indep = assemble_requests(&out, 150, 15_000, &mut rng);
     let e2e_out =
@@ -53,7 +58,10 @@ fn independence_assumption_improves_with_more_servers() {
         large < small,
         "correlation penalty should fall with M: M=4 → {small:.2}, M=32 → {large:.2}"
     );
-    assert!(large < 2.5, "at M=32 the assumption should be decent, got {large:.2}");
+    assert!(
+        large < 2.5,
+        "at M=32 the assumption should be decent, got {large:.2}"
+    );
 }
 
 #[test]
@@ -61,9 +69,15 @@ fn both_paths_show_the_same_load_response() {
     // Doubling the load moves both estimators in the same direction by a
     // comparable factor.
     let measure = |lam: f64, seed: u64| {
-        let params = ModelParams::builder().key_rate_per_server(lam).build().unwrap();
+        let params = ModelParams::builder()
+            .key_rate_per_server(lam)
+            .build()
+            .unwrap();
         let out = ClusterSim::run(
-            &SimConfig::new(params.clone()).duration(0.8).warmup(0.1).seed(seed),
+            &SimConfig::new(params.clone())
+                .duration(0.8)
+                .warmup(0.1)
+                .seed(seed),
         )
         .unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
@@ -76,6 +90,9 @@ fn both_paths_show_the_same_load_response() {
     };
     let (a_lo, b_lo) = measure(30_000.0, 61);
     let (a_hi, b_hi) = measure(65_000.0, 62);
-    assert!(a_hi > 1.5 * a_lo, "assembly load response: {a_lo} -> {a_hi}");
+    assert!(
+        a_hi > 1.5 * a_lo,
+        "assembly load response: {a_lo} -> {a_hi}"
+    );
     assert!(b_hi > 1.5 * b_lo, "e2e load response: {b_lo} -> {b_hi}");
 }

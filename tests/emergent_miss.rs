@@ -25,7 +25,10 @@ fn emergent_r(memory_bytes: usize, seed: u64) -> f64 {
 fn more_memory_fewer_misses() {
     let small = emergent_r(2 << 20, 71);
     let large = emergent_r(48 << 20, 71);
-    assert!(small > large, "miss ratio did not fall with memory: {small} vs {large}");
+    assert!(
+        small > large,
+        "miss ratio did not fall with memory: {small} vs {large}"
+    );
     assert!(small > 0.05, "tiny cache should miss a lot, got {small}");
     assert!(large < 0.2, "large cache should mostly hit, got {large}");
 }
@@ -34,7 +37,11 @@ fn more_memory_fewer_misses() {
 fn emergent_ratio_feeds_the_model() {
     // The emergent r slots into Theorem 1 exactly like a configured one.
     let r = emergent_r(16 << 20, 72);
-    let params = ModelParams::builder().build().unwrap().with_miss_ratio(r).unwrap();
+    let params = ModelParams::builder()
+        .build()
+        .unwrap()
+        .with_miss_ratio(r)
+        .unwrap();
     let est = params.estimate().unwrap();
     assert!(est.database > 0.0);
     assert!(est.total.lower <= est.total.upper);

@@ -52,7 +52,10 @@ fn unstable_configurations_fail_consistently() {
         Err(memlat::queueing::QueueError::Unstable { .. })
     ));
     // …and at the model level.
-    let params = ModelParams::builder().key_rate_per_server(85_000.0).build().unwrap();
+    let params = ModelParams::builder()
+        .key_rate_per_server(85_000.0)
+        .build()
+        .unwrap();
     assert!(params.estimate().is_err());
     // …and in the simulator's model-validation path.
     let cfg = memlat::cluster::SimConfig::new(params);

@@ -8,9 +8,21 @@ fn table3_model_values() {
     let est = ModelParams::builder().build().unwrap().estimate().unwrap();
     // Paper Table 3, "Theorem 1" column.
     assert!((est.network * 1e6 - 20.0).abs() < 1e-9);
-    assert!((est.server.lower * 1e6 - 351.0).abs() < 8.0, "{}", est.server.lower * 1e6);
-    assert!((est.server.upper * 1e6 - 366.0).abs() < 8.0, "{}", est.server.upper * 1e6);
-    assert!((est.database * 1e6 - 836.0).abs() < 2.0, "{}", est.database * 1e6);
+    assert!(
+        (est.server.lower * 1e6 - 351.0).abs() < 8.0,
+        "{}",
+        est.server.lower * 1e6
+    );
+    assert!(
+        (est.server.upper * 1e6 - 366.0).abs() < 8.0,
+        "{}",
+        est.server.upper * 1e6
+    );
+    assert!(
+        (est.database * 1e6 - 836.0).abs() < 2.0,
+        "{}",
+        est.database * 1e6
+    );
     assert!((est.total.lower * 1e6 - 836.0).abs() < 5.0);
     assert!((est.total.upper * 1e6 - 1222.0).abs() < 15.0);
     // The paper's measurement, 1144 µs, lies inside the bounds.
@@ -47,8 +59,10 @@ fn logarithmic_growth_in_n() {
     let (d1, d2) = (steps[1] - steps[0], steps[2] - steps[1]);
     assert!((d2 / d1 - 1.0).abs() < 0.1, "T_S increments {d1} vs {d2}");
 
-    let db: Vec<f64> =
-        [10_000u64, 100_000, 1_000_000].iter().map(|&n| database::db_latency_mean(n, 0.01, 1_000.0)).collect();
+    let db: Vec<f64> = [10_000u64, 100_000, 1_000_000]
+        .iter()
+        .map(|&n| database::db_latency_mean(n, 0.01, 1_000.0))
+        .collect();
     let (e1, e2) = (db[1] - db[0], db[2] - db[1]);
     assert!((e2 / e1 - 1.0).abs() < 0.1, "T_D increments {e1} vs {e2}");
 }
@@ -56,8 +70,14 @@ fn logarithmic_growth_in_n() {
 #[test]
 fn eq25_regime_switch() {
     use memlat::model::asymptotics::{db_scaling_regime, DbScalingRegime};
-    assert_eq!(db_scaling_regime(4, 0.01), DbScalingRegime::LinearInMissRatio);
-    assert_eq!(db_scaling_regime(10_000, 0.01), DbScalingRegime::LogarithmicInMissRatio);
+    assert_eq!(
+        db_scaling_regime(4, 0.01),
+        DbScalingRegime::LinearInMissRatio
+    );
+    assert_eq!(
+        db_scaling_regime(10_000, 0.01),
+        DbScalingRegime::LogarithmicInMissRatio
+    );
 }
 
 #[test]

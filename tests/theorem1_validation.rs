@@ -45,7 +45,10 @@ fn fig6_spot_burst_degree() {
 #[test]
 fn fig7_spot_arrival_rate() {
     for (lam, seed) in [(20_000.0, 7), (50_000.0, 8), (70_000.0, 9)] {
-        let params = ModelParams::builder().key_rate_per_server(lam).build().unwrap();
+        let params = ModelParams::builder()
+            .key_rate_per_server(lam)
+            .build()
+            .unwrap();
         assert_agreement(params, seed, 0.2, &format!("lam={lam}"));
     }
 }
@@ -67,10 +70,15 @@ fn fig7_cliff_location_matches_prop2() {
     // Latency at 75 Kps dwarfs latency at 50 Kps (cliff between them, at
     // ρ ≈ 75% per Table 4), both in the model and in the simulation.
     let at = |lam: f64, seed: u64| {
-        let params = ModelParams::builder().key_rate_per_server(lam).build().unwrap();
-        let model = ServerLatencyModel::new(&params).unwrap().expected_latency(150);
-        let out = ClusterSim::run(&SimConfig::new(params).duration(1.0).warmup(0.2).seed(seed))
+        let params = ModelParams::builder()
+            .key_rate_per_server(lam)
+            .build()
             .unwrap();
+        let model = ServerLatencyModel::new(&params)
+            .unwrap()
+            .expected_latency(150);
+        let out =
+            ClusterSim::run(&SimConfig::new(params).duration(1.0).warmup(0.2).seed(seed)).unwrap();
         (model, out.expected_server_latency(150))
     };
     let (m50, s50) = at(50_000.0, 21);
@@ -85,8 +93,8 @@ fn arrival_pattern_ordering_preserved_by_sim() {
     // burstiness ordering the δ theory predicts, reproduced by the DES.
     let measure = |pattern: ArrivalPattern, seed: u64| {
         let params = ModelParams::builder().arrival(pattern).build().unwrap();
-        let out = ClusterSim::run(&SimConfig::new(params).duration(1.0).warmup(0.2).seed(seed))
-            .unwrap();
+        let out =
+            ClusterSim::run(&SimConfig::new(params).duration(1.0).warmup(0.2).seed(seed)).unwrap();
         out.expected_server_latency(150)
     };
     let det = measure(ArrivalPattern::Deterministic, 31);
