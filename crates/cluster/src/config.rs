@@ -2,6 +2,7 @@
 
 use memlat_model::ModelParams;
 
+use crate::fault::{ClientPolicy, FaultPlan};
 use crate::SimError;
 
 /// How cache misses are decided at each simulated memcached server.
@@ -86,6 +87,13 @@ pub struct SimConfig {
     pub threads: usize,
     /// Per-key data retention policy.
     pub retention: Retention,
+    /// Scheduled per-server faults (crashes, slowdowns). Empty by
+    /// default: the healthy run is bit-identical to the pre-fault
+    /// simulator.
+    pub fault_plan: FaultPlan,
+    /// Client-side resilience: timeout, bounded retries, hedging.
+    /// Passive by default.
+    pub client: ClientPolicy,
 }
 
 impl SimConfig {
@@ -102,6 +110,8 @@ impl SimConfig {
             miss_mode: MissMode::FixedRatio,
             threads: 0,
             retention: Retention::default(),
+            fault_plan: FaultPlan::none(),
+            client: ClientPolicy::none(),
         }
     }
 
@@ -154,6 +164,20 @@ impl SimConfig {
         self
     }
 
+    /// Sets the fault-injection plan.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Sets the client resilience policy.
+    #[must_use]
+    pub fn client(mut self, client: ClientPolicy) -> Self {
+        self.client = client;
+        self
+    }
+
     /// Validates the simulation controls.
     ///
     /// # Errors
@@ -173,6 +197,10 @@ impl SimConfig {
                 self.warmup
             )));
         }
+        self.fault_plan
+            .validate(self.params.servers())
+            .map_err(SimError::InvalidConfig)?;
+        self.client.validate().map_err(SimError::InvalidConfig)?;
         Ok(())
     }
 

@@ -21,6 +21,7 @@
 //! | module | role |
 //! |---|---|
 //! | [`config`] | [`SimConfig`]: model parameters + simulation controls |
+//! | [`fault`] | [`FaultPlan`] crash/slowdown schedules + [`ClientPolicy`] timeout/retry/hedging |
 //! | [`server`] | one memcached server: batches → FCFS exp(μ_S) → miss decision |
 //! | [`database`] | sharded M/M/1 database stage + a fast db-only experiment path |
 //! | [`sim`] | [`ClusterSim`]: orchestrates servers → database, produces [`SimOutput`] |
@@ -55,6 +56,7 @@ pub mod assembly;
 pub mod config;
 pub mod database;
 pub mod e2e;
+pub mod fault;
 pub mod runner;
 pub mod server;
 pub mod sim;
@@ -62,6 +64,7 @@ pub mod sim;
 pub use assembly::{RequestSample, RequestStats};
 pub use config::{CacheBackedConfig, MissMode, Retention, SimConfig};
 pub use e2e::{E2eConfig, E2eOutput};
+pub use fault::{ClientPolicy, FaultEvent, FaultKind, FaultPlan, HedgePolicy, RetryPolicy};
 pub use runner::{run_replications, ReplicatedStats};
 pub use sim::{ClusterSim, ServerSummary, SimOutput};
 

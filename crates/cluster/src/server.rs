@@ -2,31 +2,43 @@
 
 use memlat_cache::{Store, StoreConfig};
 use memlat_des::fcfs::FcfsStation;
-use memlat_des::metrics::ServerCounters;
+use memlat_des::metrics::{ResilienceCounters, ServerCounters};
 use memlat_dist::{Continuous, GeneralizedPareto, ParamError};
-use memlat_workload::{arrival::BatchArrivals, ZipfPopularity};
+use memlat_workload::retry::exponential_backoff;
+use memlat_workload::{arrival::BatchArrivals, RetryQueue, ZipfPopularity};
 use rand::Rng;
 use rand::RngCore;
 
 use crate::config::MissMode;
+use crate::fault::{ClientPolicy, ServerFaults};
 
 /// One key's outcome at a memcached server.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KeyRecord {
-    /// Arrival time of the key's batch.
+    /// Arrival time of the key's first attempt.
     pub arrival: f64,
-    /// Time service finished for this key.
+    /// Time the key resolved: service finished for a served key, the
+    /// final failure was detected for a forced miss.
     pub completion: f64,
-    /// Processing latency at the server (`s_i` in the paper).
+    /// Processing latency at the server (`s_i` in the paper): resolution
+    /// time minus first arrival, so retries and backoff delays count.
     pub server_latency: f64,
     /// Whether the key missed the cache.
     pub missed: bool,
+    /// Whether the key exhausted every attempt (timeouts/refusals) and
+    /// fell through to the database — a forced miss. Zero on healthy runs.
+    pub forced: bool,
+    /// Attempts issued for this key (1 on healthy runs).
+    pub attempts: u32,
+    /// Whether the served attempt arrived inside a slowdown window.
+    pub degraded: bool,
 }
 
 /// Output of simulating one server for the run's duration.
 #[derive(Debug)]
 pub struct ServerRun {
-    /// Per-key records in arrival order (post-warm-up only).
+    /// Per-key records in resolution-processing order (post-warm-up
+    /// only; identical to arrival order on healthy runs).
     pub records: Vec<KeyRecord>,
     /// Observed utilization (busy time ÷ horizon, including warm-up).
     pub utilization: f64,
@@ -38,6 +50,8 @@ pub struct ServerRun {
     /// full horizon (warm-up included), jobs/misses over the measured
     /// window.
     pub counters: ServerCounters,
+    /// Fault and client-resilience counters (all zero on healthy runs).
+    pub resilience: ResilienceCounters,
 }
 
 /// The miss decider a server uses.
@@ -120,10 +134,140 @@ pub struct ServerSimParams<'a> {
     pub warmup: f64,
     /// Measured seconds after warm-up.
     pub duration: f64,
+    /// This server's compiled fault timeline (empty = healthy).
+    pub faults: ServerFaults,
+    /// Client resilience policy (passive by default).
+    pub client: ClientPolicy,
+}
+
+/// One key mid-flight through its attempts.
+#[derive(Clone, Copy)]
+struct PendingKey {
+    /// Arrival time of the first attempt.
+    first_arrival: f64,
+    /// Attempts already issued (and failed).
+    attempts: u32,
+    /// Whether the key counts toward statistics (first arrival past
+    /// warm-up).
+    measured: bool,
+}
+
+/// Mutable simulation state threaded through attempt processing.
+struct LoopState {
+    station: FcfsStation,
+    retry_q: RetryQueue<PendingKey>,
+    records: Vec<KeyRecord>,
+    misses: u64,
+    resilience: ResilienceCounters,
+}
+
+/// Environment (read-only knobs) for attempt processing.
+struct AttemptEnv<'a> {
+    service_rate: f64,
+    cache_backed: bool,
+    client: ClientPolicy,
+    faults: &'a ServerFaults,
+}
+
+/// Handles a failed attempt detected at `detect`: schedule a backoff
+/// retry if the budget allows, else record a forced miss.
+fn fail_attempt(
+    detect: f64,
+    key: PendingKey,
+    st: &mut LoopState,
+    env: &AttemptEnv<'_>,
+    rng: &mut dyn RngCore,
+) {
+    let attempts = key.attempts + 1;
+    if attempts < env.client.max_attempts() {
+        let rp = env
+            .client
+            .retry
+            .expect("max_attempts > 1 implies a retry policy");
+        let delay = exponential_backoff(rp.base_backoff, rp.multiplier, rp.jitter, attempts, rng);
+        if key.measured {
+            st.resilience.retries += 1;
+        }
+        st.retry_q
+            .push(detect + delay, PendingKey { attempts, ..key });
+    } else if key.measured {
+        // Graceful degradation: the key falls through to the database.
+        st.resilience.forced_misses += 1;
+        st.records.push(KeyRecord {
+            arrival: key.first_arrival,
+            completion: detect,
+            server_latency: detect - key.first_arrival,
+            missed: false,
+            forced: true,
+            attempts,
+            degraded: false,
+        });
+    }
+}
+
+/// Processes one attempt of one key arriving at `t`.
+///
+/// On the healthy path (no faults scheduled, passive client) this draws
+/// exactly the random variates of the pre-fault simulator — one service
+/// sample, then the miss decision — so an empty [`crate::FaultPlan`]
+/// is bit-identical to it.
+fn process_attempt(
+    t: f64,
+    key: PendingKey,
+    st: &mut LoopState,
+    decider: &mut MissDecider,
+    env: &AttemptEnv<'_>,
+    rng: &mut dyn RngCore,
+) {
+    // A crashed server refuses the connection at the arrival instant:
+    // no service is drawn, failure is detected immediately.
+    if env.faults.crashed_at(t) {
+        if key.measured {
+            st.resilience.refused += 1;
+        }
+        fail_attempt(t, key, st, env, rng);
+        return;
+    }
+    let mut svc = -memlat_dist::open_unit(rng).ln() / env.service_rate;
+    let degraded = env.faults.degraded_at(t);
+    if degraded {
+        svc *= env.faults.slow_factor_at(t);
+    }
+    let done = st.station.submit(t, svc);
+    if let Some(timeout) = env.client.timeout {
+        if done.sojourn() > timeout {
+            // The client abandons at t + timeout; the server still
+            // wastes the full service time on the dead request.
+            if key.measured {
+                st.resilience.timeouts += 1;
+            }
+            fail_attempt(t + timeout, key, st, env, rng);
+            return;
+        }
+    }
+    if key.measured {
+        let missed = decider.misses(done.departure, rng);
+        if missed {
+            st.misses += 1;
+        }
+        st.records.push(KeyRecord {
+            arrival: key.first_arrival,
+            completion: done.departure,
+            server_latency: done.departure - key.first_arrival,
+            missed,
+            forced: false,
+            attempts: key.attempts + 1,
+            degraded,
+        });
+    } else if env.cache_backed {
+        // Let the cache warm during warm-up without recording.
+        let _ = decider.misses(done.departure, rng);
+    }
 }
 
 /// Simulates one memcached server: batch arrivals → FCFS exp(μ_S)
-/// service → miss decision per key.
+/// service → miss decision per key, with scheduled faults and client
+/// retries merged into the arrival stream in global time order.
 ///
 /// # Errors
 ///
@@ -134,57 +278,70 @@ pub fn simulate_server(
 ) -> Result<ServerRun, ParamError> {
     let mut arrivals = BatchArrivals::new(p.interarrival, p.concurrency)?;
     let mut decider = MissDecider::new(p.miss_mode, p.miss_ratio)?;
-    let mut station = FcfsStation::new();
     let horizon = p.warmup + p.duration;
-    let mut records = Vec::new();
-    let mut misses = 0u64;
+    let env = AttemptEnv {
+        service_rate: p.service_rate,
+        cache_backed: matches!(p.miss_mode, MissMode::CacheBacked(_)),
+        client: p.client,
+        faults: &p.faults,
+    };
+    let mut st = LoopState {
+        station: FcfsStation::new(),
+        retry_q: RetryQueue::new(),
+        records: Vec::new(),
+        misses: 0,
+        resilience: ResilienceCounters::default(),
+    };
 
     loop {
         let (t, batch) = arrivals.next_batch(rng);
         if t >= horizon {
             break;
         }
+        // Replay retries due up to (and at) this batch's arrival first,
+        // keeping the station's arrival stream time-ordered.
+        while let Some((u, key)) = st.retry_q.pop_before(t) {
+            process_attempt(u, key, &mut st, &mut decider, &env, rng);
+        }
+        let fresh = PendingKey {
+            first_arrival: t,
+            attempts: 0,
+            measured: t >= p.warmup,
+        };
         for _ in 0..batch {
-            let svc = -memlat_dist::open_unit(rng).ln() / p.service_rate;
-            let done = station.submit(t, svc);
-            if t >= p.warmup {
-                let missed = decider.misses(done.departure, rng);
-                if missed {
-                    misses += 1;
-                }
-                records.push(KeyRecord {
-                    arrival: t,
-                    completion: done.departure,
-                    server_latency: done.sojourn(),
-                    missed,
-                });
-            } else if matches!(p.miss_mode, MissMode::CacheBacked(_)) {
-                // Let the cache warm during warm-up without recording.
-                let _ = decider.misses(done.departure, rng);
-            }
+            process_attempt(t, fresh, &mut st, &mut decider, &env, rng);
         }
     }
+    // Fresh traffic stopped at the horizon; drain in-flight retries so
+    // every issued key resolves (served or forced) — conservation.
+    while let Some((u, key)) = st.retry_q.pop() {
+        process_attempt(u, key, &mut st, &mut decider, &env, rng);
+    }
 
-    let recorded = records.len() as f64;
+    let recorded = st.records.len() as f64;
     let miss_ratio = decider.observed_miss_ratio().unwrap_or(if recorded > 0.0 {
-        misses as f64 / recorded
+        st.misses as f64 / recorded
     } else {
         0.0
     });
     // Tiny bias: utilization uses the full horizon (warm-up included).
-    let utilization = station.utilization(horizon).min(1.0);
+    let utilization = st.station.utilization(horizon).min(1.0);
     let counters = ServerCounters {
-        busy_time: station.busy_time(),
-        queue_max: station.queue_max(),
-        jobs: records.len() as u64,
-        misses,
+        busy_time: st.station.busy_time(),
+        queue_max: st.station.queue_max(),
+        jobs: st.records.len() as u64,
+        misses: st.misses,
     };
+    let mut resilience = st.resilience;
+    resilience.downtime = p.faults.downtime(horizon);
+    resilience.degraded_time = p.faults.degraded_time(horizon);
     Ok(ServerRun {
-        records,
+        records: st.records,
         utilization,
         miss_ratio,
         key_rate: recorded / p.duration,
         counters,
+        resilience,
     })
 }
 
@@ -197,25 +354,28 @@ pub fn exp_sample(rate: f64, rng: &mut impl Rng) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, RetryPolicy};
     use memlat_dist::GeneralizedPareto;
     use memlat_workload::facebook;
     use rand::SeedableRng;
 
+    fn healthy_params(duration: f64) -> ServerSimParams<'static> {
+        ServerSimParams {
+            interarrival: Box::new(facebook::interarrival().unwrap()),
+            concurrency: facebook::CONCURRENCY_Q,
+            service_rate: facebook::SERVICE_RATE,
+            miss_ratio: facebook::MISS_RATIO,
+            miss_mode: &MissMode::FixedRatio,
+            warmup: 0.2,
+            duration,
+            faults: ServerFaults::none(),
+            client: ClientPolicy::none(),
+        }
+    }
+
     fn facebook_run(duration: f64, seed: u64) -> ServerRun {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        simulate_server(
-            ServerSimParams {
-                interarrival: Box::new(facebook::interarrival().unwrap()),
-                concurrency: facebook::CONCURRENCY_Q,
-                service_rate: facebook::SERVICE_RATE,
-                miss_ratio: facebook::MISS_RATIO,
-                miss_mode: &MissMode::FixedRatio,
-                warmup: 0.2,
-                duration,
-            },
-            &mut rng,
-        )
-        .unwrap()
+        simulate_server(healthy_params(duration), &mut rng).unwrap()
     }
 
     #[test]
@@ -236,6 +396,9 @@ mod tests {
         );
         assert!(run.counters.queue_max >= 1);
         assert!(run.counters.busy_time > 0.0);
+        // A healthy run observes no resilience activity at all.
+        assert!(!run.resilience.any());
+        assert!(run.records.iter().all(|r| r.attempts == 1 && !r.forced));
     }
 
     #[test]
@@ -285,6 +448,8 @@ mod tests {
                 miss_mode: &MissMode::FixedRatio,
                 warmup: 0.0,
                 duration: 0.3,
+                faults: ServerFaults::none(),
+                client: ClientPolicy::none(),
             },
             &mut rng,
         )
@@ -311,6 +476,8 @@ mod tests {
                 miss_mode: &mode,
                 warmup: 0.5,
                 duration: 0.5,
+                faults: ServerFaults::none(),
+                client: ClientPolicy::none(),
             },
             &mut rng,
         )
@@ -323,5 +490,142 @@ mod tests {
         );
         assert!(run.records.iter().any(|r| r.missed));
         assert!(run.records.iter().any(|r| !r.missed));
+    }
+
+    #[test]
+    fn crash_without_retries_forces_misses() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut p = healthy_params(0.5);
+        p.faults = FaultPlan::none().crash(0, 0.3, 0.5).for_server(0);
+        let run = simulate_server(p, &mut rng).unwrap();
+        assert!(run.resilience.refused > 0);
+        assert_eq!(run.resilience.refused, run.resilience.forced_misses);
+        assert_eq!(run.resilience.retries, 0);
+        assert!((run.resilience.downtime - 0.2).abs() < 1e-12);
+        // Refused keys resolve instantly at zero latency, served keys
+        // keep positive latency.
+        for r in &run.records {
+            if r.forced {
+                assert_eq!(r.server_latency, 0.0);
+                assert!(!r.missed);
+            } else {
+                assert!(r.server_latency > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn retries_recover_keys_after_crash_window() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut p = healthy_params(0.5);
+        // A short mid-window crash; generous retry budget with backoff
+        // long enough to hop over the window.
+        p.faults = FaultPlan::none().crash(0, 0.3, 0.32).for_server(0);
+        p.client = ClientPolicy::none().retry(RetryPolicy {
+            max_retries: 5,
+            base_backoff: 10e-3,
+            multiplier: 2.0,
+            jitter: 0.1,
+        });
+        let run = simulate_server(p, &mut rng).unwrap();
+        assert!(run.resilience.refused > 0);
+        assert!(run.resilience.retries > 0);
+        // The retry budget (5 × backoff ≥ 10 ms vs a 20 ms outage)
+        // recovers every refused key.
+        assert_eq!(run.resilience.forced_misses, 0);
+        let recovered: Vec<_> = run.records.iter().filter(|r| r.attempts > 1).collect();
+        assert!(!recovered.is_empty());
+        for r in &recovered {
+            assert!(r.attempts <= 6);
+            // Recovered keys completed after the outage ended.
+            assert!(r.completion > 0.32);
+        }
+    }
+
+    #[test]
+    fn slowdown_scales_latency_and_tags_degraded() {
+        let base = facebook_run(0.5, 8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut p = healthy_params(0.5);
+        p.faults = FaultPlan::none().slowdown(0, 0.3, 0.5, 4.0).for_server(0);
+        let slow = simulate_server(p, &mut rng).unwrap();
+        // Same seed, same draws: every key resolves, latency can only
+        // grow, and keys inside the window are tagged.
+        assert_eq!(slow.records.len(), base.records.len());
+        assert!(slow.records.iter().any(|r| r.degraded));
+        assert!(slow
+            .records
+            .iter()
+            .zip(&base.records)
+            .all(|(s, b)| s.server_latency >= b.server_latency));
+        let mean_of = |pred: &dyn Fn(&KeyRecord) -> bool| {
+            let lats: Vec<f64> = slow
+                .records
+                .iter()
+                .filter(|r| pred(r))
+                .map(|r| r.server_latency)
+                .collect();
+            lats.iter().sum::<f64>() / lats.len() as f64
+        };
+        let degraded_mean = mean_of(&|r| r.degraded);
+        // Post-window keys inherit the residual backlog, so the clean
+        // comparison is against keys that arrived *before* the window.
+        let pre_window_mean = mean_of(&|r| r.arrival < 0.3);
+        assert!(
+            degraded_mean > pre_window_mean,
+            "degraded {degraded_mean} vs pre-window {pre_window_mean}"
+        );
+        assert!((slow.resilience.degraded_time - 0.2).abs() < 1e-12);
+        assert_eq!(slow.resilience.downtime, 0.0);
+    }
+
+    #[test]
+    fn timeouts_are_detected_and_bounded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut p = healthy_params(0.5);
+        // A heavy slowdown plus a tight timeout: long sojourns abandon.
+        p.faults = FaultPlan::none().slowdown(0, 0.2, 0.7, 10.0).for_server(0);
+        p.client = ClientPolicy::none().timeout(2e-3);
+        let run = simulate_server(p, &mut rng).unwrap();
+        assert!(run.resilience.timeouts > 0);
+        assert_eq!(run.resilience.timeouts, run.resilience.forced_misses);
+        // Served keys all resolved within the timeout.
+        for r in run.records.iter().filter(|r| !r.forced) {
+            assert!(r.server_latency <= 2e-3 + 1e-12);
+        }
+        // Forced keys gave up exactly at the timeout.
+        for r in run.records.iter().filter(|r| r.forced) {
+            assert!((r.server_latency - 2e-3).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conservation_under_faults_and_retries() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let mut p = healthy_params(0.5);
+        p.faults = FaultPlan::none()
+            .crash(0, 0.25, 0.35)
+            .slowdown(0, 0.4, 0.6, 5.0)
+            .for_server(0);
+        p.client = ClientPolicy::none()
+            .timeout(1e-3)
+            .retry(RetryPolicy::default());
+        let max = p.client.max_attempts();
+        let run = simulate_server(p, &mut rng).unwrap();
+        let forced = run.records.iter().filter(|r| r.forced).count() as u64;
+        let missed = run.records.iter().filter(|r| r.missed).count() as u64;
+        let hits = run
+            .records
+            .iter()
+            .filter(|r| !r.missed && !r.forced)
+            .count() as u64;
+        assert_eq!(forced, run.resilience.forced_misses);
+        assert_eq!(hits + missed + forced, run.counters.jobs);
+        assert!(run.resilience.timeouts + run.resilience.refused > 0);
+        // Attempts never exceed the policy bound.
+        assert!(run
+            .records
+            .iter()
+            .all(|r| r.attempts >= 1 && r.attempts <= max));
     }
 }

@@ -8,13 +8,15 @@
 //! across [`SimConfig::threads`] worker threads and still produces
 //! **bit-identical** output to the sequential path for a fixed seed.
 
-use memlat_des::metrics::ServerCounters;
+use memlat_des::metrics::{ResilienceCounters, ServerCounters};
 use memlat_des::rng::stream_rng;
 use memlat_stats::{Ecdf, QuantileSketch, StreamingStats};
+use rand::RngCore;
 
 use crate::{
     config::{Retention, SimConfig},
     database::{run_db_stage_with, MissArrival},
+    fault::hedge_outcome,
     server::{simulate_server, ServerSimParams},
     SimError,
 };
@@ -37,8 +39,16 @@ pub struct ServerSummary {
     pub latency: StreamingStats,
     /// Quantile sketch of `s` (≤ 1% relative error, exactly mergeable).
     pub sketch: QuantileSketch,
+    /// Welford statistics of `s` over keys served inside a slowdown
+    /// window (empty on healthy runs).
+    pub degraded_latency: StreamingStats,
+    /// Welford statistics of `s` over keys served outside any slowdown
+    /// window (equals [`Self::latency`] on healthy runs).
+    pub healthy_latency: StreamingStats,
     /// Busy time, queue high-water mark, jobs, misses.
     pub counters: ServerCounters,
+    /// Fault and client-resilience counters (all zero on healthy runs).
+    pub resilience: ResilienceCounters,
     /// Observed utilization (busy time ÷ horizon).
     pub utilization: f64,
 }
@@ -48,7 +58,10 @@ impl ServerSummary {
         Self {
             latency: StreamingStats::new(),
             sketch: QuantileSketch::new(),
+            degraded_latency: StreamingStats::new(),
+            healthy_latency: StreamingStats::new(),
             counters: ServerCounters::default(),
+            resilience: ResilienceCounters::default(),
             utilization: 0.0,
         }
     }
@@ -60,8 +73,14 @@ struct ServerOutcome {
     pairs: Vec<KeyPair>,
     /// Missed keys: arrival time at the database + origin `(server, idx)`.
     misses: Vec<MissArrival>,
+    /// Per-record forced/degraded flags, kept only when hedging needs to
+    /// rebuild the summaries after the merge-step min pass.
+    flags: Vec<u8>,
     summary: ServerSummary,
 }
+
+const FLAG_FORCED: u8 = 1;
+const FLAG_DEGRADED: u8 = 2;
 
 /// Everything a simulation run produces.
 #[derive(Debug)]
@@ -110,12 +129,14 @@ impl ClusterSim {
 
         // One worker per server; identical code on the sequential and
         // parallel paths, so thread count cannot change the output.
+        let hedging = cfg.client.hedge.is_some();
         let worker = |j: usize| -> Result<ServerOutcome, SimError> {
             let p = shares[j];
             if p <= 0.0 {
                 return Ok(ServerOutcome {
                     pairs: Vec::new(),
                     misses: Vec::new(),
+                    flags: Vec::new(),
                     summary: ServerSummary::empty(),
                 });
             }
@@ -134,6 +155,8 @@ impl ClusterSim {
                     miss_mode: &cfg.miss_mode,
                     warmup: cfg.warmup,
                     duration: cfg.duration,
+                    faults: cfg.fault_plan.for_server(j),
+                    client: cfg.client,
                 },
                 &mut rng,
             )
@@ -141,10 +164,15 @@ impl ClusterSim {
 
             let mut pairs: Vec<KeyPair> = Vec::with_capacity(run.records.len());
             let mut misses: Vec<MissArrival> = Vec::new();
+            let mut flags: Vec<u8> = Vec::new();
             let mut latency = StreamingStats::new();
             let mut sketch = QuantileSketch::new();
+            let mut degraded_latency = StreamingStats::new();
+            let mut healthy_latency = StreamingStats::new();
             for (i, r) in run.records.iter().enumerate() {
-                if r.missed {
+                // Forced misses fall through to the database too: the
+                // cache tier failed them, the backing store answers.
+                if r.missed || r.forced {
                     misses.push(MissArrival {
                         time: r.completion,
                         origin: (j as u32, i as u32),
@@ -152,21 +180,97 @@ impl ClusterSim {
                 }
                 latency.push(r.server_latency);
                 sketch.push(r.server_latency);
+                if r.forced {
+                    // Neither split: the key was never served here.
+                } else if r.degraded {
+                    degraded_latency.push(r.server_latency);
+                } else {
+                    healthy_latency.push(r.server_latency);
+                }
                 pairs.push((r.server_latency as f32, 0.0));
+                if hedging {
+                    flags.push(
+                        if r.forced { FLAG_FORCED } else { 0 }
+                            | if r.degraded { FLAG_DEGRADED } else { 0 },
+                    );
+                }
             }
             Ok(ServerOutcome {
                 pairs,
                 misses,
+                flags,
                 summary: ServerSummary {
                     latency,
                     sketch,
+                    degraded_latency,
+                    healthy_latency,
                     counters: run.counters,
+                    resilience: run.resilience,
                     utilization: run.utilization,
                 },
             })
         };
 
-        let outcomes = dispatch(shares.len(), cfg.effective_threads(), &worker)?;
+        let mut outcomes = dispatch(shares.len(), cfg.effective_threads(), &worker)?;
+
+        // Hedged duplicates: a deterministic merge-step pass, in server
+        // order, so the thread count still cannot change the output. A
+        // key whose primary latency exceeded the hedge delay draws a
+        // duplicate attempt from the replica server's *pristine* latency
+        // population (sampled before any hedge updates) and keeps
+        // `min(primary, delay + replica)`.
+        if let Some(h) = cfg.client.hedge {
+            let m = outcomes.len();
+            if m > 1 {
+                let pristine: Vec<Vec<f32>> = outcomes
+                    .iter()
+                    .map(|o| o.pairs.iter().map(|pr| pr.0).collect())
+                    .collect();
+                for (j, out) in outcomes.iter_mut().enumerate() {
+                    let replica = &pristine[(j + 1) % m];
+                    if replica.is_empty() {
+                        continue;
+                    }
+                    let mut rng = stream_rng(cfg.seed, 3_000_000 + j as u64);
+                    let mut latency = StreamingStats::new();
+                    let mut sketch = QuantileSketch::new();
+                    let mut degraded_latency = StreamingStats::new();
+                    let mut healthy_latency = StreamingStats::new();
+                    for (i, pair) in out.pairs.iter_mut().enumerate() {
+                        let forced = out.flags[i] & FLAG_FORCED != 0;
+                        let mut s = f64::from(pair.0);
+                        if !forced && s > h.delay {
+                            out.summary.resilience.hedges_sent += 1;
+                            let k = (rng.next_u64() % replica.len() as u64) as usize;
+                            let (eff, _) = hedge_outcome(s, h.delay, f64::from(replica[k]));
+                            // A win must be observable at the f32
+                            // precision records are stored at, so the
+                            // counter and the records never disagree.
+                            let eff32 = eff as f32;
+                            if eff32 < pair.0 {
+                                out.summary.resilience.hedges_won += 1;
+                                pair.0 = eff32;
+                                s = f64::from(eff32);
+                            }
+                        }
+                        latency.push(s);
+                        sketch.push(s);
+                        if forced {
+                        } else if out.flags[i] & FLAG_DEGRADED != 0 {
+                            degraded_latency.push(s);
+                        } else {
+                            healthy_latency.push(s);
+                        }
+                    }
+                    // The summaries must describe the effective (post-
+                    // hedge) latencies; rebuild them from the records.
+                    out.summary.latency = latency;
+                    out.summary.sketch = sketch;
+                    out.summary.degraded_latency = degraded_latency;
+                    out.summary.healthy_latency = healthy_latency;
+                }
+            }
+        }
 
         // Merge in server order — the only order-sensitive step, and it
         // is fixed regardless of which thread finished first.
@@ -182,7 +286,10 @@ impl ClusterSim {
         // the fly — so each server's buffer is dropped right here.
         for out in outcomes {
             total_keys += out.pairs.len() as u64;
-            total_misses += out.misses.len() as u64;
+            // Regular cache misses only: forced misses are accounted
+            // separately (they reach the database but are a fault
+            // artifact, not a cache property).
+            total_misses += out.summary.counters.misses;
             misses.extend(out.misses);
             utilization.push(out.summary.utilization);
             summaries.push(out.summary);
@@ -427,6 +534,29 @@ impl SimOutput {
         let k = memlat_stats::max_order_quantile(n);
         self.server_latency_quantile(k)
     }
+
+    /// Cluster-wide fault and client-resilience counters (the merge of
+    /// every server's [`ServerSummary::resilience`]). All zero on a
+    /// healthy run.
+    #[must_use]
+    pub fn resilience(&self) -> ResilienceCounters {
+        let mut total = ResilienceCounters::default();
+        for s in &self.summaries {
+            total.merge(&s.resilience);
+        }
+        total
+    }
+
+    /// Fraction of recorded keys that exhausted every attempt and fell
+    /// through to the database (0 on healthy runs).
+    #[must_use]
+    pub fn forced_miss_ratio(&self) -> f64 {
+        if self.total_keys == 0 {
+            0.0
+        } else {
+            self.resilience().forced_misses as f64 / self.total_keys as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -583,6 +713,88 @@ mod tests {
         )
         .unwrap();
         let _ = out.records(0);
+    }
+
+    #[test]
+    fn healthy_run_reports_no_resilience_activity() {
+        let out = quick(6);
+        assert!(!out.resilience().any());
+        assert_eq!(out.forced_miss_ratio(), 0.0);
+        for s in out.summaries() {
+            assert_eq!(s.degraded_latency.count(), 0);
+            assert_eq!(s.healthy_latency.count(), s.latency.count());
+        }
+    }
+
+    #[test]
+    fn crashes_and_retries_surface_in_output() {
+        use crate::fault::{ClientPolicy, FaultPlan, RetryPolicy};
+        let params = ModelParams::builder().build().unwrap();
+        let cfg = SimConfig::new(params)
+            .duration(0.4)
+            .warmup(0.1)
+            .seed(31)
+            .fault_plan(
+                FaultPlan::none()
+                    .crash(1, 0.2, 0.3)
+                    .slowdown(2, 0.2, 0.4, 3.0),
+            )
+            .client(
+                ClientPolicy::none()
+                    .timeout(5e-3)
+                    .retry(RetryPolicy::default()),
+            );
+        let out = ClusterSim::run(&cfg).unwrap();
+        let total = out.resilience();
+        assert!(total.refused > 0, "crash produced no refusals");
+        assert!(total.retries > 0, "no retries were issued");
+        assert!((total.downtime - 0.1).abs() < 1e-12);
+        assert!((total.degraded_time - 0.2).abs() < 1e-12);
+        // Only the crashed server refused; only the slowed one split.
+        assert_eq!(out.summary(0).resilience.refused, 0);
+        assert!(out.summary(1).resilience.refused > 0);
+        assert!(out.summary(2).degraded_latency.count() > 0);
+        assert_eq!(out.summary(0).degraded_latency.count(), 0);
+        // Forced misses carry a db latency like regular misses, so the
+        // db stage saw misses + forced keys.
+        assert_eq!(
+            out.db_latency_stats().count(),
+            out.summaries()
+                .iter()
+                .map(|s| s.counters.misses)
+                .sum::<u64>()
+                + total.forced_misses
+        );
+        assert_eq!(
+            out.forced_miss_ratio(),
+            total.forced_misses as f64 / out.total_keys() as f64
+        );
+    }
+
+    #[test]
+    fn hedging_reduces_tail_against_a_slow_server() {
+        use crate::fault::{ClientPolicy, FaultPlan};
+        let params = ModelParams::builder().build().unwrap();
+        let base = SimConfig::new(params)
+            .duration(0.4)
+            .warmup(0.1)
+            .seed(32)
+            .fault_plan(FaultPlan::none().slowdown(0, 0.1, 0.5, 5.0));
+        let plain = ClusterSim::run(&base.clone()).unwrap();
+        let delay = plain.server_latency_quantile(0.95);
+        let hedged = ClusterSim::run(&base.client(ClientPolicy::none().hedge(delay))).unwrap();
+        let total = hedged.resilience();
+        assert!(total.hedges_sent > 0);
+        assert!(total.hedges_won > 0);
+        assert!(total.hedges_won <= total.hedges_sent);
+        // Hedging is a pathwise min against the replica draw: the p99
+        // can only improve, and against one slow server it must.
+        let p99_plain = plain.server_latency_quantile(0.99);
+        let p99_hedged = hedged.server_latency_quantile(0.99);
+        assert!(
+            p99_hedged < p99_plain,
+            "hedged p99 {p99_hedged} !< plain {p99_plain}"
+        );
     }
 
     #[test]

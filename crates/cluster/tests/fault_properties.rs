@@ -1,0 +1,188 @@
+//! Property-based tests of the fault-injection and client-resilience
+//! invariants, over randomized fault plans and policies.
+
+use memlat_cluster::{
+    fault::hedge_outcome, ClientPolicy, ClusterSim, FaultPlan, RetryPolicy, SimConfig,
+};
+use memlat_model::ModelParams;
+use proptest::prelude::*;
+
+fn faulty_cfg(
+    crash: (f64, f64),
+    slow: (f64, f64, f64),
+    client: ClientPolicy,
+    seed: u64,
+) -> SimConfig {
+    let params = ModelParams::builder().build().unwrap();
+    SimConfig::new(params)
+        .duration(0.15)
+        .warmup(0.05)
+        .seed(seed)
+        .fault_plan(
+            FaultPlan::none()
+                .crash(0, crash.0, crash.1)
+                .slowdown(1, slow.0, slow.1, slow.2),
+        )
+        .client(client)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Request conservation under arbitrary faults and policies: every
+    /// recorded key is exactly one of hit, regular miss, or forced
+    /// miss — nothing is lost or double-counted, and the counter view
+    /// agrees with the record view.
+    #[test]
+    fn timeout_fallback_conserves_request_count(
+        crash_start in 0.06f64..0.12,
+        crash_len in 0.01f64..0.05,
+        factor in 2.0f64..8.0,
+        timeout_us in 200.0f64..5_000.0,
+        max_retries in 0u32..4,
+        seed in 0u64..500,
+    ) {
+        let client = ClientPolicy::none()
+            .timeout(timeout_us * 1e-6)
+            .retry(RetryPolicy { max_retries, ..RetryPolicy::default() });
+        let cfg = faulty_cfg(
+            (crash_start, crash_start + crash_len),
+            (0.06, 0.14, factor),
+            client,
+            seed,
+        );
+        let out = ClusterSim::run(&cfg).unwrap();
+        let total = out.resilience();
+        let mut hits = 0u64;
+        let mut missed = 0u64;
+        for j in 0..out.shares().len() {
+            for &(_, d) in out.records(j) {
+                if d > 0.0 { missed += 1 } else { hits += 1 }
+            }
+        }
+        // Records with db latency = regular misses + forced misses.
+        let regular: u64 = out.summaries().iter().map(|s| s.counters.misses).sum();
+        prop_assert_eq!(missed, regular + total.forced_misses);
+        prop_assert_eq!(hits + missed, out.total_keys());
+        // The db stage answered every miss, regular and forced.
+        prop_assert_eq!(out.db_latency_stats().count(), regular + total.forced_misses);
+        // Failure accounting: every forced miss exhausted its attempts,
+        // and every failure (timeout or refusal) was either retried or
+        // became a forced miss.
+        let failures = total.timeouts + total.refused;
+        prop_assert_eq!(failures, total.retries + total.forced_misses);
+    }
+
+    /// Retries never exceed the configured bound: with `R` retries
+    /// allowed, at most `1 + R` attempts are issued per key, so the
+    /// cluster-wide retry count is bounded by `R ×` (failures observed).
+    #[test]
+    fn retries_never_exceed_bound(
+        max_retries in 0u32..4,
+        base_us in 100.0f64..2_000.0,
+        seed in 0u64..500,
+    ) {
+        let client = ClientPolicy::none()
+            .timeout(1e-3)
+            .retry(RetryPolicy {
+                max_retries,
+                base_backoff: base_us * 1e-6,
+                multiplier: 2.0,
+                jitter: 0.3,
+            });
+        let cfg = faulty_cfg((0.06, 0.1), (0.1, 0.14, 6.0), client, seed);
+        let out = ClusterSim::run(&cfg).unwrap();
+        let total = out.resilience();
+        // Per-key attempts ≤ 1 + max_retries ⟹ retries ≤ max_retries
+        // per eventually-forced key and per recovered key; the loosest
+        // safe cluster-wide bound follows from failures:
+        prop_assert!(total.retries <= u64::from(max_retries) * (total.forced_misses + total.timeouts + total.refused).max(1));
+        if max_retries == 0 {
+            prop_assert_eq!(total.retries, 0);
+            // Every failure immediately falls through.
+            prop_assert_eq!(total.forced_misses, total.timeouts + total.refused);
+        }
+        // Retry scheduling never loses a key (conservation again).
+        let recorded: u64 = out.summaries().iter().map(|s| s.counters.jobs).sum();
+        prop_assert_eq!(recorded, out.total_keys());
+    }
+
+    /// The hedged completion is exactly `min(primary, delay + replica)`:
+    /// never worse than the primary, never better than the replica path.
+    #[test]
+    fn hedged_completion_is_min_of_attempts(
+        primary_us in 1.0f64..10_000.0,
+        delay_us in 1.0f64..5_000.0,
+        replica_us in 1.0f64..10_000.0,
+    ) {
+        let (primary, delay, replica) =
+            (primary_us * 1e-6, delay_us * 1e-6, replica_us * 1e-6);
+        let (eff, won) = hedge_outcome(primary, delay, replica);
+        prop_assert!(eff <= primary);
+        prop_assert!(eff >= (delay + replica).min(primary));
+        prop_assert_eq!(eff, primary.min(delay + replica));
+        prop_assert_eq!(won, delay + replica < primary);
+    }
+
+    /// Hedging in a full run only ever lowers per-key latency (pathwise
+    /// min against the same primary records), and wins are counted
+    /// exactly when a record improved.
+    #[test]
+    fn hedging_is_pathwise_min_in_full_runs(
+        delay_us in 100.0f64..2_000.0,
+        seed in 0u64..300,
+    ) {
+        let params = ModelParams::builder().build().unwrap();
+        let base = SimConfig::new(params)
+            .duration(0.15)
+            .warmup(0.05)
+            .seed(seed)
+            .fault_plan(FaultPlan::none().slowdown(0, 0.05, 0.2, 4.0));
+        let plain = ClusterSim::run(&base.clone()).unwrap();
+        let hedged = ClusterSim::run(
+            &base.client(ClientPolicy::none().hedge(delay_us * 1e-6)),
+        ).unwrap();
+        prop_assert_eq!(plain.total_keys(), hedged.total_keys());
+        let mut improved = 0u64;
+        for j in 0..plain.shares().len() {
+            for (a, b) in plain.records(j).iter().zip(hedged.records(j)) {
+                prop_assert!(b.0 <= a.0, "hedging raised a latency");
+                prop_assert_eq!(a.1, b.1); // db path untouched
+                if b.0 < a.0 { improved += 1 }
+            }
+        }
+        prop_assert_eq!(improved, hedged.resilience().hedges_won);
+        prop_assert!(hedged.resilience().hedges_won <= hedged.resilience().hedges_sent);
+    }
+
+    /// Downtime/degraded-time accounting sums exactly to the scheduled
+    /// windows clamped to the horizon, independent of traffic.
+    #[test]
+    fn downtime_accounting_sums_to_plan_windows(
+        c0 in 0.02f64..0.08,
+        clen in 0.01f64..0.3,
+        s0 in 0.02f64..0.08,
+        slen in 0.01f64..0.3,
+        seed in 0u64..300,
+    ) {
+        let cfg = faulty_cfg(
+            (c0, c0 + clen),
+            (s0, s0 + slen, 3.0),
+            ClientPolicy::none().timeout(2e-3),
+            seed,
+        );
+        let horizon = cfg.warmup + cfg.duration; // 0.2
+        let out = ClusterSim::run(&cfg).unwrap();
+        let expect_down = (horizon - c0).max(0.0).min(clen);
+        let expect_degraded = (horizon - s0).max(0.0).min(slen);
+        let total = out.resilience();
+        prop_assert!((total.downtime - expect_down).abs() < 1e-12,
+            "downtime {} vs {expect_down}", total.downtime);
+        prop_assert!((total.degraded_time - expect_degraded).abs() < 1e-12,
+            "degraded {} vs {expect_degraded}", total.degraded_time);
+        // Attributed to the right servers.
+        prop_assert_eq!(out.summary(0).resilience.downtime, total.downtime);
+        prop_assert_eq!(out.summary(1).resilience.degraded_time, total.degraded_time);
+        prop_assert_eq!(out.summary(2).resilience.downtime, 0.0);
+    }
+}

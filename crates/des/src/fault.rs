@@ -1,0 +1,144 @@
+//! Fault windows: the DES-level vocabulary for scheduled degradation.
+//!
+//! A fault is a *window* of virtual time during which a station behaves
+//! differently — it is down (crash) or slower (degraded service). The
+//! kernel only provides the time algebra ([`Window`], [`Timeline`]);
+//! what a window *means* is the station owner's business
+//! (`memlat-cluster` compiles its `FaultPlan` into per-server
+//! timelines).
+//!
+//! # Examples
+//!
+//! ```
+//! use memlat_des::fault::{Timeline, Window};
+//!
+//! let t = Timeline::new(vec![Window::new(1.0, 2.0), Window::new(4.0, 5.0)]);
+//! assert!(t.contains(1.5));
+//! assert!(!t.contains(3.0));
+//! assert_eq!(t.covered_time(4.5), 1.5); // [1,2) fully + [4,4.5)
+//! ```
+
+/// A half-open window `[start, end)` of simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Window {
+    /// Window start (inclusive).
+    pub start: f64,
+    /// Window end (exclusive).
+    pub end: f64,
+}
+
+impl Window {
+    /// Creates a window.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ start < end` and both are finite.
+    #[must_use]
+    pub fn new(start: f64, end: f64) -> Self {
+        assert!(
+            start.is_finite() && end.is_finite() && start >= 0.0 && start < end,
+            "invalid fault window [{start}, {end})"
+        );
+        Self { start, end }
+    }
+
+    /// Whether `t` falls inside the window.
+    #[must_use]
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Length of the window's overlap with `[0, horizon)`.
+    #[must_use]
+    pub fn clamped_len(&self, horizon: f64) -> f64 {
+        (self.end.min(horizon) - self.start.max(0.0)).max(0.0)
+    }
+}
+
+/// An ordered set of fault windows for one station.
+///
+/// Windows are kept sorted by start; queries scan linearly (fault plans
+/// hold a handful of windows, not thousands).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    windows: Vec<Window>,
+}
+
+impl Timeline {
+    /// Builds a timeline; windows are sorted by start time.
+    #[must_use]
+    pub fn new(mut windows: Vec<Window>) -> Self {
+        windows.sort_by(|a, b| a.start.total_cmp(&b.start));
+        Self { windows }
+    }
+
+    /// An empty timeline (no faults scheduled).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any window covers `t`.
+    #[must_use]
+    pub fn contains(&self, t: f64) -> bool {
+        self.windows.iter().any(|w| w.contains(t))
+    }
+
+    /// Whether the timeline holds no windows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The windows, sorted by start.
+    #[must_use]
+    pub fn windows(&self) -> &[Window] {
+        &self.windows
+    }
+
+    /// Total time covered by windows within `[0, horizon)`.
+    ///
+    /// Windows are assumed disjoint (enforced by the plan validation
+    /// upstream); overlap would double-count.
+    #[must_use]
+    pub fn covered_time(&self, horizon: f64) -> f64 {
+        self.windows.iter().map(|w| w.clamped_len(horizon)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_basics() {
+        let w = Window::new(1.0, 3.0);
+        assert!(w.contains(1.0));
+        assert!(w.contains(2.999));
+        assert!(!w.contains(3.0));
+        assert!(!w.contains(0.5));
+        assert_eq!(w.clamped_len(10.0), 2.0);
+        assert_eq!(w.clamped_len(2.0), 1.0);
+        assert_eq!(w.clamped_len(0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault window")]
+    fn rejects_inverted_window() {
+        let _ = Window::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn timeline_queries() {
+        let t = Timeline::new(vec![Window::new(4.0, 5.0), Window::new(1.0, 2.0)]);
+        assert!(!t.is_empty());
+        assert_eq!(t.windows()[0].start, 1.0); // sorted
+        assert!(t.contains(1.5) && t.contains(4.0));
+        assert!(!t.contains(2.0) && !t.contains(5.0));
+        assert!((t.covered_time(10.0) - 2.0).abs() < 1e-12);
+        assert!((t.covered_time(4.5) - 1.5).abs() < 1e-12);
+        assert!(Timeline::none().is_empty());
+        assert!(!Timeline::none().contains(0.0));
+        assert_eq!(Timeline::none().covered_time(1.0), 0.0);
+    }
+}

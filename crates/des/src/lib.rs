@@ -12,6 +12,9 @@
 //!   event heap.
 //! * [`fcfs`] — [`FcfsStation`]: a single-server FCFS queue evaluated in
 //!   virtual time with built-in wait/sojourn/utilization measurement.
+//! * [`fault`] — [`fault::Window`] / [`fault::Timeline`]: scheduled
+//!   crash/degradation windows a station owner can query in virtual
+//!   time.
 //! * [`rng`] — deterministic per-stream RNG derivation, so adding a new
 //!   random stream never perturbs existing ones.
 //!
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod fcfs;
 pub mod metrics;
 pub mod queue;
@@ -38,7 +42,7 @@ pub mod rng;
 pub mod time;
 
 pub use fcfs::{Completion, FcfsStation};
-pub use metrics::{ServerCounters, TimeWeighted};
+pub use metrics::{ResilienceCounters, ServerCounters, TimeWeighted};
 pub use queue::EventQueue;
 pub use rng::stream_rng;
 pub use time::SimTime;

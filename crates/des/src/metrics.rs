@@ -129,9 +129,85 @@ impl ServerCounters {
     }
 }
 
+/// Client-resilience and fault counters for one station.
+///
+/// Everything the fault-injection layer observes about one server's
+/// interaction with its clients: attempts that timed out or were
+/// refused by a crashed server, re-issued attempts, keys that exhausted
+/// their attempts and fell through to the backing store, hedged
+/// duplicates, and the scheduled downtime/degraded seconds that caused
+/// it all. All zero on a healthy run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResilienceCounters {
+    /// Attempts whose sojourn exceeded the client timeout.
+    pub timeouts: u64,
+    /// Attempts refused outright by a crashed server.
+    pub refused: u64,
+    /// Re-issued attempts (each retry of each key counts once).
+    pub retries: u64,
+    /// Keys that exhausted every attempt and fell through to the
+    /// database stage (graceful degradation).
+    pub forced_misses: u64,
+    /// Hedged duplicate attempts sent to a replica.
+    pub hedges_sent: u64,
+    /// Hedges whose replica attempt beat the primary.
+    pub hedges_won: u64,
+    /// Seconds of scheduled crash downtime within the horizon.
+    pub downtime: f64,
+    /// Seconds of scheduled degraded (slowdown) service within the
+    /// horizon.
+    pub degraded_time: f64,
+}
+
+impl ResilienceCounters {
+    /// Combines counters from two disjoint observation streams.
+    pub fn merge(&mut self, other: &Self) {
+        self.timeouts += other.timeouts;
+        self.refused += other.refused;
+        self.retries += other.retries;
+        self.forced_misses += other.forced_misses;
+        self.hedges_sent += other.hedges_sent;
+        self.hedges_won += other.hedges_won;
+        self.downtime += other.downtime;
+        self.degraded_time += other.degraded_time;
+    }
+
+    /// Whether any fault or resilience action was observed at all.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self != &Self::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn resilience_counters_merge() {
+        let mut a = ResilienceCounters {
+            timeouts: 1,
+            refused: 2,
+            retries: 3,
+            forced_misses: 1,
+            hedges_sent: 4,
+            hedges_won: 2,
+            downtime: 0.5,
+            degraded_time: 1.0,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.timeouts, 2);
+        assert_eq!(a.refused, 4);
+        assert_eq!(a.retries, 6);
+        assert_eq!(a.forced_misses, 2);
+        assert_eq!(a.hedges_sent, 8);
+        assert_eq!(a.hedges_won, 4);
+        assert!((a.downtime - 1.0).abs() < 1e-12);
+        assert!((a.degraded_time - 2.0).abs() < 1e-12);
+        assert!(a.any());
+        assert!(!ResilienceCounters::default().any());
+    }
 
     #[test]
     fn counters_merge_and_ratio() {

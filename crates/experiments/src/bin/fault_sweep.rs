@@ -1,0 +1,4 @@
+//! Regenerates the fault-tolerance sweep. See EXPERIMENTS.md.
+fn main() {
+    memlat_experiments::fault::fault_sweep().emit();
+}

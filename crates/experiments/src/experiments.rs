@@ -495,7 +495,8 @@ pub fn fig13() -> ExpResult {
     r
 }
 
-/// Every experiment, in paper order.
+/// Every experiment: the paper's figures in order, then the
+/// fault-tolerance extension sweep.
 #[must_use]
 pub fn all() -> Vec<ExpResult> {
     vec![
@@ -511,6 +512,7 @@ pub fn all() -> Vec<ExpResult> {
         fig11(),
         fig12(),
         fig13(),
+        crate::fault::fault_sweep(),
     ]
 }
 

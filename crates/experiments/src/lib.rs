@@ -23,6 +23,7 @@ use std::path::PathBuf;
 
 pub mod ablations;
 pub mod experiments;
+pub mod fault;
 
 /// One regenerated table/figure: a column-labeled numeric table plus
 /// free-form notes (what the paper shows, how to compare).

@@ -15,6 +15,8 @@
 //! * [`request`] — end-user request generation (`N` keys per request).
 //! * [`facebook`] — the §5.1 preset constants (`q = 0.1`, `ξ = 0.15`,
 //!   `λ = 62.5 Kps`, `μ_S = 80 Kps`, …) and key/value size laws.
+//! * [`retry`] — client retry re-injection: a deterministic time-ordered
+//!   queue of re-issued attempts plus the exponential-backoff delay law.
 //! * [`trace`] — serializable traces for record/replay.
 //!
 //! # Examples
@@ -38,12 +40,14 @@ pub mod facebook;
 pub mod placement;
 pub mod popularity;
 pub mod request;
+pub mod retry;
 pub mod trace;
 
 pub use arrival::BatchArrivals;
 pub use placement::{ConsistentHashRing, HashMod, Placement, StaticProbability};
 pub use popularity::ZipfPopularity;
 pub use request::RequestGenerator;
+pub use retry::RetryQueue;
 
 /// A key identifier in the simulated key space.
 pub type KeyId = u64;

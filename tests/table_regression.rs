@@ -1,7 +1,109 @@
 //! Regression tests pinning the analytical model to the paper's
-//! published numbers (Tables 3 and 4) and the asymptotic claims (§5.2).
+//! published numbers (Tables 3 and 4) and the asymptotic claims (§5.2),
+//! plus golden checks that the committed `results/*.csv` artifacts stay
+//! consistent with the live code.
 
+use memlat::cluster::{ClusterSim, SimConfig};
 use memlat::model::{cliff, database, ModelParams};
+
+/// Parses a committed `results/<name>.csv` into (headers, rows).
+fn load_results_csv(name: &str) -> (Vec<String>, Vec<Vec<f64>>) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join(format!("{name}.csv"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden artifact {}: {e}", path.display()));
+    let mut lines = text.lines();
+    let headers: Vec<String> = lines
+        .next()
+        .expect("csv header")
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    let rows: Vec<Vec<f64>> = lines
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            l.split(',')
+                .map(|c| c.parse::<f64>().expect("numeric csv cell"))
+                .collect()
+        })
+        .collect();
+    assert!(rows.iter().all(|r| r.len() == headers.len()), "ragged csv");
+    (headers, rows)
+}
+
+fn col(headers: &[String], rows: &[Vec<f64>], name: &str) -> Vec<f64> {
+    let idx = headers
+        .iter()
+        .position(|h| h == name)
+        .unwrap_or_else(|| panic!("column {name} missing from {headers:?}"));
+    rows.iter().map(|r| r[idx]).collect()
+}
+
+#[test]
+fn golden_table3_csv_matches_live_model() {
+    // The committed Table 3 artifact must agree with what the current
+    // code computes: any drift in the model (or in the healthy
+    // simulation path it summarizes) shows up as a mismatch here
+    // without re-running the expensive simulation.
+    let (headers, rows) = load_results_csv("table3");
+    assert_eq!(rows.len(), 4, "table3 has four rows (N, S, D, total)");
+    let est = ModelParams::builder().build().unwrap().estimate().unwrap();
+
+    let model_lo = col(&headers, &rows, "model_lo_us");
+    let model_hi = col(&headers, &rows, "model_hi_us");
+    // Row 1 = T_S (Theorem 1), row 3 = end-to-end total.
+    assert!((model_lo[1] - est.server.lower * 1e6).abs() < 1e-6);
+    assert!((model_hi[1] - est.server.upper * 1e6).abs() < 1e-6);
+    assert!((model_lo[3] - est.total.lower * 1e6).abs() < 1e-6);
+    assert!((model_hi[3] - est.total.upper * 1e6).abs() < 1e-6);
+
+    // The committed simulation column stays near the paper's
+    // measurement (368 µs for T_S, 1144 µs end-to-end).
+    let sim = col(&headers, &rows, "sim_us");
+    let paper = col(&headers, &rows, "paper_meas_us");
+    assert!((sim[1] - paper[1]).abs() < 15.0, "T_S sim {} µs", sim[1]);
+    assert!(
+        (sim[3] - paper[3]).abs() < 0.2 * paper[3],
+        "total sim {} µs",
+        sim[3]
+    );
+    // And the simulated T_S respects the Theorem 1 band (within the
+    // CI half-width the artifact itself records).
+    let ci_lo = col(&headers, &rows, "sim_ci_lo_us")[1];
+    let ci_hi = col(&headers, &rows, "sim_ci_hi_us")[1];
+    let slack = (ci_hi - ci_lo) / 2.0;
+    assert!(sim[1] > model_lo[1] - slack && sim[1] < model_hi[1] + slack);
+}
+
+#[test]
+fn golden_healthy_sim_is_untouched_by_the_fault_subsystem() {
+    // A healthy quick run — default `SimConfig`, i.e. `FaultPlan::none()`
+    // and a passive client — must report zero resilience activity and a
+    // pooled mean inside the model's per-request bounds. This is the
+    // coarse cross-check backing the bit-exact differential suite in
+    // `crates/cluster/tests/fault_differential.rs`.
+    let params = ModelParams::builder().build().unwrap();
+    let est = params.estimate().unwrap();
+    let out = ClusterSim::run(
+        &SimConfig::new(params)
+            .duration(0.5)
+            .warmup(0.1)
+            .seed(0x901d),
+    )
+    .unwrap();
+    assert!(!out.resilience().any(), "healthy run flagged faults");
+    assert_eq!(out.resilience().downtime, 0.0);
+    let mean = out.pooled_latency_stats().mean();
+    // The cluster sim runs below the Table 3 operating point (service
+    // pooled over M servers), so the per-request mean sits at or below
+    // the Theorem 1 upper bound — never above it.
+    assert!(
+        mean > 0.0 && mean < est.server.upper,
+        "pooled mean {mean} outside (0, {})",
+        est.server.upper
+    );
+}
 
 #[test]
 fn table3_model_values() {
