@@ -1,9 +1,73 @@
 //! Simulator throughput: keys/second through the queueing engine.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use memlat_bench::base_params;
-use memlat_cluster::{assembly::assemble_requests, ClusterSim, SimConfig};
+use memlat_bench::{base_params, cluster_config, UTILIZATIONS};
+use memlat_cluster::{
+    assembly::assemble_requests,
+    config::MissMode,
+    fault::{ClientPolicy, ServerFaults},
+    server::{simulate_server_streaming, ServerSimParams},
+    ClusterSim, Retention, SimConfig, SimScratch,
+};
+use memlat_dist::GapLaw;
+use memlat_workload::facebook;
 use rand::SeedableRng;
+
+/// The single-server DES hot loop in isolation: batch draws → FCFS
+/// Lindley recursion → miss decision, streamed into a counting sink.
+fn bench_single_server(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server");
+    g.sample_size(10);
+    // 0.5 s of Facebook traffic at one server ≈ 31 K keys.
+    g.throughput(Throughput::Elements(31_000));
+    g.bench_function("facebook_0p5s_streaming", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut keys = 0u64;
+            let stats = simulate_server_streaming(
+                ServerSimParams {
+                    interarrival: GapLaw::from(facebook::interarrival().unwrap()),
+                    concurrency: facebook::CONCURRENCY_Q,
+                    service_rate: facebook::SERVICE_RATE,
+                    miss_ratio: facebook::MISS_RATIO,
+                    miss_mode: &MissMode::FixedRatio,
+                    warmup: 0.0,
+                    duration: 0.5,
+                    faults: ServerFaults::none(),
+                    client: ClientPolicy::none(),
+                },
+                &mut rng,
+                |_| keys += 1,
+            )
+            .unwrap();
+            std::hint::black_box((keys, stats.utilization));
+        })
+    });
+    g.finish();
+}
+
+/// The full cluster at the three utilization points of the `bench`
+/// binary, on the zero-materialization path with a reused scratch.
+fn bench_cluster_utilizations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_util");
+    g.sample_size(10);
+    for &(label, rho) in UTILIZATIONS {
+        g.bench_function(format!("{label}_0p2s_streaming").as_str(), |b| {
+            let mut scratch = SimScratch::new();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let cfg = cluster_config(rho, 0.2)
+                    .seed(seed)
+                    .retention(Retention::Summary);
+                std::hint::black_box(ClusterSim::run_with(&cfg, &mut scratch).unwrap());
+            })
+        });
+    }
+    g.finish();
+}
 
 fn bench_cluster(c: &mut Criterion) {
     let mut g = c.benchmark_group("cluster");
@@ -90,7 +154,9 @@ fn bench_e2e(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_single_server,
     bench_cluster,
+    bench_cluster_utilizations,
     bench_parallel_speedup,
     bench_assembly,
     bench_e2e

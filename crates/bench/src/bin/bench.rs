@@ -1,0 +1,168 @@
+//! The repo's perf-trajectory harness: runs the full cluster simulation
+//! at three utilization points, measures keys/second, wall time and peak
+//! RSS, and writes `results/BENCH_cluster.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p memlat-bench --bin bench              # measure
+//! cargo run --release -p memlat-bench --bin bench -- \
+//!     --check results/BENCH_cluster.json                       # gate
+//! MEMLAT_QUICK=1 ...                                           # short profile
+//! ```
+//!
+//! Each scenario runs in a **fresh child process** (the binary re-execs
+//! itself with `--one`), so the reported peak RSS (`VmHWM`, which only
+//! ever grows within a process) isolates that scenario's memory
+//! footprint — the evidence that `Retention::Summary` peak memory does
+//! not scale with total key count.
+//!
+//! `--check <baseline>` re-measures and fails (exit 1) when the
+//! calibration-normalized keys/sec of any scenario regresses by more
+//! than 25% against the committed baseline, so CI catches perf
+//! regressions without pinning absolute numbers to one machine.
+
+use std::time::Instant;
+
+use memlat_bench::{
+    calibrate_spin_rate, cluster_config, peak_rss_bytes, read_baseline, write_json, BenchReport,
+    Scenario, UTILIZATIONS,
+};
+use memlat_cluster::{ClusterSim, Retention, SimScratch};
+
+/// Regression tolerance for `--check`, on calibration-normalized
+/// keys/sec.
+const MAX_REGRESSION: f64 = 0.25;
+
+fn quick() -> bool {
+    std::env::var("MEMLAT_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Child mode: run one scenario `reps` times, print a machine-readable
+/// result line, exit.
+fn run_one(rho: f64, retention: &str, duration: f64, reps: u32) {
+    let mut scratch = SimScratch::new();
+    let mut best_wall = f64::INFINITY;
+    let mut keys = 0u64;
+    for _ in 0..reps {
+        let mut cfg = cluster_config(rho, duration);
+        if retention == "streaming" {
+            cfg = cfg.retention(Retention::Summary);
+        }
+        let start = Instant::now();
+        let out = ClusterSim::run_with(&cfg, &mut scratch).expect("bench config is valid");
+        let wall = start.elapsed().as_secs_f64();
+        keys = out.total_keys();
+        best_wall = best_wall.min(wall);
+    }
+    println!("keys={keys} best_wall={best_wall} rss={}", peak_rss_bytes());
+}
+
+/// Parent mode: spawn `--one` children, assemble the report.
+fn measure() -> BenchReport {
+    // Best-of-N wall time: single-core CI boxes jitter ±10%, so the
+    // full profile takes enough reps for the minimum to be stable.
+    let (duration, reps) = if quick() { (1.5, 5) } else { (6.0, 10) };
+    let exe = std::env::current_exe().expect("own path");
+    let mut scenarios = Vec::new();
+    for &(label, rho) in UTILIZATIONS {
+        for mode in ["streaming", "materialized"] {
+            let out = std::process::Command::new(&exe)
+                .args([
+                    "--one",
+                    &rho.to_string(),
+                    mode,
+                    &duration.to_string(),
+                    &reps.to_string(),
+                ])
+                .output()
+                .expect("spawn bench child");
+            assert!(
+                out.status.success(),
+                "bench child failed: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let text = String::from_utf8_lossy(&out.stdout);
+            let get = |key: &str| -> f64 {
+                text.split_whitespace()
+                    .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+                    .unwrap_or_else(|| panic!("missing {key} in child output: {text}"))
+                    .parse()
+                    .expect("numeric child field")
+            };
+            let keys = get("keys") as u64;
+            let wall = get("best_wall");
+            scenarios.push(Scenario {
+                name: format!("cluster_{label}_{mode}"),
+                utilization: rho,
+                retention: mode.to_string(),
+                sim_seconds: duration,
+                keys,
+                wall_seconds: wall,
+                keys_per_sec: keys as f64 / wall,
+                peak_rss_bytes: get("rss") as u64,
+            });
+        }
+    }
+    BenchReport {
+        schema: "memlat-bench-v1".to_string(),
+        quick: quick(),
+        calibration_spins_per_sec: calibrate_spin_rate(),
+        scenarios,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--one") {
+        let rho: f64 = args[i + 1].parse().expect("rho");
+        let retention = args[i + 2].as_str();
+        let duration: f64 = args[i + 3].parse().expect("duration");
+        let reps: u32 = args[i + 4].parse().expect("reps");
+        run_one(rho, retention, duration, reps);
+        return;
+    }
+
+    let report = measure();
+    println!("{}", report.render());
+
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .map(|i| args.get(i + 1).expect("--check needs a path").clone());
+    if let Some(path) = check_path {
+        let baseline = read_baseline(&path);
+        let mut failed = false;
+        for s in &report.scenarios {
+            let Some(b) = baseline.scenarios.iter().find(|b| b.name == s.name) else {
+                println!("  [check] {}: no baseline entry, skipping", s.name);
+                continue;
+            };
+            // Normalize by the calibration ratio so a slower CI box does
+            // not read as a code regression.
+            let hw = report.calibration_spins_per_sec / baseline.calibration_spins_per_sec;
+            let expected = b.keys_per_sec * hw;
+            let ratio = s.keys_per_sec / expected;
+            let verdict = if ratio < 1.0 - MAX_REGRESSION {
+                failed = true;
+                "FAIL"
+            } else {
+                "ok"
+            };
+            println!(
+                "  [check] {}: {:.0} keys/s vs normalized baseline {:.0} (ratio {:.2}) {}",
+                s.name, s.keys_per_sec, expected, ratio, verdict
+            );
+        }
+        if failed {
+            eprintln!("bench check FAILED: keys/sec regressed more than 25%");
+            std::process::exit(1);
+        }
+        println!("bench check passed");
+    } else {
+        let path = write_json(&report);
+        println!("  json: {}", path.display());
+    }
+}

@@ -108,7 +108,7 @@ pub fn assemble_requests(
             );
             for _ in 0..c {
                 let idx = (rng.next_u64() % recs.len() as u64) as usize;
-                let (s, d) = recs[idx];
+                let (s, d) = recs.get(idx);
                 let (s, d) = (f64::from(s), f64::from(d));
                 worst_s = worst_s.max(s);
                 worst_d = worst_d.max(d);
@@ -184,7 +184,7 @@ pub fn assemble_requests_replicated(
             let mut best_d = f64::INFINITY;
             for j in chosen {
                 let recs = out.records(j);
-                let (s, d) = recs[(rng.next_u64() % recs.len() as u64) as usize];
+                let (s, d) = recs.get((rng.next_u64() % recs.len() as u64) as usize);
                 let (s, d) = (f64::from(s), f64::from(d));
                 if s + d < best_total {
                     best_total = s + d;

@@ -25,6 +25,7 @@
 //! | [`server`] | one memcached server: batches → FCFS exp(μ_S) → miss decision |
 //! | [`database`] | sharded M/M/1 database stage + a fast db-only experiment path |
 //! | [`sim`] | [`ClusterSim`]: orchestrates servers → database, produces [`SimOutput`] |
+//! | [`columns`] | [`KeyColumns`]: column-major per-key `(s, d)` storage |
 //! | [`assembly`] | synthetic request assembly and latency breakdowns |
 //! | [`e2e`] | end-to-end mode: explicit request fan-out (tests the independence assumption) |
 //! | [`runner`] | parallel replications with confidence intervals |
@@ -53,6 +54,7 @@
 use std::fmt;
 
 pub mod assembly;
+pub mod columns;
 pub mod config;
 pub mod database;
 pub mod e2e;
@@ -62,11 +64,12 @@ pub mod server;
 pub mod sim;
 
 pub use assembly::{RequestSample, RequestStats};
+pub use columns::KeyColumns;
 pub use config::{CacheBackedConfig, MissMode, Retention, SimConfig};
 pub use e2e::{E2eConfig, E2eOutput};
 pub use fault::{ClientPolicy, FaultEvent, FaultKind, FaultPlan, HedgePolicy, RetryPolicy};
 pub use runner::{run_replications, ReplicatedStats};
-pub use sim::{ClusterSim, ServerSummary, SimOutput};
+pub use sim::{ClusterSim, ServerSummary, SimOutput, SimScratch};
 
 /// Error type of the simulator.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,9 +1,16 @@
 //! One simulated memcached server.
+//!
+//! The per-key hot path is fully streaming: batches are drawn lazily
+//! from the seed-derived RNG stream (no ahead-of-time trace
+//! materialization), each resolved key is handed to a caller-supplied
+//! sink ([`simulate_server_streaming`]), and the whole pipeline — gap
+//! law, batch size, service draw, miss decision — is monomorphized over
+//! the RNG type so nothing in the loop goes through a vtable.
 
 use memlat_cache::{Store, StoreConfig};
 use memlat_des::fcfs::FcfsStation;
 use memlat_des::metrics::{ResilienceCounters, ServerCounters};
-use memlat_dist::{Continuous, GeneralizedPareto, ParamError};
+use memlat_dist::{GapLaw, GeneralizedPareto, ParamError};
 use memlat_workload::retry::exponential_backoff;
 use memlat_workload::{arrival::BatchArrivals, RetryQueue, ZipfPopularity};
 use rand::Rng;
@@ -54,6 +61,22 @@ pub struct ServerRun {
     pub resilience: ResilienceCounters,
 }
 
+/// The streaming aggregates of one server's run — everything
+/// [`ServerRun`] carries except the record buffer itself.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerRunStats {
+    /// Observed utilization (busy time ÷ horizon, including warm-up).
+    pub utilization: f64,
+    /// Observed miss ratio over the recorded keys.
+    pub miss_ratio: f64,
+    /// Observed key arrival rate (recorded keys ÷ measured duration).
+    pub key_rate: f64,
+    /// Activity counters (see [`ServerRun::counters`]).
+    pub counters: ServerCounters,
+    /// Fault and client-resilience counters (all zero on healthy runs).
+    pub resilience: ResilienceCounters,
+}
+
 /// The miss decider a server uses.
 enum MissDecider {
     Fixed(f64),
@@ -81,7 +104,8 @@ impl MissDecider {
     }
 
     /// Whether the next key misses, at simulated time `now`.
-    fn misses(&mut self, now: f64, rng: &mut dyn RngCore) -> bool {
+    #[inline]
+    fn misses<R: RngCore + ?Sized>(&mut self, now: f64, rng: &mut R) -> bool {
         match self {
             MissDecider::Fixed(r) => {
                 if *r <= 0.0 {
@@ -95,14 +119,17 @@ impl MissDecider {
                 popularity,
                 value_sizes,
             } => {
-                let key = popularity.sample_key(rng);
+                // Cold path relative to the fixed-ratio mode; the store
+                // and popularity draws stay behind the dyn-RNG interface.
+                let mut r = &mut *rng;
+                let key = popularity.sample_key(&mut r);
                 if store.get(key, now).is_hit() {
                     false
                 } else {
                     // Demand fill: the value fetched from the database is
                     // cached (items larger than the biggest chunk are
                     // simply not cached, like memcached).
-                    let size = value_sizes.sample(rng).max(1.0) as usize;
+                    let size = value_sizes.sample_with(rng).max(1.0) as usize;
                     let _ = store.set(key, size, None, now);
                     true
                 }
@@ -120,8 +147,9 @@ impl MissDecider {
 
 /// Parameters for one server's run.
 pub struct ServerSimParams<'a> {
-    /// Inter-batch gap law.
-    pub interarrival: Box<dyn Continuous>,
+    /// Inter-batch gap law (one of the closed preset shapes, so the
+    /// per-batch draw is a static match — see [`GapLaw`]).
+    pub interarrival: GapLaw,
     /// Concurrency probability `q`.
     pub concurrency: f64,
     /// Per-key service rate `μ_S`.
@@ -153,12 +181,24 @@ struct PendingKey {
 }
 
 /// Mutable simulation state threaded through attempt processing.
-struct LoopState {
+///
+/// Resolved keys flow straight into `sink` — nothing is buffered here,
+/// so a run's peak memory no longer scales with its key count.
+struct LoopState<S> {
     station: FcfsStation,
     retry_q: RetryQueue<PendingKey>,
-    records: Vec<KeyRecord>,
+    sink: S,
+    recorded: u64,
     misses: u64,
     resilience: ResilienceCounters,
+}
+
+impl<S: FnMut(&KeyRecord)> LoopState<S> {
+    #[inline]
+    fn emit(&mut self, rec: KeyRecord) {
+        self.recorded += 1;
+        (self.sink)(&rec);
+    }
 }
 
 /// Environment (read-only knobs) for attempt processing.
@@ -171,12 +211,12 @@ struct AttemptEnv<'a> {
 
 /// Handles a failed attempt detected at `detect`: schedule a backoff
 /// retry if the budget allows, else record a forced miss.
-fn fail_attempt(
+fn fail_attempt<S: FnMut(&KeyRecord), R: RngCore + ?Sized>(
     detect: f64,
     key: PendingKey,
-    st: &mut LoopState,
+    st: &mut LoopState<S>,
     env: &AttemptEnv<'_>,
-    rng: &mut dyn RngCore,
+    rng: &mut R,
 ) {
     let attempts = key.attempts + 1;
     if attempts < env.client.max_attempts() {
@@ -184,7 +224,9 @@ fn fail_attempt(
             .client
             .retry
             .expect("max_attempts > 1 implies a retry policy");
-        let delay = exponential_backoff(rp.base_backoff, rp.multiplier, rp.jitter, attempts, rng);
+        let mut r = &mut *rng;
+        let delay =
+            exponential_backoff(rp.base_backoff, rp.multiplier, rp.jitter, attempts, &mut r);
         if key.measured {
             st.resilience.retries += 1;
         }
@@ -193,7 +235,7 @@ fn fail_attempt(
     } else if key.measured {
         // Graceful degradation: the key falls through to the database.
         st.resilience.forced_misses += 1;
-        st.records.push(KeyRecord {
+        st.emit(KeyRecord {
             arrival: key.first_arrival,
             completion: detect,
             server_latency: detect - key.first_arrival,
@@ -211,13 +253,14 @@ fn fail_attempt(
 /// exactly the random variates of the pre-fault simulator — one service
 /// sample, then the miss decision — so an empty [`crate::FaultPlan`]
 /// is bit-identical to it.
-fn process_attempt(
+#[inline]
+fn process_attempt<S: FnMut(&KeyRecord), R: RngCore + ?Sized>(
     t: f64,
     key: PendingKey,
-    st: &mut LoopState,
+    st: &mut LoopState<S>,
     decider: &mut MissDecider,
     env: &AttemptEnv<'_>,
-    rng: &mut dyn RngCore,
+    rng: &mut R,
 ) {
     // A crashed server refuses the connection at the arrival instant:
     // no service is drawn, failure is detected immediately.
@@ -250,7 +293,7 @@ fn process_attempt(
         if missed {
             st.misses += 1;
         }
-        st.records.push(KeyRecord {
+        st.emit(KeyRecord {
             arrival: key.first_arrival,
             completion: done.departure,
             server_latency: done.departure - key.first_arrival,
@@ -265,17 +308,28 @@ fn process_attempt(
     }
 }
 
-/// Simulates one memcached server: batch arrivals → FCFS exp(μ_S)
-/// service → miss decision per key, with scheduled faults and client
-/// retries merged into the arrival stream in global time order.
+/// Simulates one memcached server, streaming each resolved key into
+/// `sink`: batch arrivals → FCFS exp(μ_S) service → miss decision per
+/// key, with scheduled faults and client retries merged into the
+/// arrival stream in global time order.
+///
+/// Records reach the sink in resolution-processing order — exactly the
+/// order [`simulate_server`] stores them — and the RNG draw sequence is
+/// identical, so the two entry points are bit-for-bit interchangeable.
+/// The sink variant allocates no per-key memory.
 ///
 /// # Errors
 ///
 /// Returns [`ParamError`] when the miss mode's parameters are invalid.
-pub fn simulate_server(
+pub fn simulate_server_streaming<S, R>(
     p: ServerSimParams<'_>,
-    rng: &mut dyn RngCore,
-) -> Result<ServerRun, ParamError> {
+    rng: &mut R,
+    sink: S,
+) -> Result<ServerRunStats, ParamError>
+where
+    S: FnMut(&KeyRecord),
+    R: RngCore + ?Sized,
+{
     let mut arrivals = BatchArrivals::new(p.interarrival, p.concurrency)?;
     let mut decider = MissDecider::new(p.miss_mode, p.miss_ratio)?;
     let horizon = p.warmup + p.duration;
@@ -288,13 +342,14 @@ pub fn simulate_server(
     let mut st = LoopState {
         station: FcfsStation::new(),
         retry_q: RetryQueue::new(),
-        records: Vec::new(),
+        sink,
+        recorded: 0,
         misses: 0,
         resilience: ResilienceCounters::default(),
     };
 
     loop {
-        let (t, batch) = arrivals.next_batch(rng);
+        let (t, batch) = arrivals.next_batch_with(rng);
         if t >= horizon {
             break;
         }
@@ -318,7 +373,7 @@ pub fn simulate_server(
         process_attempt(u, key, &mut st, &mut decider, &env, rng);
     }
 
-    let recorded = st.records.len() as f64;
+    let recorded = st.recorded as f64;
     let miss_ratio = decider.observed_miss_ratio().unwrap_or(if recorded > 0.0 {
         st.misses as f64 / recorded
     } else {
@@ -329,19 +384,40 @@ pub fn simulate_server(
     let counters = ServerCounters {
         busy_time: st.station.busy_time(),
         queue_max: st.station.queue_max(),
-        jobs: st.records.len() as u64,
+        jobs: st.recorded,
         misses: st.misses,
     };
     let mut resilience = st.resilience;
     resilience.downtime = p.faults.downtime(horizon);
     resilience.degraded_time = p.faults.degraded_time(horizon);
-    Ok(ServerRun {
-        records: st.records,
+    Ok(ServerRunStats {
         utilization,
         miss_ratio,
         key_rate: recorded / p.duration,
         counters,
         resilience,
+    })
+}
+
+/// Simulates one memcached server and collects every per-key record —
+/// the buffering wrapper around [`simulate_server_streaming`].
+///
+/// # Errors
+///
+/// Returns [`ParamError`] when the miss mode's parameters are invalid.
+pub fn simulate_server<R: RngCore + ?Sized>(
+    p: ServerSimParams<'_>,
+    rng: &mut R,
+) -> Result<ServerRun, ParamError> {
+    let mut records = Vec::new();
+    let stats = simulate_server_streaming(p, rng, |r: &KeyRecord| records.push(*r))?;
+    Ok(ServerRun {
+        records,
+        utilization: stats.utilization,
+        miss_ratio: stats.miss_ratio,
+        key_rate: stats.key_rate,
+        counters: stats.counters,
+        resilience: stats.resilience,
     })
 }
 
@@ -361,7 +437,7 @@ mod tests {
 
     fn healthy_params(duration: f64) -> ServerSimParams<'static> {
         ServerSimParams {
-            interarrival: Box::new(facebook::interarrival().unwrap()),
+            interarrival: GapLaw::from(facebook::interarrival().unwrap()),
             concurrency: facebook::CONCURRENCY_Q,
             service_rate: facebook::SERVICE_RATE,
             miss_ratio: facebook::MISS_RATIO,
@@ -399,6 +475,22 @@ mod tests {
         // A healthy run observes no resilience activity at all.
         assert!(!run.resilience.any());
         assert!(run.records.iter().all(|r| r.attempts == 1 && !r.forced));
+    }
+
+    #[test]
+    fn streaming_sink_sees_exactly_the_collected_records() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let collected = facebook_run(0.5, 12);
+        let mut streamed: Vec<KeyRecord> = Vec::new();
+        let stats = simulate_server_streaming(healthy_params(0.5), &mut rng, |r: &KeyRecord| {
+            streamed.push(*r)
+        })
+        .unwrap();
+        assert_eq!(streamed, collected.records);
+        assert_eq!(stats.counters, collected.counters);
+        assert_eq!(stats.utilization.to_bits(), collected.utilization.to_bits());
+        assert_eq!(stats.miss_ratio.to_bits(), collected.miss_ratio.to_bits());
+        assert_eq!(stats.key_rate.to_bits(), collected.key_rate.to_bits());
     }
 
     #[test]
@@ -441,7 +533,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let run = simulate_server(
             ServerSimParams {
-                interarrival: Box::new(facebook::interarrival().unwrap()),
+                interarrival: GapLaw::from(facebook::interarrival().unwrap()),
                 concurrency: 0.1,
                 service_rate: facebook::SERVICE_RATE,
                 miss_ratio: 0.0,
@@ -469,7 +561,7 @@ mod tests {
         });
         let run = simulate_server(
             ServerSimParams {
-                interarrival: Box::new(facebook::interarrival().unwrap()),
+                interarrival: GapLaw::from(facebook::interarrival().unwrap()),
                 concurrency: 0.1,
                 service_rate: facebook::SERVICE_RATE,
                 miss_ratio: 0.0, // ignored in cache-backed mode

@@ -7,6 +7,15 @@
 //! independent order. [`ClusterSim::run`] therefore dispatches servers
 //! across [`SimConfig::threads`] worker threads and still produces
 //! **bit-identical** output to the sequential path for a fixed seed.
+//!
+//! The per-key hot path is **streaming**: each server's resolved keys
+//! flow from [`simulate_server_streaming`] straight into the per-server
+//! summaries (and, only when the retention policy or hedging needs them,
+//! into reusable [`KeyColumns`] buffers). Under [`Retention::Summary`]
+//! without hedging, peak memory is `O(servers + sketch)` — independent
+//! of the key count. Sweeps can pass one [`SimScratch`] to
+//! [`ClusterSim::run_with`] to reuse every per-server buffer across
+//! runs.
 
 use memlat_des::metrics::{ResilienceCounters, ServerCounters};
 use memlat_des::rng::stream_rng;
@@ -14,10 +23,11 @@ use memlat_stats::{Ecdf, QuantileSketch, StreamingStats};
 use rand::RngCore;
 
 use crate::{
+    columns::KeyColumns,
     config::{Retention, SimConfig},
     database::{run_db_stage_with, MissArrival},
     fault::hedge_outcome,
-    server::{simulate_server, ServerSimParams},
+    server::{simulate_server_streaming, KeyRecord, ServerSimParams},
     SimError,
 };
 
@@ -25,11 +35,6 @@ use crate::{
 /// streams into the sharded database, and produces a [`SimOutput`].
 #[derive(Debug)]
 pub struct ClusterSim;
-
-/// Per-key outcome kept for analysis: `(server latency, db latency)` —
-/// `db == 0` for hits. Stored as `f32` to halve memory at the volumes the
-/// sweeps produce.
-type KeyPair = (f32, f32);
 
 /// Streaming summary of one server's run: always collected, independent
 /// of the [`Retention`] policy.
@@ -67,27 +72,77 @@ impl ServerSummary {
     }
 }
 
-/// What one server worker hands back to the merge step.
+/// What one server worker hands back to the merge step (the bulky
+/// per-key data stays in the worker's [`ServerCell`]).
 struct ServerOutcome {
-    /// `(s, 0)` pairs in arrival order (db latency filled in later).
-    pairs: Vec<KeyPair>,
-    /// Missed keys: arrival time at the database + origin `(server, idx)`.
-    misses: Vec<MissArrival>,
-    /// Per-record forced/degraded flags, kept only when hedging needs to
-    /// rebuild the summaries after the merge-step min pass.
-    flags: Vec<u8>,
+    /// Keys recorded (post-warm-up).
+    keys: u64,
     summary: ServerSummary,
 }
 
 const FLAG_FORCED: u8 = 1;
 const FLAG_DEGRADED: u8 = 2;
 
+/// One server's reusable per-key buffers.
+#[derive(Debug, Default)]
+struct ServerCell {
+    /// `(s, d)` columns in arrival order (db latency filled in later).
+    /// Populated only when the retention policy or hedging needs them.
+    cols: KeyColumns,
+    /// Per-record forced/degraded flags, kept only when hedging needs to
+    /// rebuild the summaries after the merge-step min pass.
+    flags: Vec<u8>,
+    /// Missed keys: arrival time at the database + origin `(server, idx)`.
+    misses: Vec<MissArrival>,
+}
+
+/// Reusable simulation buffers: every allocation whose size scales with
+/// the key count lives here, so a sweep that calls
+/// [`ClusterSim::run_with`] with the same scratch allocates per-key
+/// memory once and reuses it at every sweep point.
+///
+/// # Examples
+///
+/// ```
+/// use memlat_cluster::{ClusterSim, SimConfig, SimScratch};
+/// use memlat_model::ModelParams;
+///
+/// # fn main() -> Result<(), memlat_cluster::SimError> {
+/// let mut scratch = SimScratch::new();
+/// for seed in [1, 2] {
+///     let params = ModelParams::builder().build()?;
+///     let cfg = SimConfig::new(params).duration(0.2).seed(seed);
+///     let out = ClusterSim::run_with(&cfg, &mut scratch)?;
+///     assert!(out.total_keys() > 0);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    /// Per-server cells, stored lane-major for the thread dispatch (see
+    /// [`lane_pos`]).
+    cells: Vec<ServerCell>,
+    /// Pre-hedge per-server latency populations (hedging only).
+    pristine: Vec<Vec<f32>>,
+    /// The merged miss stream.
+    misses: Vec<MissArrival>,
+}
+
+impl SimScratch {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Everything a simulation run produces.
 #[derive(Debug)]
 pub struct SimOutput {
-    /// Per-server `(s, d)` pairs in arrival order; `None` under
+    /// Per-server `(s, d)` columns in arrival order; `None` under
     /// [`Retention::Summary`].
-    server_records: Option<Vec<Vec<KeyPair>>>,
+    server_records: Option<Vec<KeyColumns>>,
     /// Always-on per-server streaming summaries.
     summaries: Vec<ServerSummary>,
     /// Welford statistics of db latency over the missed keys.
@@ -107,12 +162,25 @@ pub struct SimOutput {
 }
 
 impl ClusterSim {
-    /// Runs the full simulation.
+    /// Runs the full simulation with one-shot buffers.
     ///
     /// # Errors
     ///
     /// Propagates configuration and model errors.
     pub fn run(cfg: &SimConfig) -> Result<SimOutput, SimError> {
+        Self::run_with(cfg, &mut SimScratch::new())
+    }
+
+    /// Runs the full simulation, reusing `scratch`'s buffers.
+    ///
+    /// Output is bit-identical to [`ClusterSim::run`]; sweeps that run
+    /// many configurations pass the same scratch to skip re-growing the
+    /// per-key buffers at every point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and model errors.
+    pub fn run_with(cfg: &SimConfig, scratch: &mut SimScratch) -> Result<SimOutput, SimError> {
         cfg.validate()?;
         let params = &cfg.params;
         // The DES would happily simulate an overloaded server, but every
@@ -126,27 +194,61 @@ impl ClusterSim {
         }
         let shares = params.load().shares(params.servers())?;
         let q = params.concurrency();
+        let servers = shares.len();
+        let threads = cfg.effective_threads().clamp(1, servers.max(1));
+
+        let hedging = cfg.client.hedge.is_some();
+        let keep_records = cfg.retention == Retention::Full;
+        // The per-key columns are needed for the output (Full retention)
+        // and for the hedge pass's replica populations; otherwise the
+        // run is fully streaming and no per-key buffer is touched.
+        let keep_pairs = keep_records || hedging;
+
+        let SimScratch {
+            cells,
+            pristine,
+            misses: all_misses,
+        } = scratch;
+        if cells.len() < servers {
+            cells.resize_with(servers, ServerCell::default);
+        }
 
         // One worker per server; identical code on the sequential and
         // parallel paths, so thread count cannot change the output.
-        let hedging = cfg.client.hedge.is_some();
-        let worker = |j: usize| -> Result<ServerOutcome, SimError> {
+        let worker = |j: usize, cell: &mut ServerCell| -> Result<ServerOutcome, SimError> {
+            let ServerCell {
+                cols,
+                flags,
+                misses,
+            } = cell;
+            cols.clear();
+            flags.clear();
+            misses.clear();
             let p = shares[j];
             if p <= 0.0 {
                 return Ok(ServerOutcome {
-                    pairs: Vec::new(),
-                    misses: Vec::new(),
-                    flags: Vec::new(),
+                    keys: 0,
                     summary: ServerSummary::empty(),
                 });
             }
             let lam_j = p * params.total_key_rate();
             let gaps = params
                 .arrival()
-                .interarrival((1.0 - q) * lam_j)
-                .map_err(|e| SimError::InvalidConfig(e.to_string()))?;
+                .gap_law((1.0 - q) * lam_j)
+                .map_err(SimError::Model)?;
             let mut rng = stream_rng(cfg.seed, 1000 + j as u64);
-            let run = simulate_server(
+            let mut latency = StreamingStats::new();
+            let mut sketch = QuantileSketch::new();
+            let mut degraded_latency = StreamingStats::new();
+            let mut healthy_latency = StreamingStats::new();
+            let mut idx: u32 = 0;
+            let faults = cfg.fault_plan.for_server(j);
+            // With nothing scheduled and no client timeout, no key can be
+            // forced or degraded: the healthy split would receive exactly
+            // the pooled stream, so skip the duplicate Welford update per
+            // key and copy the accumulator once after the run.
+            let plain_run = faults.is_empty() && cfg.client.timeout.is_none();
+            let stats = simulate_server_streaming(
                 ServerSimParams {
                     interarrival: gaps,
                     concurrency: q,
@@ -155,63 +257,61 @@ impl ClusterSim {
                     miss_mode: &cfg.miss_mode,
                     warmup: cfg.warmup,
                     duration: cfg.duration,
-                    faults: cfg.fault_plan.for_server(j),
+                    faults,
                     client: cfg.client,
                 },
                 &mut rng,
+                |r: &KeyRecord| {
+                    // Forced misses fall through to the database too: the
+                    // cache tier failed them, the backing store answers.
+                    if r.missed || r.forced {
+                        misses.push(MissArrival {
+                            time: r.completion,
+                            origin: (j as u32, idx),
+                        });
+                    }
+                    latency.push(r.server_latency);
+                    sketch.push(r.server_latency);
+                    if plain_run {
+                        // healthy_latency == latency; copied after the run.
+                    } else if r.forced {
+                        // Neither split: the key was never served here.
+                    } else if r.degraded {
+                        degraded_latency.push(r.server_latency);
+                    } else {
+                        healthy_latency.push(r.server_latency);
+                    }
+                    if keep_pairs {
+                        cols.push_server(r.server_latency as f32);
+                    }
+                    if hedging {
+                        flags.push(
+                            if r.forced { FLAG_FORCED } else { 0 }
+                                | if r.degraded { FLAG_DEGRADED } else { 0 },
+                        );
+                    }
+                    idx += 1;
+                },
             )
             .map_err(|e| SimError::InvalidConfig(e.to_string()))?;
-
-            let mut pairs: Vec<KeyPair> = Vec::with_capacity(run.records.len());
-            let mut misses: Vec<MissArrival> = Vec::new();
-            let mut flags: Vec<u8> = Vec::new();
-            let mut latency = StreamingStats::new();
-            let mut sketch = QuantileSketch::new();
-            let mut degraded_latency = StreamingStats::new();
-            let mut healthy_latency = StreamingStats::new();
-            for (i, r) in run.records.iter().enumerate() {
-                // Forced misses fall through to the database too: the
-                // cache tier failed them, the backing store answers.
-                if r.missed || r.forced {
-                    misses.push(MissArrival {
-                        time: r.completion,
-                        origin: (j as u32, i as u32),
-                    });
-                }
-                latency.push(r.server_latency);
-                sketch.push(r.server_latency);
-                if r.forced {
-                    // Neither split: the key was never served here.
-                } else if r.degraded {
-                    degraded_latency.push(r.server_latency);
-                } else {
-                    healthy_latency.push(r.server_latency);
-                }
-                pairs.push((r.server_latency as f32, 0.0));
-                if hedging {
-                    flags.push(
-                        if r.forced { FLAG_FORCED } else { 0 }
-                            | if r.degraded { FLAG_DEGRADED } else { 0 },
-                    );
-                }
+            if plain_run {
+                healthy_latency = latency;
             }
             Ok(ServerOutcome {
-                pairs,
-                misses,
-                flags,
+                keys: stats.counters.jobs,
                 summary: ServerSummary {
                     latency,
                     sketch,
                     degraded_latency,
                     healthy_latency,
-                    counters: run.counters,
-                    resilience: run.resilience,
-                    utilization: run.utilization,
+                    counters: stats.counters,
+                    resilience: stats.resilience,
+                    utilization: stats.utilization,
                 },
             })
         };
 
-        let mut outcomes = dispatch(shares.len(), cfg.effective_threads(), &worker)?;
+        let mut outcomes = dispatch(servers, threads, &worker, cells)?;
 
         // Hedged duplicates: a deterministic merge-step pass, in server
         // order, so the thread count still cannot change the output. A
@@ -220,25 +320,29 @@ impl ClusterSim {
         // population (sampled before any hedge updates) and keeps
         // `min(primary, delay + replica)`.
         if let Some(h) = cfg.client.hedge {
-            let m = outcomes.len();
+            let m = servers;
             if m > 1 {
-                let pristine: Vec<Vec<f32>> = outcomes
-                    .iter()
-                    .map(|o| o.pairs.iter().map(|pr| pr.0).collect())
-                    .collect();
+                if pristine.len() < m {
+                    pristine.resize_with(m, Vec::new);
+                }
+                for (j, pop) in pristine.iter_mut().enumerate().take(m) {
+                    pop.clear();
+                    pop.extend_from_slice(cells[lane_pos(servers, threads, j)].cols.s());
+                }
                 for (j, out) in outcomes.iter_mut().enumerate() {
                     let replica = &pristine[(j + 1) % m];
                     if replica.is_empty() {
                         continue;
                     }
+                    let ServerCell { cols, flags, .. } = &mut cells[lane_pos(servers, threads, j)];
                     let mut rng = stream_rng(cfg.seed, 3_000_000 + j as u64);
                     let mut latency = StreamingStats::new();
                     let mut sketch = QuantileSketch::new();
                     let mut degraded_latency = StreamingStats::new();
                     let mut healthy_latency = StreamingStats::new();
-                    for (i, pair) in out.pairs.iter_mut().enumerate() {
-                        let forced = out.flags[i] & FLAG_FORCED != 0;
-                        let mut s = f64::from(pair.0);
+                    for (i, slot) in cols.s_mut().iter_mut().enumerate() {
+                        let forced = flags[i] & FLAG_FORCED != 0;
+                        let mut s = f64::from(*slot);
                         if !forced && s > h.delay {
                             out.summary.resilience.hedges_sent += 1;
                             let k = (rng.next_u64() % replica.len() as u64) as usize;
@@ -247,16 +351,16 @@ impl ClusterSim {
                             // precision records are stored at, so the
                             // counter and the records never disagree.
                             let eff32 = eff as f32;
-                            if eff32 < pair.0 {
+                            if eff32 < *slot {
                                 out.summary.resilience.hedges_won += 1;
-                                pair.0 = eff32;
+                                *slot = eff32;
                                 s = f64::from(eff32);
                             }
                         }
                         latency.push(s);
                         sketch.push(s);
                         if forced {
-                        } else if out.flags[i] & FLAG_DEGRADED != 0 {
+                        } else if flags[i] & FLAG_DEGRADED != 0 {
                             degraded_latency.push(s);
                         } else {
                             healthy_latency.push(s);
@@ -274,40 +378,39 @@ impl ClusterSim {
 
         // Merge in server order — the only order-sensitive step, and it
         // is fixed regardless of which thread finished first.
-        let keep_records = cfg.retention == Retention::Full;
-        let mut server_records: Vec<Vec<KeyPair>> = Vec::new();
+        let mut server_records: Vec<KeyColumns> = Vec::new();
         let mut summaries = Vec::with_capacity(outcomes.len());
         let mut utilization = Vec::with_capacity(outcomes.len());
-        let mut misses: Vec<MissArrival> = Vec::new();
+        all_misses.clear();
         let mut total_keys = 0u64;
         let mut total_misses = 0u64;
-        // Under Summary retention the per-key server latencies of missed
-        // keys still matter for nothing — db latencies are summarized on
-        // the fly — so each server's buffer is dropped right here.
-        for out in outcomes {
-            total_keys += out.pairs.len() as u64;
+        for (j, out) in outcomes.into_iter().enumerate() {
+            let cell = &mut cells[lane_pos(servers, threads, j)];
+            total_keys += out.keys;
             // Regular cache misses only: forced misses are accounted
             // separately (they reach the database but are a fault
             // artifact, not a cache property).
             total_misses += out.summary.counters.misses;
-            misses.extend(out.misses);
+            all_misses.append(&mut cell.misses);
             utilization.push(out.summary.utilization);
             summaries.push(out.summary);
             if keep_records {
-                server_records.push(out.pairs);
+                // Full retention moves the columns into the output; the
+                // scratch keeps only the (empty) replacement buffers.
+                server_records.push(std::mem::take(&mut cell.cols));
             }
         }
 
         // Merge miss streams in time order and run the database stage.
         // `sort_by` is stable, so ties resolve in (server, index) order —
         // exactly what the sequential loop produced.
-        misses.sort_by(|a, b| a.time.total_cmp(&b.time));
+        all_misses.sort_by(|a, b| a.time.total_cmp(&b.time));
         let shards = cfg.effective_db_shards();
         let mut db_rng = stream_rng(cfg.seed, 2_000_000);
         let mut db_latency = StreamingStats::new();
         let mut db_sketch = QuantileSketch::new();
         run_db_stage_with(
-            &misses,
+            all_misses,
             shards,
             params.db_service_rate(),
             &mut db_rng,
@@ -315,7 +418,7 @@ impl ClusterSim {
                 db_latency.push(d);
                 db_sketch.push(d);
                 if keep_records {
-                    server_records[server as usize][idx as usize].1 = d as f32;
+                    server_records[server as usize].set_db(idx as usize, d as f32);
                 }
             },
         );
@@ -338,39 +441,67 @@ impl ClusterSim {
     }
 }
 
-/// Runs `worker(0..servers)` on up to `threads` scoped threads, returning
-/// outcomes in server order. Servers are interleaved round-robin across
-/// threads so a hot server does not serialize a whole chunk.
-fn dispatch<F>(servers: usize, threads: usize, worker: &F) -> Result<Vec<ServerOutcome>, SimError>
+/// Number of servers thread `lane` handles: servers `j ≡ lane (mod
+/// threads)`.
+fn lane_len(servers: usize, threads: usize, lane: usize) -> usize {
+    (servers + threads - 1 - lane) / threads
+}
+
+/// Position of server `j`'s cell in the lane-major cell layout: lane
+/// `j % threads` occupies a contiguous block, inside which `j` sits at
+/// slot `j / threads`. Identity when `threads == 1`.
+fn lane_pos(servers: usize, threads: usize, j: usize) -> usize {
+    let lane = j % threads;
+    let offset: usize = (0..lane).map(|l| lane_len(servers, threads, l)).sum();
+    offset + j / threads
+}
+
+/// Runs `worker(j, cell)` for every server on up to `threads` scoped
+/// threads, returning outcomes in server order. Servers are interleaved
+/// round-robin across threads so a hot server does not serialize a whole
+/// chunk; the lane-major cell layout makes each thread's cells one
+/// contiguous `split_at_mut` slice, so dispatch allocates nothing beyond
+/// the outcome slots.
+fn dispatch<F>(
+    servers: usize,
+    threads: usize,
+    worker: &F,
+    cells: &mut [ServerCell],
+) -> Result<Vec<ServerOutcome>, SimError>
 where
-    F: Fn(usize) -> Result<ServerOutcome, SimError> + Sync,
+    F: Fn(usize, &mut ServerCell) -> Result<ServerOutcome, SimError> + Sync,
 {
     let mut slots: Vec<Option<Result<ServerOutcome, SimError>>> = Vec::new();
     slots.resize_with(servers, || None);
-    let threads = threads.clamp(1, servers.max(1));
     if threads <= 1 {
-        for (j, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(worker(j));
+        for (j, (slot, cell)) in slots.iter_mut().zip(cells.iter_mut()).enumerate() {
+            *slot = Some(worker(j, cell));
         }
     } else {
-        let mut lanes: Vec<Vec<(usize, &mut Option<Result<ServerOutcome, SimError>>)>> = Vec::new();
-        lanes.resize_with(threads, Vec::new);
-        for (j, slot) in slots.iter_mut().enumerate() {
-            lanes[j % threads].push((j, slot));
-        }
         std::thread::scope(|scope| {
-            for lane in lanes {
+            let mut rest_cells = &mut cells[..servers];
+            let mut rest_slots = &mut slots[..];
+            for lane in 0..threads {
+                let n = lane_len(servers, threads, lane);
+                let (cell_lane, next_cells) = rest_cells.split_at_mut(n);
+                let (slot_lane, next_slots) = rest_slots.split_at_mut(n);
+                rest_cells = next_cells;
+                rest_slots = next_slots;
                 scope.spawn(move || {
-                    for (j, slot) in lane {
-                        *slot = Some(worker(j));
+                    for (i, (slot, cell)) in slot_lane.iter_mut().zip(cell_lane).enumerate() {
+                        *slot = Some(worker(lane + i * threads, cell));
                     }
                 });
             }
         });
     }
-    slots
-        .into_iter()
-        .map(|s| s.expect("server worker slot unfilled"))
+    // Un-permute from lane-major back to server order.
+    (0..servers)
+        .map(|j| {
+            slots[lane_pos(servers, threads, j)]
+                .take()
+                .expect("server worker slot unfilled")
+        })
         .collect()
 }
 
@@ -411,7 +542,7 @@ impl SimOutput {
         self.server_records.is_some()
     }
 
-    /// Per-server `(s, d)` records.
+    /// Per-server `(s, d)` columns.
     ///
     /// # Panics
     ///
@@ -419,7 +550,7 @@ impl SimOutput {
     /// ([`Self::summary`], [`Self::server_latency_quantile`],
     /// [`Self::db_latency_stats`]) instead.
     #[must_use]
-    pub fn records(&self, server: usize) -> &[(f32, f32)] {
+    pub fn records(&self, server: usize) -> &KeyColumns {
         &self
             .server_records
             .as_ref()
@@ -488,7 +619,7 @@ impl SimOutput {
             .expect("exact ECDF needs Retention::Full; use server_latency_quantile");
         let mut all: Vec<f64> = Vec::with_capacity(self.total_keys as usize);
         for recs in records {
-            all.extend(recs.iter().map(|&(s, _)| f64::from(s)));
+            all.extend(recs.s().iter().map(|&s| f64::from(s)));
         }
         Ecdf::from_samples(&all)
     }
@@ -503,8 +634,9 @@ impl SimOutput {
     pub fn server_latency_ecdf_of(&self, server: usize) -> Ecdf {
         let s: Vec<f64> = self
             .records(server)
+            .s()
             .iter()
-            .map(|&(s, _)| f64::from(s))
+            .map(|&s| f64::from(s))
             .collect();
         Ecdf::from_samples(&s)
     }
@@ -604,7 +736,7 @@ mod tests {
         let mut missed = 0;
         let mut hit = 0;
         for j in 0..4 {
-            for &(_, d) in out.records(j) {
+            for (_, d) in out.records(j) {
                 if d > 0.0 {
                     missed += 1;
                 } else {
@@ -673,10 +805,34 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_buffers() {
+        // One scratch across three runs with different seeds and thread
+        // counts: every output must match the fresh-buffer run exactly.
+        let mut scratch = SimScratch::new();
+        for (seed, threads) in [(7u64, 1usize), (8, 3), (7, 1)] {
+            let params = ModelParams::builder().build().unwrap();
+            let cfg = SimConfig::new(params)
+                .duration(0.3)
+                .warmup(0.05)
+                .seed(seed)
+                .threads(threads);
+            let reused = ClusterSim::run_with(&cfg, &mut scratch).unwrap();
+            let fresh = ClusterSim::run(&cfg).unwrap();
+            assert_eq!(reused.total_keys(), fresh.total_keys());
+            for j in 0..fresh.shares().len() {
+                assert_eq!(reused.records(j), fresh.records(j), "server {j}");
+            }
+            assert_eq!(reused.summaries(), fresh.summaries());
+            assert_eq!(reused.db_latency_stats(), fresh.db_latency_stats());
+            assert_eq!(reused.miss_ratio(), fresh.miss_ratio());
+        }
+    }
+
+    #[test]
     fn summary_retention_matches_full_statistics() {
         let params = ModelParams::builder().build().unwrap();
         let base = SimConfig::new(params).duration(0.5).warmup(0.1).seed(21);
-        let full = ClusterSim::run(&base.clone()).unwrap();
+        let full = ClusterSim::run(&base).unwrap();
         let lean = ClusterSim::run(&base.retention(Retention::Summary)).unwrap();
         assert!(full.has_records());
         assert!(!lean.has_records());
@@ -780,7 +936,7 @@ mod tests {
             .warmup(0.1)
             .seed(32)
             .fault_plan(FaultPlan::none().slowdown(0, 0.1, 0.5, 5.0));
-        let plain = ClusterSim::run(&base.clone()).unwrap();
+        let plain = ClusterSim::run(&base).unwrap();
         let delay = plain.server_latency_quantile(0.95);
         let hedged = ClusterSim::run(&base.client(ClientPolicy::none().hedge(delay))).unwrap();
         let total = hedged.resilience();
@@ -798,6 +954,27 @@ mod tests {
     }
 
     #[test]
+    fn hedging_under_summary_retention_matches_full() {
+        // Hedging needs the per-key columns internally even when the
+        // caller asked for Summary retention; the summaries must come
+        // out identical either way, with no records in the output.
+        use crate::fault::{ClientPolicy, FaultPlan};
+        let params = ModelParams::builder().build().unwrap();
+        let base = SimConfig::new(params)
+            .duration(0.3)
+            .warmup(0.05)
+            .seed(33)
+            .fault_plan(FaultPlan::none().slowdown(0, 0.1, 0.25, 4.0))
+            .client(ClientPolicy::none().hedge(1e-3));
+        let full = ClusterSim::run(&base).unwrap();
+        let lean = ClusterSim::run(&base.retention(Retention::Summary)).unwrap();
+        assert!(!lean.has_records());
+        assert_eq!(full.summaries(), lean.summaries());
+        assert_eq!(full.resilience(), lean.resilience());
+        assert!(lean.resilience().hedges_sent > 0);
+    }
+
+    #[test]
     fn zero_share_server_records_nothing() {
         let params = ModelParams::builder()
             .load(memlat_model::LoadDistribution::Custom(vec![
@@ -812,5 +989,22 @@ mod tests {
         assert!(!out.records(0).is_empty());
         assert!(out.summary(2).latency.count() == 0);
         assert_eq!(out.summary(2).counters, ServerCounters::default());
+    }
+
+    #[test]
+    fn lane_layout_covers_every_server_once() {
+        for servers in [1usize, 2, 3, 4, 7, 16] {
+            for threads in 1..=servers {
+                let total: usize = (0..threads).map(|l| lane_len(servers, threads, l)).sum();
+                assert_eq!(total, servers, "{servers} servers / {threads} threads");
+                let mut seen = vec![false; servers];
+                for j in 0..servers {
+                    let pos = lane_pos(servers, threads, j);
+                    assert!(!seen[pos], "position {pos} assigned twice");
+                    seen[pos] = true;
+                }
+                assert!(seen.iter().all(|&b| b));
+            }
+        }
     }
 }

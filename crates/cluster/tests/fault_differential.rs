@@ -48,7 +48,7 @@ fn records_fingerprint(out: &SimOutput) -> u64 {
         }
     };
     for j in 0..out.shares().len() {
-        for &(s, d) in out.records(j) {
+        for (s, d) in out.records(j) {
             eat(u64::from(s.to_bits()));
             eat(u64::from(d.to_bits()));
         }

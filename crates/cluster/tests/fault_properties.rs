@@ -56,7 +56,7 @@ proptest! {
         let mut hits = 0u64;
         let mut missed = 0u64;
         for j in 0..out.shares().len() {
-            for &(_, d) in out.records(j) {
+            for (_, d) in out.records(j) {
                 if d > 0.0 { missed += 1 } else { hits += 1 }
             }
         }
@@ -138,7 +138,7 @@ proptest! {
             .warmup(0.05)
             .seed(seed)
             .fault_plan(FaultPlan::none().slowdown(0, 0.05, 0.2, 4.0));
-        let plain = ClusterSim::run(&base.clone()).unwrap();
+        let plain = ClusterSim::run(&base).unwrap();
         let hedged = ClusterSim::run(
             &base.client(ClientPolicy::none().hedge(delay_us * 1e-6)),
         ).unwrap();

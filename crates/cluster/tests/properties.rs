@@ -42,7 +42,7 @@ proptest! {
         }
         prop_assert!((out.miss_ratio() - r).abs() < 0.05, "miss {} vs {r}", out.miss_ratio());
         for j in 0..4 {
-            for &(s, d) in out.records(j) {
+            for (s, d) in out.records(j) {
                 prop_assert!(s > 0.0 && s.is_finite());
                 prop_assert!(d >= 0.0 && d.is_finite());
             }

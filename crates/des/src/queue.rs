@@ -71,11 +71,33 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Reserves capacity for at least `additional` more events, so a
+    /// burst of [`schedule`](Self::schedule) calls performs at most one
+    /// heap reallocation.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// Schedules `event` at `time`.
     pub fn schedule(&mut self, time: SimTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Schedules a batch of events, reserving once up front. Events are
+    /// inserted in iteration order, so equal-timestamp entries pop in
+    /// the order the iterator yielded them.
+    pub fn schedule_many<I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = (SimTime, E)>,
+    {
+        let it = events.into_iter();
+        let (lo, hi) = it.size_hint();
+        self.heap.reserve(hi.unwrap_or(lo));
+        for (time, event) in it {
+            self.schedule(time, event);
+        }
     }
 
     /// Removes and returns the earliest event.
@@ -142,6 +164,25 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn schedule_many_matches_sequential_schedules() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        let events = [(2.0, 'x'), (1.0, 'y'), (1.0, 'z'), (3.0, 'w')];
+        for (t, e) in events {
+            a.schedule(SimTime::new(t), e);
+        }
+        b.reserve(events.len());
+        b.schedule_many(events.iter().map(|&(t, e)| (SimTime::new(t), e)));
+        let pa: Vec<_> = std::iter::from_fn(|| a.pop()).collect();
+        let pb: Vec<_> = std::iter::from_fn(|| b.pop()).collect();
+        assert_eq!(pa, pb);
+        assert_eq!(
+            pa.iter().map(|&(_, e)| e).collect::<Vec<_>>(),
+            ['y', 'z', 'x', 'w']
+        );
     }
 
     #[test]

@@ -48,6 +48,15 @@ impl Deterministic {
     }
 }
 
+impl Deterministic {
+    /// Draws one sample through a concrete RNG type — the monomorphized
+    /// twin of [`Continuous::sample`] (no RNG state is consumed).
+    #[inline]
+    pub fn sample_with<R: RngCore + ?Sized>(&self, _rng: &mut R) -> f64 {
+        self.value
+    }
+}
+
 impl Continuous for Deterministic {
     fn cdf(&self, t: f64) -> f64 {
         if t >= self.value {
@@ -65,8 +74,8 @@ impl Continuous for Deterministic {
         0.0
     }
 
-    fn sample(&self, _rng: &mut dyn RngCore) -> f64 {
-        self.value
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.sample_with(rng)
     }
 
     fn laplace(&self, s: f64) -> f64 {

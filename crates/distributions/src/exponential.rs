@@ -61,6 +61,15 @@ impl Exponential {
     }
 }
 
+impl Exponential {
+    /// Draws one sample through a concrete RNG type — the monomorphized
+    /// twin of [`Continuous::sample`], bit-identical draw for draw.
+    #[inline]
+    pub fn sample_with<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -open_unit(rng).ln() / self.rate
+    }
+}
+
 impl Continuous for Exponential {
     fn cdf(&self, t: f64) -> f64 {
         if t <= 0.0 {
@@ -79,7 +88,7 @@ impl Continuous for Exponential {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
-        -open_unit(rng).ln() / self.rate
+        self.sample_with(rng)
     }
 
     fn laplace(&self, s: f64) -> f64 {

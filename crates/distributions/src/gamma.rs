@@ -81,8 +81,22 @@ impl Gamma {
         self.rate
     }
 
+    /// Draws one sample through a concrete RNG type — the monomorphized
+    /// twin of [`Continuous::sample`], bit-identical draw for draw.
+    #[inline]
+    pub fn sample_with<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.shape >= 1.0 {
+            Self::sample_shape_ge_one(self.shape, rng) / self.rate
+        } else {
+            // Boost: Gamma(k) = Gamma(k+1) · U^{1/k}.
+            let g = Self::sample_shape_ge_one(self.shape + 1.0, rng);
+            let u = open_unit(rng);
+            g * u.powf(1.0 / self.shape) / self.rate
+        }
+    }
+
     /// Marsaglia–Tsang sampler for shape ≥ 1.
-    fn sample_shape_ge_one(shape: f64, rng: &mut dyn RngCore) -> f64 {
+    fn sample_shape_ge_one<R: RngCore + ?Sized>(shape: f64, rng: &mut R) -> f64 {
         let d = shape - 1.0 / 3.0;
         let c = 1.0 / (9.0 * d).sqrt();
         loop {
@@ -120,14 +134,7 @@ impl Continuous for Gamma {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
-        if self.shape >= 1.0 {
-            Self::sample_shape_ge_one(self.shape, rng) / self.rate
-        } else {
-            // Boost: Gamma(k) = Gamma(k+1) · U^{1/k}.
-            let g = Self::sample_shape_ge_one(self.shape + 1.0, rng);
-            let u = open_unit(rng);
-            g * u.powf(1.0 / self.shape) / self.rate
-        }
+        self.sample_with(rng)
     }
 
     fn laplace(&self, s: f64) -> f64 {

@@ -40,6 +40,9 @@ use crate::{open_unit, Continuous, ParamError};
 pub struct GeneralizedPareto {
     xi: f64,
     sigma: f64,
+    // σ/ξ, hoisted out of the per-draw inverse CDF (0 when ξ = 0, where
+    // the exponential branch never reads it).
+    sigma_over_xi: f64,
 }
 
 impl GeneralizedPareto {
@@ -60,7 +63,11 @@ impl GeneralizedPareto {
                 "generalized pareto scale must be positive, got {sigma}"
             )));
         }
-        Ok(Self { xi, sigma })
+        Ok(Self {
+            xi,
+            sigma,
+            sigma_over_xi: if xi == 0.0 { 0.0 } else { sigma / xi },
+        })
     }
 
     /// The paper's eq. (24) parameterization: burst degree `xi` and average
@@ -110,6 +117,21 @@ impl GeneralizedPareto {
     }
 }
 
+impl GeneralizedPareto {
+    /// Draws one sample through a concrete RNG type — the monomorphized
+    /// twin of [`Continuous::sample`], bit-identical draw for draw.
+    #[inline]
+    pub fn sample_with<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = open_unit(rng);
+        if self.xi == 0.0 {
+            -self.sigma * u.ln()
+        } else {
+            // Inverse CDF with 1-U ~ U: ((U^{-ξ}) − 1) σ/ξ.
+            self.sigma_over_xi * (u.powf(-self.xi) - 1.0)
+        }
+    }
+}
+
 impl Continuous for GeneralizedPareto {
     fn cdf(&self, t: f64) -> f64 {
         if t <= 0.0 {
@@ -135,13 +157,7 @@ impl Continuous for GeneralizedPareto {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
-        let u = open_unit(rng);
-        if self.xi == 0.0 {
-            -self.sigma * u.ln()
-        } else {
-            // Inverse CDF with 1-U ~ U: ((U^{-ξ}) − 1) σ/ξ.
-            self.sigma / self.xi * (u.powf(-self.xi) - 1.0)
-        }
+        self.sample_with(rng)
     }
 
     fn quantile(&self, p: f64) -> f64 {

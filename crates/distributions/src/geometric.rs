@@ -26,6 +26,9 @@ use crate::{open_unit, Discrete, ParamError};
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeometricBatch {
     q: f64,
+    // ln(q), hoisted out of the per-draw inverse CDF (−∞ when q = 0,
+    // where the single-key fast path never reads it).
+    ln_q: f64,
 }
 
 impl GeometricBatch {
@@ -43,13 +46,34 @@ impl GeometricBatch {
                 "concurrency probability must satisfy 0 <= q < 1, got {q}"
             )));
         }
-        Ok(Self { q })
+        Ok(Self { q, ln_q: q.ln() })
     }
 
     /// The concurrency probability `q`.
     #[must_use]
     pub fn q(&self) -> f64 {
         self.q
+    }
+}
+
+impl GeometricBatch {
+    /// Draws one batch size through a concrete RNG type — the
+    /// monomorphized twin of [`Discrete::sample`], bit-identical draw
+    /// for draw.
+    #[inline]
+    pub fn sample_with<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.q == 0.0 {
+            return 1;
+        }
+        // Inverse CDF: smallest n with 1 − q^n ≥ u ⇔ n ≥ ln(1−u)/ln(q).
+        let u = open_unit(rng);
+        // n = 1 ⇔ u ≤ 1 − q: the common case (q ≪ 1) needs only the
+        // compare, not the log — 1 − u ≥ q gives ln(1−u)/ln(q) ≤ 1.
+        if u <= 1.0 - self.q {
+            return 1;
+        }
+        let n = ((1.0 - u).ln() / self.ln_q).ceil();
+        (n as u64).max(1)
     }
 }
 
@@ -74,13 +98,7 @@ impl Discrete for GeometricBatch {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> u64 {
-        if self.q == 0.0 {
-            return 1;
-        }
-        // Inverse CDF: smallest n with 1 − q^n ≥ u ⇔ n ≥ ln(1−u)/ln(q).
-        let u = open_unit(rng);
-        let n = ((1.0 - u).ln() / self.q.ln()).ceil();
-        (n as u64).max(1)
+        self.sample_with(rng)
     }
 }
 

@@ -3,7 +3,7 @@
 
 use rand::RngCore;
 
-use crate::{open_unit, Continuous, Exponential, ParamError};
+use crate::{open_unit, Continuous, ParamError};
 
 /// Hyperexponential distribution: with probability `w_i`, the variate is
 /// `Exp(λ_i)`.
@@ -100,6 +100,25 @@ impl Hyperexponential {
     }
 }
 
+impl Hyperexponential {
+    /// Draws one sample through a concrete RNG type — the monomorphized
+    /// twin of [`Continuous::sample`], bit-identical draw for draw (the
+    /// phase's exponential draw is inlined, same formula).
+    #[inline]
+    pub fn sample_with<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = open_unit(rng);
+        let mut acc = 0.0;
+        for (w, r) in self.weights.iter().zip(&self.rates) {
+            acc += w;
+            if u <= acc {
+                return -open_unit(rng).ln() / *r;
+            }
+        }
+        // Floating-point slack: fall through to the last phase.
+        -open_unit(rng).ln() / *self.rates.last().expect("non-empty")
+    }
+}
+
 impl Continuous for Hyperexponential {
     fn cdf(&self, t: f64) -> f64 {
         if t <= 0.0 {
@@ -132,20 +151,7 @@ impl Continuous for Hyperexponential {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
-        let u = open_unit(rng);
-        let mut acc = 0.0;
-        for (w, r) in self.weights.iter().zip(&self.rates) {
-            acc += w;
-            if u <= acc {
-                return Exponential::new(*r)
-                    .expect("validated at construction")
-                    .sample(rng);
-            }
-        }
-        // Floating-point slack: fall through to the last phase.
-        Exponential::new(*self.rates.last().expect("non-empty"))
-            .expect("validated at construction")
-            .sample(rng)
+        self.sample_with(rng)
     }
 
     fn laplace(&self, s: f64) -> f64 {

@@ -49,6 +49,7 @@ pub mod hyperexp;
 pub mod laplace;
 pub mod lognormal;
 pub mod multinomial;
+pub mod preset;
 pub mod uniform;
 pub mod weibull;
 pub mod zipf;
@@ -62,6 +63,7 @@ pub use geometric::GeometricBatch;
 pub use hyperexp::Hyperexponential;
 pub use lognormal::LogNormal;
 pub use multinomial::multinomial_counts;
+pub use preset::GapLaw;
 pub use uniform::Uniform;
 pub use weibull::Weibull;
 pub use zipf::Zipf;
@@ -199,12 +201,47 @@ pub trait Discrete: fmt::Debug + Send + Sync {
 /// let u = memlat_dist::open_unit(&mut rng);
 /// assert!(u > 0.0 && u < 1.0);
 /// ```
-pub fn open_unit(rng: &mut dyn RngCore) -> f64 {
+#[inline]
+pub fn open_unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
     // 53 random mantissa bits, then nudge away from 0.
     let bits = rng.next_u64() >> 11;
     let u = (bits as f64 + 0.5) * (1.0 / (1u64 << 53) as f64);
     debug_assert!(u > 0.0 && u < 1.0);
     u
+}
+
+/// Boxed distributions forward the whole trait (including the
+/// closed-form `laplace`/`quantile` overrides of the inner type), so
+/// generic samplers like `BatchArrivals<G>` accept `Box<dyn Continuous>`
+/// and concrete laws alike.
+impl<T: Continuous + ?Sized> Continuous for Box<T> {
+    fn cdf(&self, t: f64) -> f64 {
+        (**self).cdf(t)
+    }
+
+    fn mean(&self) -> f64 {
+        (**self).mean()
+    }
+
+    fn variance(&self) -> f64 {
+        (**self).variance()
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        (**self).sample(rng)
+    }
+
+    fn survival(&self, t: f64) -> f64 {
+        (**self).survival(t)
+    }
+
+    fn laplace(&self, s: f64) -> f64 {
+        (**self).laplace(s)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        (**self).quantile(p)
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,15 @@ impl Uniform {
     }
 }
 
+impl Uniform {
+    /// Draws one sample through a concrete RNG type — the monomorphized
+    /// twin of [`Continuous::sample`], bit-identical draw for draw.
+    #[inline]
+    pub fn sample_with<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.lo + (self.hi - self.lo) * open_unit(rng)
+    }
+}
+
 impl Continuous for Uniform {
     fn cdf(&self, t: f64) -> f64 {
         ((t - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
@@ -84,7 +93,7 @@ impl Continuous for Uniform {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
-        self.lo + (self.hi - self.lo) * open_unit(rng)
+        self.sample_with(rng)
     }
 
     fn laplace(&self, s: f64) -> f64 {

@@ -6,12 +6,12 @@
 
 use memlat_cluster::{
     assembly::{assemble_requests, assemble_requests_replicated},
-    e2e, ClusterSim, SimConfig,
+    e2e, ClusterSim, SimConfig, SimScratch,
 };
 use memlat_model::{database, LoadDistribution, ModelParams, ServerLatencyModel};
 use rand::SeedableRng;
 
-use crate::{parallel_sweep, quick_mode, sim_duration, ExpResult};
+use crate::{parallel_sweep, parallel_sweep_with, quick_mode, sim_duration, ExpResult};
 
 /// Redundancy trade-off ("low latency via redundancy", the paper's
 /// related work [12]): dispatch every key to `R` replicas and keep the
@@ -26,27 +26,28 @@ pub fn ablation_redundancy() -> ExpResult {
     let lams: Vec<f64> = vec![10e3, 15e3, 20e3, 25e3, 30e3, 35e3];
     let n = 150;
     let requests = if quick_mode() { 4_000 } else { 20_000 };
-    let rows = parallel_sweep(lams, |lam0| {
-        let run = |rate: f64, seed: u64| {
+    let rows = parallel_sweep_with(lams, SimScratch::new, |scratch, lam0| {
+        let run = |rate: f64, seed: u64, scratch: &mut SimScratch| {
             let params = ModelParams::builder()
                 .key_rate_per_server(rate)
                 .build()
                 .unwrap();
-            ClusterSim::run(
+            ClusterSim::run_with(
                 &SimConfig::new(params)
                     .duration(sim_duration())
                     .warmup(0.2)
                     .seed(seed),
+                scratch,
             )
             .unwrap()
         };
         // Plain: load λ₀, one copy per key.
-        let plain_out = run(lam0, 0xab1);
+        let plain_out = run(lam0, 0xab1, scratch);
         let mut rng = rand::rngs::StdRng::seed_from_u64(0xab2);
         let plain = assemble_requests(&plain_out, n, requests, &mut rng).ts.mean;
         // Redundant: load 2λ₀ (every key stored and queried twice),
         // min-of-2 per key.
-        let dup_out = run(2.0 * lam0, 0xab3);
+        let dup_out = run(2.0 * lam0, 0xab3, scratch);
         let mut rng = rand::rngs::StdRng::seed_from_u64(0xab4);
         let dup = assemble_requests_replicated(&dup_out, n, requests, 2, &mut rng)
             .ts
@@ -78,7 +79,7 @@ pub fn ablation_redundancy() -> ExpResult {
 #[must_use]
 pub fn ablation_bound_tightness() -> ExpResult {
     let p1s: Vec<f64> = vec![0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85];
-    let rows = parallel_sweep(p1s, |p1| {
+    let rows = parallel_sweep_with(p1s, SimScratch::new, |scratch, p1| {
         let params = ModelParams::builder()
             .load(if p1 <= 0.25 {
                 LoadDistribution::Balanced
@@ -95,7 +96,9 @@ pub fn ablation_bound_tightness() -> ExpResult {
             .duration(sim_duration())
             .warmup(0.2)
             .seed(0xab5);
-        let sim = ClusterSim::run(&cfg).unwrap().expected_server_latency(150);
+        let sim = ClusterSim::run_with(&cfg, scratch)
+            .unwrap()
+            .expected_server_latency(150);
         vec![
             p1,
             wide.width() / wide.upper,
@@ -163,17 +166,18 @@ pub fn ablation_independence() -> ExpResult {
     let ms: Vec<usize> = vec![4, 8, 16, 32];
     let n = 150;
     let requests = if quick_mode() { 3_000 } else { 12_000 };
-    let rows = parallel_sweep(ms, |m| {
+    let rows = parallel_sweep_with(ms, SimScratch::new, |scratch, m| {
         let params = ModelParams::builder()
             .servers(m)
             .key_rate_per_server(62_500.0)
             .build()
             .unwrap();
-        let out = ClusterSim::run(
+        let out = ClusterSim::run_with(
             &SimConfig::new(params.clone())
                 .duration(sim_duration())
                 .warmup(0.2)
                 .seed(0xab6),
+            scratch,
         )
         .unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(0xab7);
@@ -301,14 +305,15 @@ pub fn ablation_request_law() -> ExpResult {
     use memlat_model::RequestLatencyLaw;
     let rs = [0.0f64, 0.001, 0.01, 0.05];
     let requests = if quick_mode() { 4_000 } else { 30_000 };
-    let rows = parallel_sweep(rs.to_vec(), |miss| {
+    let rows = parallel_sweep_with(rs.to_vec(), SimScratch::new, |scratch, miss| {
         let params = ModelParams::builder().miss_ratio(miss).build().unwrap();
         let law = RequestLatencyLaw::new(&params).unwrap();
-        let out = ClusterSim::run(
+        let out = ClusterSim::run_with(
             &SimConfig::new(params.clone())
                 .duration(sim_duration())
                 .warmup(0.2)
                 .seed(0xaba),
+            scratch,
         )
         .unwrap();
         // Raw request samples (not just means): draw totals directly.
@@ -324,7 +329,7 @@ pub fn ablation_request_law() -> ExpResult {
             for (j, &c) in counts.iter().enumerate() {
                 let recs = out.records(j);
                 for _ in 0..c {
-                    let (s, d) = recs[(rng.next_u64() % recs.len() as u64) as usize];
+                    let (s, d) = recs.get((rng.next_u64() % recs.len() as u64) as usize);
                     worst = worst.max(f64::from(s) + f64::from(d));
                 }
             }

@@ -9,14 +9,16 @@
 //! * every function is deterministic given the ambient profile
 //!   (seeds are fixed constants).
 
-use memlat_cluster::{assembly::assemble_requests, ClusterSim, Retention, SimConfig};
+use memlat_cluster::{assembly::assemble_requests, ClusterSim, Retention, SimConfig, SimScratch};
 use memlat_model::{
     cliff, database, ArrivalPattern, LoadDistribution, ModelParams, ServerLatencyModel,
 };
 use memlat_workload::facebook;
 use rand::SeedableRng;
 
-use crate::{parallel_sweep, quick_mode, request_count, sim_duration, ExpResult};
+use crate::{
+    parallel_sweep, parallel_sweep_with, quick_mode, request_count, sim_duration, ExpResult,
+};
 
 /// The paper's §5.1 base configuration.
 #[must_use]
@@ -38,14 +40,15 @@ fn with_key_rate(lam: f64) -> ModelParams {
 ///
 /// Sweeps only need the pooled quantile, so the run keeps streaming
 /// summaries instead of per-key buffers ([`Retention::Summary`]): memory
-/// stays flat however long the simulated duration.
-fn ts_sim_us(params: &ModelParams, n: u64, seed: u64) -> f64 {
+/// stays flat however long the simulated duration. The caller's
+/// [`SimScratch`] is reused across its sweep points.
+fn ts_sim_us(params: &ModelParams, n: u64, seed: u64, scratch: &mut SimScratch) -> f64 {
     let cfg = SimConfig::new(params.clone())
         .duration(sim_duration())
         .warmup(0.2)
         .seed(seed)
         .retention(Retention::Summary);
-    let out = ClusterSim::run(&cfg).expect("stable sweep point");
+    let out = ClusterSim::run_with(&cfg, scratch).expect("stable sweep point");
     out.expected_server_latency(n) * 1e6
 }
 
@@ -182,13 +185,13 @@ pub fn fig04() -> ExpResult {
 #[must_use]
 pub fn fig05() -> ExpResult {
     let qs: Vec<f64> = vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
-    let rows = parallel_sweep(qs, |q| {
+    let rows = parallel_sweep_with(qs, SimScratch::new, |scratch, q| {
         let params = ModelParams::builder()
             .concurrency(q)
             .build()
             .expect("valid q");
         let (lo, hi) = ts_model_us(&params, 150);
-        let sim = ts_sim_us(&params, 150, 0xf15 + (q * 100.0) as u64);
+        let sim = ts_sim_us(&params, 150, 0xf15 + (q * 100.0) as u64, scratch);
         vec![q, lo, hi, sim]
     });
     let mut r = ExpResult::new(
@@ -207,13 +210,13 @@ pub fn fig05() -> ExpResult {
 #[must_use]
 pub fn fig06() -> ExpResult {
     let xis: Vec<f64> = vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
-    let rows = parallel_sweep(xis, |xi| {
+    let rows = parallel_sweep_with(xis, SimScratch::new, |scratch, xi| {
         let params = ModelParams::builder()
             .arrival(ArrivalPattern::GeneralizedPareto { xi })
             .build()
             .expect("valid xi");
         let (lo, hi) = ts_model_us(&params, 150);
-        let sim = ts_sim_us(&params, 150, 0xf16 + (xi * 100.0) as u64);
+        let sim = ts_sim_us(&params, 150, 0xf16 + (xi * 100.0) as u64, scratch);
         vec![xi, lo, hi, sim]
     });
     let mut r = ExpResult::new(
@@ -232,10 +235,10 @@ pub fn fig06() -> ExpResult {
 #[must_use]
 pub fn fig07() -> ExpResult {
     let lams: Vec<f64> = vec![10e3, 20e3, 30e3, 40e3, 50e3, 55e3, 60e3, 65e3, 70e3, 75e3];
-    let rows = parallel_sweep(lams, |lam| {
+    let rows = parallel_sweep_with(lams, SimScratch::new, |scratch, lam| {
         let params = with_key_rate(lam);
         let (lo, hi) = ts_model_us(&params, 150);
-        let sim = ts_sim_us(&params, 150, 0xf17 + (lam / 1e3) as u64);
+        let sim = ts_sim_us(&params, 150, 0xf17 + (lam / 1e3) as u64, scratch);
         vec![lam / 1e3, lo, hi, sim]
     });
     let mut r = ExpResult::new(
@@ -330,7 +333,7 @@ pub fn table4() -> ExpResult {
 #[must_use]
 pub fn fig10() -> ExpResult {
     let p1s: Vec<f64> = vec![0.3, 0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9];
-    let rows = parallel_sweep(p1s, |p1| {
+    let rows = parallel_sweep_with(p1s, SimScratch::new, |scratch, p1| {
         let params = ModelParams::builder()
             .load(LoadDistribution::HotServer { p1 })
             .total_key_rate(80_000.0)
@@ -339,7 +342,7 @@ pub fn fig10() -> ExpResult {
         let model = ServerLatencyModel::new(&params).expect("stable (p1<1)");
         let wide = model.theorem1_bounds(150);
         let tight = model.product_form_bounds(150);
-        let sim = ts_sim_us(&params, 150, 0xf1a + (p1 * 100.0) as u64);
+        let sim = ts_sim_us(&params, 150, 0xf1a + (p1 * 100.0) as u64, scratch);
         vec![
             p1,
             wide.lower * 1e6,

@@ -19,9 +19,11 @@
 //!   retries, and keys forced through to the database scale with the
 //!   downtime.
 
-use memlat_cluster::{ClientPolicy, ClusterSim, FaultPlan, Retention, RetryPolicy, SimConfig};
+use memlat_cluster::{
+    ClientPolicy, ClusterSim, FaultPlan, Retention, RetryPolicy, SimConfig, SimScratch,
+};
 
-use crate::{parallel_sweep, sim_duration, ExpResult};
+use crate::{parallel_sweep_with, sim_duration, ExpResult};
 
 use super::experiments::base_params;
 
@@ -47,15 +49,18 @@ pub fn fault_sweep() -> ExpResult {
     let hedge_delay = healthy.server_latency_quantile(0.95);
 
     let factors: Vec<f64> = vec![1.0, 1.5, 2.0, 3.0, 5.0, 8.0];
-    let rows = parallel_sweep(factors.into_iter().enumerate().collect(), |(i, factor)| {
+    let inputs: Vec<(usize, f64)> = factors.into_iter().enumerate().collect();
+    let rows = parallel_sweep_with(inputs, SimScratch::new, |scratch, (i, factor)| {
         // Scenario 1: one slowed server, passive client.
         let slow_plan = FaultPlan::none().slowdown(0, WARMUP, horizon, factor);
-        let degraded = ClusterSim::run(&cfg().fault_plan(slow_plan.clone())).expect("degraded run");
+        let degraded = ClusterSim::run_with(&cfg().fault_plan(slow_plan.clone()), scratch)
+            .expect("degraded run");
         // Scenario 2: same fault, hedging on.
-        let hedged = ClusterSim::run(
+        let hedged = ClusterSim::run_with(
             &cfg()
                 .fault_plan(slow_plan)
                 .client(ClientPolicy::none().hedge(hedge_delay)),
+            scratch,
         )
         .expect("hedged run");
         // Scenario 3: an outage growing with the intensity, retried.
@@ -65,7 +70,7 @@ pub fn fault_sweep() -> ExpResult {
             outage_cfg =
                 outage_cfg.fault_plan(FaultPlan::none().crash(0, WARMUP, WARMUP + crash_len));
         }
-        let outage = ClusterSim::run(&outage_cfg).expect("outage run");
+        let outage = ClusterSim::run_with(&outage_cfg, scratch).expect("outage run");
         let res = outage.resilience();
         vec![
             factor,

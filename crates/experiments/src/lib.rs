@@ -199,16 +199,55 @@ where
     O: Send,
     F: Fn(I) -> O + Sync,
 {
+    parallel_sweep_with(inputs, || (), |(), input| f(input))
+}
+
+/// Runs sweep points on a bounded worker pool (one worker per available
+/// core, at most one per input), preserving input order.
+///
+/// Each worker builds its own state once via `make_state` and threads it
+/// through every point it handles — simulation sweeps pass
+/// `memlat_cluster::SimScratch::new` here so the per-key buffers are
+/// allocated once per worker and reused across sweep points instead of
+/// reallocated at every point. Worker `k` handles inputs `k`, `k + T`,
+/// `k + 2T`, … so a slow region of the sweep does not serialize one
+/// chunk.
+pub fn parallel_sweep_with<I, O, S, M, F>(inputs: Vec<I>, make_state: M, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, I) -> O + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .clamp(1, inputs.len().max(1));
     let mut outputs: Vec<Option<O>> = Vec::new();
     outputs.resize_with(inputs.len(), || None);
-    std::thread::scope(|scope| {
+    if threads <= 1 {
+        let mut state = make_state();
         for (input, slot) in inputs.into_iter().zip(outputs.iter_mut()) {
-            let f = &f;
-            scope.spawn(move || {
-                *slot = Some(f(input));
-            });
+            *slot = Some(f(&mut state, input));
         }
-    });
+    } else {
+        let mut lanes: Vec<Vec<(I, &mut Option<O>)>> = Vec::new();
+        lanes.resize_with(threads, Vec::new);
+        for (k, pair) in inputs.into_iter().zip(outputs.iter_mut()).enumerate() {
+            lanes[k % threads].push(pair);
+        }
+        std::thread::scope(|scope| {
+            for lane in lanes {
+                let (f, make_state) = (&f, &make_state);
+                scope.spawn(move || {
+                    let mut state = make_state();
+                    for (input, slot) in lane {
+                        *slot = Some(f(&mut state, input));
+                    }
+                });
+            }
+        });
+    }
     outputs
         .into_iter()
         .map(|o| o.expect("sweep slot unfilled"))
@@ -246,5 +285,24 @@ mod tests {
     fn parallel_sweep_preserves_order() {
         let out = parallel_sweep((0..32).collect(), |i: i32| i * i);
         assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_sweep_with_threads_state_through_workers() {
+        // Every worker starts its state at zero and bumps it per point;
+        // outputs stay in input order and each point sees a live state.
+        let out = parallel_sweep_with(
+            (0..64).collect::<Vec<i32>>(),
+            || 0u32,
+            |calls, i| {
+                *calls += 1;
+                (i * 2, *calls)
+            },
+        );
+        assert_eq!(out.len(), 64);
+        for (idx, &(v, calls)) in out.iter().enumerate() {
+            assert_eq!(v, idx as i32 * 2);
+            assert!(calls >= 1);
+        }
     }
 }

@@ -2,7 +2,8 @@
 //! object.
 
 use memlat_dist::{
-    Continuous, Deterministic, Exponential, Gamma, GeneralizedPareto, Hyperexponential, Uniform,
+    Continuous, Deterministic, Exponential, Gamma, GapLaw, GeneralizedPareto, Hyperexponential,
+    Uniform,
 };
 
 use crate::{latency::LatencyEstimate, ModelError};
@@ -64,6 +65,36 @@ impl ArrivalPattern {
             ArrivalPattern::Uniform => Box::new(Uniform::with_mean(1.0 / rate)?),
             ArrivalPattern::Hyperexponential { scv } => {
                 Box::new(Hyperexponential::with_mean_scv(1.0 / rate, *scv)?)
+            }
+        })
+    }
+
+    /// Materializes the gap distribution as a [`GapLaw`] — the closed
+    /// enum the simulator's hot path samples without virtual dispatch.
+    ///
+    /// Draws are bit-identical to the boxed law from
+    /// [`ArrivalPattern::interarrival`] with the same RNG state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParam`] if `rate ≤ 0` or the pattern's
+    /// own parameter is out of range.
+    pub fn gap_law(&self, rate: f64) -> Result<GapLaw, ModelError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(ModelError::InvalidParam(format!(
+                "arrival rate must be positive, got {rate}"
+            )));
+        }
+        Ok(match self {
+            ArrivalPattern::Poisson => GapLaw::from(Exponential::new(rate)?),
+            ArrivalPattern::GeneralizedPareto { xi } => {
+                GapLaw::from(GeneralizedPareto::facebook(*xi, rate)?)
+            }
+            ArrivalPattern::Deterministic => GapLaw::from(Deterministic::new(1.0 / rate)?),
+            ArrivalPattern::Erlang { k } => GapLaw::from(Gamma::erlang(*k, 1.0 / rate)?),
+            ArrivalPattern::Uniform => GapLaw::from(Uniform::with_mean(1.0 / rate)?),
+            ArrivalPattern::Hyperexponential { scv } => {
+                GapLaw::from(Hyperexponential::with_mean_scv(1.0 / rate, *scv)?)
             }
         })
     }

@@ -31,8 +31,6 @@
 //! assert!((p95 - 950.0).abs() <= 0.01 * 950.0);
 //! ```
 
-use std::collections::BTreeMap;
-
 /// Positive values below this threshold share one underflow bin.
 ///
 /// Simulated latencies are on the order of 1e-6..1e-1 seconds, far above
@@ -50,11 +48,24 @@ pub const DEFAULT_ALPHA: f64 = 0.01;
 /// in the bin. Memory is `O(log(max/min)/α)` — a few hundred `u64`
 /// counters for any realistic latency range — independent of the number
 /// of samples.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Counters live in one dense `Vec` indexed from `base` (the lowest bin
+/// seen so far) rather than a tree map, so the simulator's per-key
+/// `push` is an array increment with no allocation or pointer chasing
+/// once the latency range has been seen. The vector grows only when a
+/// new minimum or maximum bin appears — a handful of times per run.
+///
+/// Equality ([`PartialEq`]) compares the *logical* contents (occupied
+/// bins and their counts), not the backing storage, so two sketches
+/// that saw the same samples in different orders compare equal even if
+/// their vectors grew differently.
+#[derive(Debug, Clone)]
 pub struct QuantileSketch {
     alpha: f64,
     ln_gamma: f64,
-    bins: BTreeMap<i32, u64>,
+    /// Log-bin index of `bins[0]`.
+    base: i32,
+    bins: Vec<u64>,
     /// Samples in `(-inf, MIN_POSITIVE)`: zeros, and negatives clamped up.
     underflow: u64,
     count: u64,
@@ -90,7 +101,8 @@ impl QuantileSketch {
         Self {
             alpha,
             ln_gamma: gamma.ln(),
-            bins: BTreeMap::new(),
+            base: 0,
+            bins: Vec::new(),
             underflow: 0,
             count: 0,
             min: f64::INFINITY,
@@ -141,11 +153,12 @@ impl QuantileSketch {
     /// Number of log-spaced bins currently occupied (memory footprint).
     #[must_use]
     pub fn bin_count(&self) -> usize {
-        self.bins.len() + usize::from(self.underflow > 0)
+        self.bins.iter().filter(|&&c| c != 0).count() + usize::from(self.underflow > 0)
     }
 
     /// Inserts one sample. NaNs are ignored, mirroring
     /// [`crate::Ecdf::from_samples`].
+    #[inline]
     pub fn push(&mut self, x: f64) {
         if x.is_nan() {
             return;
@@ -157,8 +170,27 @@ impl QuantileSketch {
             self.underflow += 1;
         } else {
             let idx = self.bin_index(x);
-            *self.bins.entry(idx).or_insert(0) += 1;
+            *self.slot(idx) += 1;
         }
+    }
+
+    /// The counter for log-bin `idx`, growing the dense array when the
+    /// bin lies outside the current `[base, base + len)` window.
+    #[inline]
+    fn slot(&mut self, idx: i32) -> &mut u64 {
+        if self.bins.is_empty() {
+            self.base = idx;
+            self.bins.push(0);
+        } else if idx < self.base {
+            // New minimum bin: shift existing counters up. Rare (a few
+            // times per run), so exact growth beats headroom bookkeeping.
+            let grow = (self.base - idx) as usize;
+            self.bins.splice(0..0, std::iter::repeat_n(0, grow));
+            self.base = idx;
+        } else if (idx - self.base) as usize >= self.bins.len() {
+            self.bins.resize((idx - self.base) as usize + 1, 0);
+        }
+        &mut self.bins[(idx - self.base) as usize]
     }
 
     /// Folds another sketch into this one by counter addition.
@@ -177,8 +209,10 @@ impl QuantileSketch {
             self.alpha,
             other.alpha
         );
-        for (&idx, &c) in &other.bins {
-            *self.bins.entry(idx).or_insert(0) += c;
+        for (i, &c) in other.bins.iter().enumerate() {
+            if c != 0 {
+                *self.slot(other.base + i as i32) += c;
+            }
         }
         self.underflow += other.underflow;
         self.count += other.count;
@@ -211,10 +245,12 @@ impl QuantileSketch {
             // representative we have (in practice these are zeros).
             return self.min;
         }
-        for (&idx, &c) in &self.bins {
+        for (i, &c) in self.bins.iter().enumerate() {
             cum += c;
             if cum >= rank {
-                return self.representative(idx).clamp(self.min, self.max);
+                return self
+                    .representative(self.base + i as i32)
+                    .clamp(self.min, self.max);
             }
         }
         self.max
@@ -235,6 +271,32 @@ impl QuantileSketch {
     fn representative(&self, idx: i32) -> f64 {
         let gamma = (1.0 + self.alpha) / (1.0 - self.alpha);
         2.0 * (f64::from(idx) * self.ln_gamma).exp() / (1.0 + gamma)
+    }
+}
+
+/// Logical equality: same error bound, same exact extremes, and the
+/// same occupied bins with the same counts. Backing-array `base` and
+/// zero padding (which depend on insertion order) are ignored.
+impl PartialEq for QuantileSketch {
+    fn eq(&self, other: &Self) -> bool {
+        fn occupied(base: i32, bins: &[u64]) -> (i32, &[u64]) {
+            match bins.iter().position(|&c| c != 0) {
+                None => (0, &[]),
+                Some(first) => {
+                    let last = bins.iter().rposition(|&c| c != 0).expect("nonzero exists");
+                    (base + first as i32, &bins[first..=last])
+                }
+            }
+        }
+        let (self_base, self_bins) = occupied(self.base, &self.bins);
+        let (other_base, other_bins) = occupied(other.base, &other.bins);
+        self.alpha == other.alpha
+            && self.count == other.count
+            && self.underflow == other.underflow
+            && self.min == other.min
+            && self.max == other.max
+            && self_base == other_base
+            && self_bins == other_bins
     }
 }
 
@@ -339,6 +401,40 @@ mod tests {
     #[should_panic(expected = "empty sketch")]
     fn empty_quantile_panics() {
         let _ = QuantileSketch::new().quantile(0.5);
+    }
+
+    #[test]
+    fn insertion_order_does_not_affect_equality() {
+        // Ascending vs descending pushes grow the dense array from
+        // opposite ends; the sketches must still compare equal.
+        let values: Vec<f64> = (1..=400).map(|i| 1e-6 * f64::from(i)).collect();
+        let mut asc = QuantileSketch::new();
+        let mut desc = QuantileSketch::new();
+        for &v in &values {
+            asc.push(v);
+        }
+        for &v in values.iter().rev() {
+            desc.push(v);
+        }
+        assert_eq!(asc, desc);
+        for p in [0.01, 0.5, 0.99] {
+            assert_eq!(asc.quantile(p).to_bits(), desc.quantile(p).to_bits());
+        }
+    }
+
+    #[test]
+    fn front_growth_preserves_counts() {
+        let mut s = QuantileSketch::new();
+        s.push(1.0);
+        s.push(1e-3); // forces a front extension
+        s.push(1e3); // and a back extension
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.bin_count(), 3);
+        // Rank 1 of 3 is the small value; rank 2 is 1.0.
+        let q1 = s.quantile(0.2);
+        assert!((q1 - 1e-3).abs() <= s.alpha() * 1e-3, "q1={q1}");
+        let q2 = s.quantile(0.5);
+        assert!((q2 - 1.0).abs() <= s.alpha(), "q2={q2}");
     }
 
     #[test]

@@ -38,6 +38,7 @@ impl StreamingStats {
     }
 
     /// Adds one sample.
+    #[inline]
     pub fn push(&mut self, x: f64) {
         self.count += 1;
         let delta = x - self.mean;

@@ -22,8 +22,8 @@ pub struct TraceRecord {
 }
 
 /// Records `duration` seconds of a batch stream into a trace.
-pub fn record(
-    stream: &mut BatchArrivals,
+pub fn record<G: Continuous>(
+    stream: &mut BatchArrivals<G>,
     server: u32,
     duration: f64,
     rng: &mut dyn rand::RngCore,

@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = SimConfig::new(params).duration(1.0).warmup(0.2).seed(77);
 
     // Healthy baseline.
-    let healthy = ClusterSim::run(&base.clone())?;
+    let healthy = ClusterSim::run(&base)?;
     println!(
         "healthy baseline: {} keys, p99 = {:.0} µs",
         healthy.total_keys(),
