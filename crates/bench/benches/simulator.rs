@@ -37,6 +37,7 @@ fn bench_single_server(c: &mut Criterion) {
                     duration: 0.5,
                     faults: ServerFaults::none(),
                     client: ClientPolicy::none(),
+                    block: 1,
                 },
                 &mut rng,
                 |_| keys += 1,

@@ -1,0 +1,176 @@
+//! Component-cost breakdown of the streaming hot path: prints ns/key
+//! for each stage (RNG, libm, sketch/Welford pushes, single-server
+//! loop, full cluster, arrival stream) at block 1 vs the default block,
+//! so a perf change can be attributed to the stage it touched.
+//!
+//! ```sh
+//! cargo run --release -p memlat-bench --example blockprof
+//! ```
+use std::time::Instant;
+
+use memlat_bench::cluster_config;
+use memlat_cluster::{
+    config::MissMode,
+    fault::{ClientPolicy, ServerFaults},
+    server::{simulate_server_streaming_with, BlockScratch, FnSink, ServerSimParams},
+    ClusterSim, Retention, SimScratch,
+};
+use memlat_dist::GapLaw;
+use memlat_stats::{QuantileSketch, StreamingStats};
+use memlat_workload::facebook;
+use rand::{RngCore, SeedableRng};
+
+fn time<F: FnMut()>(label: &str, per: u64, mut f: F) {
+    let start = Instant::now();
+    f();
+    let dt = start.elapsed().as_secs_f64();
+    println!(
+        "{label:<28} {:>9.3} ms  {:>7.1} ns/key",
+        dt * 1e3,
+        dt * 1e9 / per as f64
+    );
+}
+
+fn main() {
+    const N: u64 = 2_000_000;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+
+    time("rng 3x u64", N, || {
+        let mut acc = 0u64;
+        for _ in 0..N {
+            acc ^= rng.next_u64() ^ rng.next_u64() ^ rng.next_u64();
+        }
+        std::hint::black_box(acc);
+    });
+
+    let xs: Vec<f64> = (0..N).map(|i| 1e-4 * (1.0 + (i % 997) as f64)).collect();
+    time("ln x2", N, || {
+        let mut acc = 0.0f64;
+        for &x in &xs {
+            acc += x.ln() + (x * 1.001).ln();
+        }
+        std::hint::black_box(acc);
+    });
+
+    let mut sk = QuantileSketch::new();
+    time("sketch push", N, || {
+        sk.push_slice(&xs);
+    });
+    std::hint::black_box(sk.count());
+
+    let mut st = StreamingStats::new();
+    time("welford push", N, || {
+        st.push_slice(&xs);
+    });
+    std::hint::black_box(st.mean());
+
+    // Single-server streaming loop, counting sink, scalar vs block.
+    for block in [1usize, 1024] {
+        let mut keys = 0u64;
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(7);
+        let mut scratch = BlockScratch::new();
+        time(&format!("server loop block={block}"), 1_300_000, || {
+            let stats = simulate_server_streaming_with(
+                ServerSimParams {
+                    interarrival: GapLaw::from(facebook::interarrival().unwrap()),
+                    concurrency: facebook::CONCURRENCY_Q,
+                    service_rate: facebook::SERVICE_RATE,
+                    miss_ratio: facebook::MISS_RATIO,
+                    miss_mode: &MissMode::FixedRatio,
+                    warmup: 0.0,
+                    duration: 20.0,
+                    faults: ServerFaults::none(),
+                    client: ClientPolicy::none(),
+                    block,
+                },
+                &mut r2,
+                &mut scratch,
+                FnSink(|_: &_| keys += 1),
+            )
+            .unwrap();
+            std::hint::black_box(stats.utilization);
+        });
+        println!("  keys={keys}");
+    }
+
+    // Full cluster at u85 streaming, block 1 vs 1024.
+    for block in [1usize, 1024] {
+        let mut scratch = SimScratch::new();
+        let cfg = cluster_config(0.85, 6.0)
+            .retention(Retention::Summary)
+            .block(block);
+        let mut total = 0u64;
+        time(&format!("cluster u85 block={block}"), 1_634_038, || {
+            let out = ClusterSim::run_with(&cfg, &mut scratch).unwrap();
+            total = out.total_keys();
+        });
+        println!("  keys={total}");
+    }
+
+    // Arrival stream: GPD gap (powf) + geometric batch per batch.
+    let mut arr =
+        memlat_workload::BatchArrivals::new(GapLaw::from(facebook::interarrival().unwrap()), 0.1)
+            .unwrap();
+    let mut r3 = rand::rngs::StdRng::seed_from_u64(9);
+    time("next_batch_with", N, || {
+        let mut acc = 0.0;
+        for _ in 0..N {
+            let (t, b) = arr.next_batch_with(&mut r3);
+            acc += t + b as f64;
+        }
+        std::hint::black_box(acc);
+    });
+
+    let law = GapLaw::from(facebook::interarrival().unwrap());
+    let mut r6 = rand::rngs::StdRng::seed_from_u64(10);
+    time("gaplaw sample_with", N, || {
+        let mut acc = 0.0;
+        for _ in 0..N {
+            acc += law.sample_with(&mut r6);
+        }
+        std::hint::black_box(acc);
+    });
+
+    let mut r8 = rand::rngs::StdRng::seed_from_u64(10);
+    time("gaplaw hoisted match", N, || {
+        let mut acc = 0.0;
+        match &law {
+            GapLaw::GeneralizedPareto(d) => {
+                for _ in 0..N {
+                    acc += d.sample_with(&mut r8);
+                }
+            }
+            _ => unreachable!(),
+        }
+        std::hint::black_box(acc);
+    });
+
+    let geo = memlat_dist::GeometricBatch::new(0.1).unwrap();
+    let mut r7 = rand::rngs::StdRng::seed_from_u64(11);
+    time("geometric sample_with", N, || {
+        let mut acc = 0u64;
+        for _ in 0..N {
+            acc += geo.sample_with(&mut r7);
+        }
+        std::hint::black_box(acc);
+    });
+
+    let gpd = facebook::interarrival().unwrap();
+    let mut r4 = rand::rngs::StdRng::seed_from_u64(10);
+    time("gpd sample_with", N, || {
+        let mut acc = 0.0;
+        for _ in 0..N {
+            acc += gpd.sample_with(&mut r4);
+        }
+        std::hint::black_box(acc);
+    });
+
+    let mut buf = vec![0.0f64; 4096];
+    let mut r5 = rand::rngs::StdRng::seed_from_u64(10);
+    time("gpd fill 4096", N, || {
+        for _ in 0..(N as usize / 4096) {
+            gpd.fill(&mut r5, &mut buf);
+        }
+        std::hint::black_box(buf[0]);
+    });
+}

@@ -1,6 +1,7 @@
 //! The repo's perf-trajectory harness: runs the full cluster simulation
-//! at three utilization points, measures keys/second, wall time and peak
-//! RSS, and writes `results/BENCH_cluster.json`.
+//! at three utilization points plus a sampling-kernel block-size sweep
+//! at ρ = 0.85, measures keys/second, wall time and peak RSS, and
+//! writes `results/BENCH_cluster.json`.
 //!
 //! Usage:
 //!
@@ -17,10 +18,14 @@
 //! footprint — the evidence that `Retention::Summary` peak memory does
 //! not scale with total key count.
 //!
-//! `--check <baseline>` re-measures and fails (exit 1) when the
-//! calibration-normalized keys/sec of any scenario regresses by more
-//! than 25% against the committed baseline, so CI catches perf
-//! regressions without pinning absolute numbers to one machine.
+//! `--check <baseline>` re-measures and fails (exit 1) when any
+//! scenario's keys/sec ratio against the committed baseline falls more
+//! than 25% below the run's **median** ratio (machine-state drift is
+//! shared across scenarios and cancels in the relative comparison),
+//! when throughput uniformly halves after spin-calibration
+//! normalization, or when the in-run block-1024 vs scalar speedup drops
+//! below its floor — so CI catches perf regressions without pinning
+//! absolute numbers to one machine.
 
 use std::time::Instant;
 
@@ -30,9 +35,26 @@ use memlat_bench::{
 };
 use memlat_cluster::{ClusterSim, Retention, SimScratch};
 
-/// Regression tolerance for `--check`, on calibration-normalized
-/// keys/sec.
+/// Regression tolerance for `--check`, applied to each scenario's
+/// keys/sec ratio vs baseline *relative to the run's median ratio* —
+/// shared machine-state drift cancels in the relative comparison, so
+/// this catches a scenario regressing against the fleet.
 const MAX_REGRESSION: f64 = 0.25;
+
+/// Absolute backstop: even a regression uniform across every scenario
+/// (which the median-relative check cancels out) must not halve the
+/// calibration-normalized throughput.
+const MAX_UNIFORM_REGRESSION: f64 = 0.5;
+
+/// In-run floor for the block-kernel speedup: the block-1024 scenario
+/// and the scalar block-1 scenario run seconds apart under the same
+/// machine state, so their ratio is jitter-robust. Measured speedup is
+/// ~1.2–1.5×; below 1.08 the batched pipeline has lost its advantage.
+const BLOCK_SPEEDUP_MIN: f64 = 1.08;
+
+/// Block sizes swept at the ρ = 0.85 point (1 = the scalar loop, then
+/// the kernel staging sizes bracketing the tuned default).
+const BLOCKS: &[usize] = &[1, 256, 1024, 4096];
 
 fn quick() -> bool {
     std::env::var("MEMLAT_QUICK")
@@ -41,8 +63,8 @@ fn quick() -> bool {
 }
 
 /// Child mode: run one scenario `reps` times, print a machine-readable
-/// result line, exit.
-fn run_one(rho: f64, retention: &str, duration: f64, reps: u32) {
+/// result line, exit. `block = 0` keeps the config default.
+fn run_one(rho: f64, retention: &str, duration: f64, reps: u32, block: usize) {
     let mut scratch = SimScratch::new();
     let mut best_wall = f64::INFINITY;
     let mut keys = 0u64;
@@ -50,6 +72,9 @@ fn run_one(rho: f64, retention: &str, duration: f64, reps: u32) {
         let mut cfg = cluster_config(rho, duration);
         if retention == "streaming" {
             cfg = cfg.retention(Retention::Summary);
+        }
+        if block > 0 {
+            cfg = cfg.block(block);
         }
         let start = Instant::now();
         let out = ClusterSim::run_with(&cfg, &mut scratch).expect("bench config is valid");
@@ -62,13 +87,33 @@ fn run_one(rho: f64, retention: &str, duration: f64, reps: u32) {
 
 /// Parent mode: spawn `--one` children, assemble the report.
 fn measure() -> BenchReport {
-    // Best-of-N wall time: single-core CI boxes jitter ±10%, so the
-    // full profile takes enough reps for the minimum to be stable.
-    let (duration, reps) = if quick() { (1.5, 5) } else { (6.0, 10) };
+    // Best-of-N wall time, best-of-R child rounds: single-core CI boxes
+    // drift through multi-second slow epochs (±15%), long enough to
+    // swallow every rep inside one child. Interleaving rounds across
+    // scenarios spreads each scenario's samples over the whole
+    // measurement window, so every scenario sees at least one fast
+    // epoch and best-of is comparable across scenarios.
+    let (duration, reps, rounds) = if quick() { (1.5, 5, 1) } else { (6.0, 10, 3) };
     let exe = std::env::current_exe().expect("own path");
-    let mut scenarios = Vec::new();
+    let mut specs: Vec<(String, f64, &str, usize)> = Vec::new();
     for &(label, rho) in UTILIZATIONS {
         for mode in ["streaming", "materialized"] {
+            specs.push((format!("cluster_{label}_{mode}"), rho, mode, 0));
+        }
+    }
+    // Block-size dimension: the sampling-kernel block at the hottest
+    // utilization point, streaming retention (block 1 = scalar loop).
+    for &block in BLOCKS {
+        specs.push((
+            format!("cluster_u85_block{block}"),
+            0.85,
+            "streaming",
+            block,
+        ));
+    }
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    for round in 0..rounds {
+        for (i, (name, rho, mode, block)) in specs.iter().enumerate() {
             let out = std::process::Command::new(&exe)
                 .args([
                     "--one",
@@ -76,6 +121,7 @@ fn measure() -> BenchReport {
                     mode,
                     &duration.to_string(),
                     &reps.to_string(),
+                    &block.to_string(),
                 ])
                 .output()
                 .expect("spawn bench child");
@@ -94,16 +140,27 @@ fn measure() -> BenchReport {
             };
             let keys = get("keys") as u64;
             let wall = get("best_wall");
-            scenarios.push(Scenario {
-                name: format!("cluster_{label}_{mode}"),
-                utilization: rho,
-                retention: mode.to_string(),
-                sim_seconds: duration,
-                keys,
-                wall_seconds: wall,
-                keys_per_sec: keys as f64 / wall,
-                peak_rss_bytes: get("rss") as u64,
-            });
+            let rss = get("rss") as u64;
+            if round == 0 {
+                scenarios.push(Scenario {
+                    name: name.clone(),
+                    utilization: *rho,
+                    retention: (*mode).to_string(),
+                    block: *block,
+                    sim_seconds: duration,
+                    keys,
+                    wall_seconds: wall,
+                    keys_per_sec: keys as f64 / wall,
+                    peak_rss_bytes: rss,
+                });
+            } else {
+                let s = &mut scenarios[i];
+                if wall < s.wall_seconds {
+                    s.wall_seconds = wall;
+                    s.keys_per_sec = keys as f64 / wall;
+                }
+                s.peak_rss_bytes = s.peak_rss_bytes.max(rss);
+            }
         }
     }
     BenchReport {
@@ -121,7 +178,8 @@ fn main() {
         let retention = args[i + 2].as_str();
         let duration: f64 = args[i + 3].parse().expect("duration");
         let reps: u32 = args[i + 4].parse().expect("reps");
-        run_one(rho, retention, duration, reps);
+        let block: usize = args.get(i + 5).map_or(0, |b| b.parse().expect("block"));
+        run_one(rho, retention, duration, reps, block);
         return;
     }
 
@@ -135,29 +193,62 @@ fn main() {
     if let Some(path) = check_path {
         let baseline = read_baseline(&path);
         let mut failed = false;
+        // Raw per-scenario ratios vs baseline. A single-core box drifts
+        // through multi-second slow epochs whose amplitude the ALU spin
+        // calibration does not track (the simulator is memory-bound), so
+        // the primary gate compares each scenario's ratio to the run's
+        // median ratio: shared drift cancels, isolated regressions stand
+        // out.
+        let hw = report.calibration_spins_per_sec / baseline.calibration_spins_per_sec;
+        let mut pairs: Vec<(&Scenario, f64)> = Vec::new();
         for s in &report.scenarios {
-            let Some(b) = baseline.scenarios.iter().find(|b| b.name == s.name) else {
-                println!("  [check] {}: no baseline entry, skipping", s.name);
-                continue;
+            match baseline.scenarios.iter().find(|b| b.name == s.name) {
+                Some(b) => pairs.push((s, s.keys_per_sec / b.keys_per_sec)),
+                None => println!("  [check] {}: no baseline entry, skipping", s.name),
+            }
+        }
+        let mut sorted: Vec<f64> = pairs.iter().map(|&(_, r)| r).collect();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or(1.0);
+        for &(s, ratio) in &pairs {
+            let relative = ratio / median;
+            let normalized = ratio / hw;
+            let verdict = if relative < 1.0 - MAX_REGRESSION {
+                failed = true;
+                "FAIL"
+            } else if normalized < 1.0 - MAX_UNIFORM_REGRESSION {
+                failed = true;
+                "FAIL (uniform backstop)"
+            } else {
+                "ok"
             };
-            // Normalize by the calibration ratio so a slower CI box does
-            // not read as a code regression.
-            let hw = report.calibration_spins_per_sec / baseline.calibration_spins_per_sec;
-            let expected = b.keys_per_sec * hw;
-            let ratio = s.keys_per_sec / expected;
-            let verdict = if ratio < 1.0 - MAX_REGRESSION {
+            println!(
+                "  [check] {}: {:.0} keys/s, ratio {:.2} (relative {:.2}, hw-normalized {:.2}) {}",
+                s.name, s.keys_per_sec, ratio, relative, normalized, verdict
+            );
+        }
+        // The tentpole's in-run invariant: block-1024 vs scalar block-1,
+        // measured seconds apart, must keep the batched-pipeline speedup.
+        let find = |name: &str| {
+            report
+                .scenarios
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.keys_per_sec)
+        };
+        if let (Some(b1024), Some(b1)) = (find("cluster_u85_block1024"), find("cluster_u85_block1"))
+        {
+            let speedup = b1024 / b1;
+            let verdict = if speedup < BLOCK_SPEEDUP_MIN {
                 failed = true;
                 "FAIL"
             } else {
                 "ok"
             };
-            println!(
-                "  [check] {}: {:.0} keys/s vs normalized baseline {:.0} (ratio {:.2}) {}",
-                s.name, s.keys_per_sec, expected, ratio, verdict
-            );
+            println!("  [check] block1024/block1 in-run speedup {speedup:.2} {verdict}");
         }
         if failed {
-            eprintln!("bench check FAILED: keys/sec regressed more than 25%");
+            eprintln!("bench check FAILED");
             std::process::exit(1);
         }
         println!("bench check passed");

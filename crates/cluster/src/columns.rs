@@ -61,6 +61,15 @@ impl KeyColumns {
         self.d.push(0.0);
     }
 
+    /// Appends a block of keys by server latency (`f64` lane narrowed to
+    /// the `f32` columns), with no db latency yet — equivalent to calling
+    /// [`KeyColumns::push_server`] per element.
+    #[inline]
+    pub fn extend_server(&mut self, s: &[f64]) {
+        self.s.extend(s.iter().map(|&x| x as f32));
+        self.d.resize(self.s.len(), 0.0);
+    }
+
     /// The `(s, d)` pair of key `i`.
     ///
     /// # Panics
@@ -150,6 +159,23 @@ mod tests {
         assert_eq!(pairs, vec![(1.0, 5.0), (2.0, 0.0)]);
         let by_ref: Vec<_> = (&c).into_iter().collect();
         assert_eq!(by_ref, pairs);
+    }
+
+    #[test]
+    fn extend_server_matches_push_server() {
+        let mut a = KeyColumns::new();
+        let mut b = KeyColumns::new();
+        let lane = [1.0e-4, 2.5e-4, 7.75e-3];
+        a.extend_server(&lane);
+        for &x in &lane {
+            b.push_server(x as f32);
+        }
+        assert_eq!(a, b);
+        a.set_db(1, 4.0);
+        a.extend_server(&lane[..1]);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.get(3), (1.0e-4, 0.0));
+        assert_eq!(a.get(1), (2.5e-4, 4.0));
     }
 
     #[test]

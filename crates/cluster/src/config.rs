@@ -87,6 +87,14 @@ pub struct SimConfig {
     pub threads: usize,
     /// Per-key data retention policy.
     pub retention: Retention,
+    /// Sampling block size for the per-server hot loop. Keys are staged
+    /// in fixed-size structure-of-arrays blocks so the uniform→law
+    /// transforms and the FCFS Lindley scan run over contiguous slices.
+    /// `1` forces the scalar path; `0` (default) auto-detects: the
+    /// `MEMLAT_BLOCK` environment variable if set, else 1024. Any value
+    /// produces bit-identical output — blocks consume the per-server RNG
+    /// stream in exactly the scalar order.
+    pub block: usize,
     /// Scheduled per-server faults (crashes, slowdowns). Empty by
     /// default: the healthy run is bit-identical to the pre-fault
     /// simulator.
@@ -110,6 +118,7 @@ impl SimConfig {
             miss_mode: MissMode::FixedRatio,
             threads: 0,
             retention: Retention::default(),
+            block: 0,
             fault_plan: FaultPlan::none(),
             client: ClientPolicy::none(),
         }
@@ -161,6 +170,13 @@ impl SimConfig {
     #[must_use]
     pub fn retention(mut self, retention: Retention) -> Self {
         self.retention = retention;
+        self
+    }
+
+    /// Sets the sampling block size (`0` = auto, `1` = scalar path).
+    #[must_use]
+    pub fn block(mut self, block: usize) -> Self {
+        self.block = block;
         self
     }
 
@@ -234,6 +250,23 @@ impl SimConfig {
         }
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     }
+
+    /// The sampling block size to actually use: the explicit value, else
+    /// `MEMLAT_BLOCK`, else 1024. Always at least 1.
+    #[must_use]
+    pub fn effective_block(&self) -> usize {
+        if self.block > 0 {
+            return self.block;
+        }
+        if let Ok(v) = std::env::var("MEMLAT_BLOCK") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        1024
+    }
 }
 
 #[cfg(test)]
@@ -252,13 +285,15 @@ mod tests {
             .seed(9)
             .db_shards(3)
             .threads(2)
-            .retention(Retention::Summary);
+            .retention(Retention::Summary)
+            .block(256);
         assert_eq!(c.duration, 1.0);
         assert_eq!(c.warmup, 0.1);
         assert_eq!(c.seed, 9);
         assert_eq!(c.effective_db_shards(), 3);
         assert_eq!(c.effective_threads(), 2);
         assert_eq!(c.retention, Retention::Summary);
+        assert_eq!(c.effective_block(), 256);
         assert!(c.validate().is_ok());
     }
 
@@ -268,6 +303,18 @@ mod tests {
         assert_eq!(c.threads, 0);
         assert_eq!(c.retention, Retention::Full);
         assert!(c.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn block_auto_detection_defaults_to_1024() {
+        let c = SimConfig::new(base());
+        assert_eq!(c.block, 0);
+        // The env override is exercised by the differential suites; in a
+        // clean environment auto means the tuned default.
+        if std::env::var("MEMLAT_BLOCK").is_err() {
+            assert_eq!(c.effective_block(), 1024);
+        }
+        assert_eq!(c.block(1).effective_block(), 1);
     }
 
     #[test]

@@ -6,6 +6,15 @@
 //! sink ([`simulate_server_streaming`]), and the whole pipeline — gap
 //! law, batch size, service draw, miss decision — is monomorphized over
 //! the RNG type so nothing in the loop goes through a vtable.
+//!
+//! On eligible runs (no faults, no client timeout, fixed-ratio misses)
+//! the loop is additionally **block-batched**: keys are staged in
+//! structure-of-arrays lanes ([`BlockScratch`]) of [`ServerSimParams::
+//! block`] keys, raw uniforms are banked per key, the uniform→law
+//! transforms and the FCFS Lindley recursion run as tight slice scans,
+//! and whole blocks reach the sink via [`RecordSink::record_block`].
+//! Blocks consume the RNG stream in exactly the scalar order, so block
+//! size can never change the output — only the wall clock.
 
 use memlat_cache::{Store, StoreConfig};
 use memlat_des::fcfs::FcfsStation;
@@ -166,6 +175,126 @@ pub struct ServerSimParams<'a> {
     pub faults: ServerFaults,
     /// Client resilience policy (passive by default).
     pub client: ClientPolicy,
+    /// Sampling block size (≥ 1). Above 1, eligible runs (no faults, no
+    /// timeout, fixed-ratio misses) take the block-batched fast path;
+    /// `1` forces the scalar loop. Both consume the RNG stream in the
+    /// same order, so the choice is invisible in the output.
+    pub block: usize,
+}
+
+/// A resolved block of keys, structure-of-arrays: lane `i` of every
+/// slice describes the same key, in arrival order. Blocks are only
+/// produced on healthy fixed-ratio runs, so every key is first-attempt,
+/// never forced, never degraded.
+#[derive(Debug)]
+pub struct KeyBlock<'a> {
+    /// Arrival times.
+    pub arrival: &'a [f64],
+    /// Departure (service completion) times.
+    pub completion: &'a [f64],
+    /// Server latencies (`completion - arrival`).
+    pub latency: &'a [f64],
+    /// Cache-miss flags.
+    pub missed: &'a [bool],
+}
+
+impl KeyBlock<'_> {
+    /// Number of keys in the block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arrival.len()
+    }
+
+    /// Whether the block is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arrival.is_empty()
+    }
+}
+
+/// Where resolved keys go: one at a time on the scalar path, a lane
+/// block at a time on the batched path.
+///
+/// The default [`RecordSink::record_block`] just replays the block
+/// through [`RecordSink::record`], reconstructing the exact
+/// [`KeyRecord`] the scalar loop would have emitted — sinks override it
+/// only to exploit the slice shape (bulk Welford/sketch pushes, column
+/// appends).
+pub trait RecordSink {
+    /// Consumes one resolved key.
+    fn record(&mut self, rec: &KeyRecord);
+
+    /// Consumes a resolved block of keys (healthy, first-attempt keys
+    /// only — see [`KeyBlock`]).
+    fn record_block(&mut self, block: &KeyBlock<'_>) {
+        for i in 0..block.len() {
+            self.record(&KeyRecord {
+                arrival: block.arrival[i],
+                completion: block.completion[i],
+                server_latency: block.latency[i],
+                missed: block.missed[i],
+                forced: false,
+                attempts: 1,
+                degraded: false,
+            });
+        }
+    }
+}
+
+impl<T: RecordSink + ?Sized> RecordSink for &mut T {
+    fn record(&mut self, rec: &KeyRecord) {
+        (**self).record(rec);
+    }
+
+    fn record_block(&mut self, block: &KeyBlock<'_>) {
+        (**self).record_block(block);
+    }
+}
+
+/// Adapts a per-record closure into a [`RecordSink`] (blocks replay
+/// through the closure via the default [`RecordSink::record_block`]).
+pub struct FnSink<F>(pub F);
+
+impl<F: FnMut(&KeyRecord)> RecordSink for FnSink<F> {
+    fn record(&mut self, rec: &KeyRecord) {
+        (self.0)(rec);
+    }
+}
+
+/// Reusable structure-of-arrays lanes for the block-batched hot path.
+/// Holding one per server (e.g. in [`crate::SimScratch`]) means a sweep
+/// allocates the lanes once and reuses them at every point.
+#[derive(Debug, Default)]
+pub struct BlockScratch {
+    /// Arrival time of each staged key.
+    arrival: Vec<f64>,
+    /// Raw service-draw bits, banked in stream order.
+    svc_bits: Vec<u64>,
+    /// Raw miss-draw bits (empty when the miss ratio is 0).
+    miss_bits: Vec<u64>,
+    /// Transformed service times.
+    service: Vec<f64>,
+    /// Departure times from the Lindley scan.
+    depart: Vec<f64>,
+    /// Server latencies (`depart - arrival`).
+    latency: Vec<f64>,
+    /// Miss decisions.
+    missed: Vec<bool>,
+}
+
+impl BlockScratch {
+    /// Creates empty lanes.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the staging lanes, keeping their allocations.
+    fn clear(&mut self) {
+        self.arrival.clear();
+        self.svc_bits.clear();
+        self.miss_bits.clear();
+    }
 }
 
 /// One key mid-flight through its attempts.
@@ -193,11 +322,11 @@ struct LoopState<S> {
     resilience: ResilienceCounters,
 }
 
-impl<S: FnMut(&KeyRecord)> LoopState<S> {
+impl<S: RecordSink> LoopState<S> {
     #[inline]
     fn emit(&mut self, rec: KeyRecord) {
         self.recorded += 1;
-        (self.sink)(&rec);
+        self.sink.record(&rec);
     }
 }
 
@@ -211,7 +340,7 @@ struct AttemptEnv<'a> {
 
 /// Handles a failed attempt detected at `detect`: schedule a backoff
 /// retry if the budget allows, else record a forced miss.
-fn fail_attempt<S: FnMut(&KeyRecord), R: RngCore + ?Sized>(
+fn fail_attempt<S: RecordSink, R: RngCore + ?Sized>(
     detect: f64,
     key: PendingKey,
     st: &mut LoopState<S>,
@@ -254,7 +383,7 @@ fn fail_attempt<S: FnMut(&KeyRecord), R: RngCore + ?Sized>(
 /// sample, then the miss decision — so an empty [`crate::FaultPlan`]
 /// is bit-identical to it.
 #[inline]
-fn process_attempt<S: FnMut(&KeyRecord), R: RngCore + ?Sized>(
+fn process_attempt<S: RecordSink, R: RngCore + ?Sized>(
     t: f64,
     key: PendingKey,
     st: &mut LoopState<S>,
@@ -330,6 +459,26 @@ where
     S: FnMut(&KeyRecord),
     R: RngCore + ?Sized,
 {
+    simulate_server_streaming_with(p, rng, &mut BlockScratch::new(), FnSink(sink))
+}
+
+/// [`simulate_server_streaming`] generalized over the sink and staging
+/// buffers: any [`RecordSink`] receives the resolved keys, and eligible
+/// runs stage blocks in the caller's reusable [`BlockScratch`].
+///
+/// # Errors
+///
+/// Returns [`ParamError`] when the miss mode's parameters are invalid.
+pub fn simulate_server_streaming_with<S, R>(
+    p: ServerSimParams<'_>,
+    rng: &mut R,
+    scratch: &mut BlockScratch,
+    sink: S,
+) -> Result<ServerRunStats, ParamError>
+where
+    S: RecordSink,
+    R: RngCore + ?Sized,
+{
     let mut arrivals = BatchArrivals::new(p.interarrival, p.concurrency)?;
     let mut decider = MissDecider::new(p.miss_mode, p.miss_ratio)?;
     let horizon = p.warmup + p.duration;
@@ -348,27 +497,144 @@ where
         resilience: ResilienceCounters::default(),
     };
 
-    loop {
-        let (t, batch) = arrivals.next_batch_with(rng);
-        if t >= horizon {
-            break;
+    // The block path needs every staged key to take the straight-line
+    // serve→decide route: no crash/slowdown windows, no timeout (both
+    // can fail an attempt mid-block, and without them no retry is ever
+    // scheduled), and a miss decision that is a pure coin flip.
+    let use_block = p.block > 1
+        && p.faults.is_empty()
+        && p.client.timeout.is_none()
+        && matches!(p.miss_mode, MissMode::FixedRatio);
+    if use_block {
+        let fixed_r = p.miss_ratio;
+        let draw_miss = fixed_r > 0.0;
+        let mut pending: Option<(f64, u64)> = None;
+        let mut done = false;
+        // Warm-up keys stay on the scalar path (service draws only, no
+        // records), so blocks never straddle the measurement boundary
+        // and every staged key is measured.
+        loop {
+            let (t, batch) = arrivals.next_batch_with(rng);
+            if t >= horizon {
+                done = true;
+                break;
+            }
+            if t >= p.warmup {
+                pending = Some((t, batch));
+                break;
+            }
+            let key = PendingKey {
+                first_arrival: t,
+                attempts: 0,
+                measured: false,
+            };
+            for _ in 0..batch {
+                process_attempt(t, key, &mut st, &mut decider, &env, rng);
+            }
         }
-        // Replay retries due up to (and at) this batch's arrival first,
-        // keeping the station's arrival stream time-ordered.
-        while let Some((u, key)) = st.retry_q.pop_before(t) {
-            process_attempt(u, key, &mut st, &mut decider, &env, rng);
+        while !done {
+            scratch.clear();
+            // Stage ≥ block keys (a batch is never split), banking the
+            // raw bits of each key's draws in exactly the scalar order:
+            // service uniform, then — when r > 0 — the miss uniform. The
+            // warm-up loop's first post-warmup batch seeds the first
+            // block; the rest stream through `drive_batches_with`, which
+            // hoists the gap-law dispatch out of the per-batch loop.
+            if let Some((t, batch)) = pending.take() {
+                for _ in 0..batch {
+                    scratch.arrival.push(t);
+                    scratch.svc_bits.push(rng.next_u64());
+                    if draw_miss {
+                        scratch.miss_bits.push(rng.next_u64());
+                    }
+                }
+            }
+            if scratch.arrival.len() < p.block {
+                arrivals.drive_batches_with(rng, |t, batch, rng| {
+                    if t >= horizon {
+                        done = true;
+                        return false;
+                    }
+                    scratch
+                        .arrival
+                        .extend(std::iter::repeat_n(t, batch as usize));
+                    for _ in 0..batch {
+                        scratch.svc_bits.push(rng.next_u64());
+                        if draw_miss {
+                            scratch.miss_bits.push(rng.next_u64());
+                        }
+                    }
+                    scratch.arrival.len() < p.block
+                });
+            }
+            let n = scratch.arrival.len();
+            if n == 0 {
+                break;
+            }
+            // Deferred pure transforms, one contiguous lane at a time.
+            scratch.service.clear();
+            scratch.service.extend(
+                scratch
+                    .svc_bits
+                    .iter()
+                    .map(|&b| -memlat_dist::open_unit_from_bits(b).ln() / p.service_rate),
+            );
+            scratch.depart.clear();
+            scratch.depart.resize(n, 0.0);
+            st.station
+                .submit_block(&scratch.arrival, &scratch.service, &mut scratch.depart);
+            scratch.latency.clear();
+            scratch.latency.extend(
+                scratch
+                    .arrival
+                    .iter()
+                    .zip(&scratch.depart)
+                    .map(|(&a, &d)| d - a),
+            );
+            scratch.missed.clear();
+            if draw_miss {
+                scratch.missed.extend(
+                    scratch
+                        .miss_bits
+                        .iter()
+                        .map(|&b| memlat_dist::open_unit_from_bits(b) < fixed_r),
+                );
+            } else {
+                scratch.missed.resize(n, false);
+            }
+            st.recorded += n as u64;
+            st.misses += scratch.missed.iter().map(|&m| u64::from(m)).sum::<u64>();
+            st.sink.record_block(&KeyBlock {
+                arrival: &scratch.arrival,
+                completion: &scratch.depart,
+                latency: &scratch.latency,
+                missed: &scratch.missed,
+            });
         }
-        let fresh = PendingKey {
-            first_arrival: t,
-            attempts: 0,
-            measured: t >= p.warmup,
-        };
-        for _ in 0..batch {
-            process_attempt(t, fresh, &mut st, &mut decider, &env, rng);
+    } else {
+        loop {
+            let (t, batch) = arrivals.next_batch_with(rng);
+            if t >= horizon {
+                break;
+            }
+            // Replay retries due up to (and at) this batch's arrival first,
+            // keeping the station's arrival stream time-ordered.
+            while let Some((u, key)) = st.retry_q.pop_before(t) {
+                process_attempt(u, key, &mut st, &mut decider, &env, rng);
+            }
+            let fresh = PendingKey {
+                first_arrival: t,
+                attempts: 0,
+                measured: t >= p.warmup,
+            };
+            for _ in 0..batch {
+                process_attempt(t, fresh, &mut st, &mut decider, &env, rng);
+            }
         }
     }
     // Fresh traffic stopped at the horizon; drain in-flight retries so
-    // every issued key resolves (served or forced) — conservation.
+    // every issued key resolves (served or forced) — conservation. (The
+    // block path schedules none; the queue is already empty there.)
     while let Some((u, key)) = st.retry_q.pop() {
         process_attempt(u, key, &mut st, &mut decider, &env, rng);
     }
@@ -446,6 +712,7 @@ mod tests {
             duration,
             faults: ServerFaults::none(),
             client: ClientPolicy::none(),
+            block: 1,
         }
     }
 
@@ -491,6 +758,102 @@ mod tests {
         assert_eq!(stats.utilization.to_bits(), collected.utilization.to_bits());
         assert_eq!(stats.miss_ratio.to_bits(), collected.miss_ratio.to_bits());
         assert_eq!(stats.key_rate.to_bits(), collected.key_rate.to_bits());
+    }
+
+    #[test]
+    fn block_path_is_bit_identical_to_scalar() {
+        use rand::RngCore;
+        let mut scalar_rng = rand::rngs::StdRng::seed_from_u64(77);
+        let scalar = simulate_server(healthy_params(0.5), &mut scalar_rng).unwrap();
+        let scalar_next = scalar_rng.next_u64();
+        // Power-of-two, odd, and larger-than-run block sizes all agree.
+        for block in [2usize, 37, 1024, 1 << 22] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+            let mut p = healthy_params(0.5);
+            p.block = block;
+            let blocked = simulate_server(p, &mut rng).unwrap();
+            assert_eq!(scalar.records, blocked.records, "block={block}");
+            assert_eq!(scalar.counters, blocked.counters, "block={block}");
+            assert_eq!(scalar.utilization.to_bits(), blocked.utilization.to_bits());
+            assert_eq!(scalar.miss_ratio.to_bits(), blocked.miss_ratio.to_bits());
+            assert_eq!(scalar.key_rate.to_bits(), blocked.key_rate.to_bits());
+            // Same RNG stream position afterwards: the block loop drew
+            // exactly the scalar draws, nothing more.
+            assert_eq!(scalar_next, rng.next_u64(), "block={block}");
+        }
+    }
+
+    #[test]
+    fn block_path_zero_miss_ratio_skips_miss_draws() {
+        use rand::RngCore;
+        let params = |block: usize| ServerSimParams {
+            interarrival: GapLaw::from(facebook::interarrival().unwrap()),
+            concurrency: 0.1,
+            service_rate: facebook::SERVICE_RATE,
+            miss_ratio: 0.0,
+            miss_mode: &MissMode::FixedRatio,
+            warmup: 0.0,
+            duration: 0.3,
+            faults: ServerFaults::none(),
+            client: ClientPolicy::none(),
+            block,
+        };
+        let mut scalar_rng = rand::rngs::StdRng::seed_from_u64(78);
+        let scalar = simulate_server(params(1), &mut scalar_rng).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(78);
+        let blocked = simulate_server(params(512), &mut rng).unwrap();
+        assert_eq!(scalar.records, blocked.records);
+        assert!(blocked.records.iter().all(|r| !r.missed));
+        assert_eq!(scalar_rng.next_u64(), rng.next_u64());
+    }
+
+    #[test]
+    fn block_sink_receives_whole_blocks() {
+        // A sink that counts record_block calls proves the fast path is
+        // actually taken (and that lanes agree with each other).
+        struct Counting {
+            records: Vec<KeyRecord>,
+            blocks: usize,
+        }
+        impl RecordSink for Counting {
+            fn record(&mut self, rec: &KeyRecord) {
+                self.records.push(*rec);
+            }
+            fn record_block(&mut self, block: &KeyBlock<'_>) {
+                assert!(!block.is_empty());
+                assert_eq!(block.arrival.len(), block.completion.len());
+                assert_eq!(block.arrival.len(), block.latency.len());
+                assert_eq!(block.arrival.len(), block.missed.len());
+                self.blocks += 1;
+                for i in 0..block.len() {
+                    assert!(block.completion[i] >= block.arrival[i]);
+                    let lat = block.completion[i] - block.arrival[i];
+                    assert_eq!(lat.to_bits(), block.latency[i].to_bits());
+                }
+                // Replay through the default path to keep `records`.
+                struct Push<'a>(&'a mut Vec<KeyRecord>);
+                impl RecordSink for Push<'_> {
+                    fn record(&mut self, rec: &KeyRecord) {
+                        self.0.push(*rec);
+                    }
+                }
+                Push(&mut self.records).record_block(block);
+            }
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(79);
+        let mut p = healthy_params(0.5);
+        p.block = 256;
+        let mut sink = Counting {
+            records: Vec::new(),
+            blocks: 0,
+        };
+        let stats =
+            simulate_server_streaming_with(p, &mut rng, &mut BlockScratch::new(), &mut sink)
+                .unwrap();
+        assert!(sink.blocks > 10, "{} blocks", sink.blocks);
+        assert_eq!(sink.records.len() as u64, stats.counters.jobs);
+        let baseline = facebook_run(0.5, 79);
+        assert_eq!(sink.records, baseline.records);
     }
 
     #[test]
@@ -542,6 +905,7 @@ mod tests {
                 duration: 0.3,
                 faults: ServerFaults::none(),
                 client: ClientPolicy::none(),
+                block: 1,
             },
             &mut rng,
         )
@@ -570,6 +934,7 @@ mod tests {
                 duration: 0.5,
                 faults: ServerFaults::none(),
                 client: ClientPolicy::none(),
+                block: 1,
             },
             &mut rng,
         )

@@ -8,12 +8,14 @@
 //! across [`SimConfig::threads`] worker threads and still produces
 //! **bit-identical** output to the sequential path for a fixed seed.
 //!
-//! The per-key hot path is **streaming**: each server's resolved keys
-//! flow from [`simulate_server_streaming`] straight into the per-server
-//! summaries (and, only when the retention policy or hedging needs them,
-//! into reusable [`KeyColumns`] buffers). Under [`Retention::Summary`]
-//! without hedging, peak memory is `O(servers + sketch)` — independent
-//! of the key count. Sweeps can pass one [`SimScratch`] to
+//! The per-key hot path is **streaming and block-batched**: each
+//! server's resolved keys flow from [`simulate_server_streaming_with`]
+//! straight into the per-server summaries (and, only when the retention
+//! policy or hedging needs them, into reusable [`KeyColumns`] buffers),
+//! a [`SimConfig::effective_block`]-sized lane block at a time on
+//! eligible runs. Under [`Retention::Summary`] without hedging, peak
+//! memory is `O(servers + block + sketch)` — independent of the key
+//! count. Sweeps can pass one [`SimScratch`] to
 //! [`ClusterSim::run_with`] to reuse every per-server buffer across
 //! runs.
 
@@ -27,7 +29,10 @@ use crate::{
     config::{Retention, SimConfig},
     database::{run_db_stage_with, MissArrival},
     fault::hedge_outcome,
-    server::{simulate_server_streaming, KeyRecord, ServerSimParams},
+    server::{
+        simulate_server_streaming_with, BlockScratch, KeyBlock, KeyRecord, RecordSink,
+        ServerSimParams,
+    },
     SimError,
 };
 
@@ -94,6 +99,86 @@ struct ServerCell {
     flags: Vec<u8>,
     /// Missed keys: arrival time at the database + origin `(server, idx)`.
     misses: Vec<MissArrival>,
+    /// Staging lanes for the block-batched server hot path.
+    block: BlockScratch,
+}
+
+/// The per-server streaming fold: consumes resolved keys (one at a time
+/// or a lane block at a time) into the summaries, miss stream and
+/// optional per-key columns. Living behind [`RecordSink`] instead of a
+/// closure lets the block path push whole slices into the Welford
+/// accumulator, sketch and columns.
+struct WorkerSink<'a> {
+    j: u32,
+    idx: u32,
+    plain_run: bool,
+    keep_pairs: bool,
+    hedging: bool,
+    misses: &'a mut Vec<MissArrival>,
+    cols: &'a mut KeyColumns,
+    flags: &'a mut Vec<u8>,
+    latency: StreamingStats,
+    sketch: QuantileSketch,
+    degraded_latency: StreamingStats,
+    healthy_latency: StreamingStats,
+}
+
+impl RecordSink for WorkerSink<'_> {
+    fn record(&mut self, r: &KeyRecord) {
+        // Forced misses fall through to the database too: the cache
+        // tier failed them, the backing store answers.
+        if r.missed || r.forced {
+            self.misses.push(MissArrival {
+                time: r.completion,
+                origin: (self.j, self.idx),
+            });
+        }
+        self.latency.push(r.server_latency);
+        self.sketch.push(r.server_latency);
+        if self.plain_run {
+            // healthy_latency == latency; copied after the run.
+        } else if r.forced {
+            // Neither split: the key was never served here.
+        } else if r.degraded {
+            self.degraded_latency.push(r.server_latency);
+        } else {
+            self.healthy_latency.push(r.server_latency);
+        }
+        if self.keep_pairs {
+            self.cols.push_server(r.server_latency as f32);
+        }
+        if self.hedging {
+            self.flags.push(
+                if r.forced { FLAG_FORCED } else { 0 } | if r.degraded { FLAG_DEGRADED } else { 0 },
+            );
+        }
+        self.idx += 1;
+    }
+
+    fn record_block(&mut self, b: &KeyBlock<'_>) {
+        // Blocks only arrive on eligible runs (no faults, no timeout),
+        // which are exactly the plain runs: no forced/degraded keys, so
+        // the healthy split is the pooled stream (copied after the run)
+        // and every hedge flag is zero.
+        debug_assert!(self.plain_run);
+        for (i, &missed) in b.missed.iter().enumerate() {
+            if missed {
+                self.misses.push(MissArrival {
+                    time: b.completion[i],
+                    origin: (self.j, self.idx + i as u32),
+                });
+            }
+        }
+        self.latency.push_slice(b.latency);
+        self.sketch.push_slice(b.latency);
+        if self.keep_pairs {
+            self.cols.extend_server(b.latency);
+        }
+        if self.hedging {
+            self.flags.resize(self.flags.len() + b.len(), 0);
+        }
+        self.idx += b.len() as u32;
+    }
 }
 
 /// Reusable simulation buffers: every allocation whose size scales with
@@ -215,11 +300,13 @@ impl ClusterSim {
 
         // One worker per server; identical code on the sequential and
         // parallel paths, so thread count cannot change the output.
+        let block = cfg.effective_block();
         let worker = |j: usize, cell: &mut ServerCell| -> Result<ServerOutcome, SimError> {
             let ServerCell {
                 cols,
                 flags,
                 misses,
+                block: block_scratch,
             } = cell;
             cols.clear();
             flags.clear();
@@ -237,18 +324,27 @@ impl ClusterSim {
                 .gap_law((1.0 - q) * lam_j)
                 .map_err(SimError::Model)?;
             let mut rng = stream_rng(cfg.seed, 1000 + j as u64);
-            let mut latency = StreamingStats::new();
-            let mut sketch = QuantileSketch::new();
-            let mut degraded_latency = StreamingStats::new();
-            let mut healthy_latency = StreamingStats::new();
-            let mut idx: u32 = 0;
             let faults = cfg.fault_plan.for_server(j);
             // With nothing scheduled and no client timeout, no key can be
             // forced or degraded: the healthy split would receive exactly
             // the pooled stream, so skip the duplicate Welford update per
             // key and copy the accumulator once after the run.
             let plain_run = faults.is_empty() && cfg.client.timeout.is_none();
-            let stats = simulate_server_streaming(
+            let mut sink = WorkerSink {
+                j: j as u32,
+                idx: 0,
+                plain_run,
+                keep_pairs,
+                hedging,
+                misses,
+                cols,
+                flags,
+                latency: StreamingStats::new(),
+                sketch: QuantileSketch::new(),
+                degraded_latency: StreamingStats::new(),
+                healthy_latency: StreamingStats::new(),
+            };
+            let stats = simulate_server_streaming_with(
                 ServerSimParams {
                     interarrival: gaps,
                     concurrency: q,
@@ -259,41 +355,20 @@ impl ClusterSim {
                     duration: cfg.duration,
                     faults,
                     client: cfg.client,
+                    block,
                 },
                 &mut rng,
-                |r: &KeyRecord| {
-                    // Forced misses fall through to the database too: the
-                    // cache tier failed them, the backing store answers.
-                    if r.missed || r.forced {
-                        misses.push(MissArrival {
-                            time: r.completion,
-                            origin: (j as u32, idx),
-                        });
-                    }
-                    latency.push(r.server_latency);
-                    sketch.push(r.server_latency);
-                    if plain_run {
-                        // healthy_latency == latency; copied after the run.
-                    } else if r.forced {
-                        // Neither split: the key was never served here.
-                    } else if r.degraded {
-                        degraded_latency.push(r.server_latency);
-                    } else {
-                        healthy_latency.push(r.server_latency);
-                    }
-                    if keep_pairs {
-                        cols.push_server(r.server_latency as f32);
-                    }
-                    if hedging {
-                        flags.push(
-                            if r.forced { FLAG_FORCED } else { 0 }
-                                | if r.degraded { FLAG_DEGRADED } else { 0 },
-                        );
-                    }
-                    idx += 1;
-                },
+                block_scratch,
+                &mut sink,
             )
             .map_err(|e| SimError::InvalidConfig(e.to_string()))?;
+            let WorkerSink {
+                latency,
+                sketch,
+                degraded_latency,
+                mut healthy_latency,
+                ..
+            } = sink;
             if plain_run {
                 healthy_latency = latency;
             }

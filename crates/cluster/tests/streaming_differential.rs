@@ -64,6 +64,9 @@ fn materialized_reference(params: &ModelParams, cfg: &SimConfig) -> Vec<Vec<(f32
                     duration: cfg.duration,
                     faults: ServerFaults::none(),
                     client: ClientPolicy::none(),
+                    // The reference stays on the scalar loop; the
+                    // streaming run under test uses the default block.
+                    block: 1,
                 },
                 &mut rng,
             )

@@ -107,6 +107,88 @@ impl FcfsStation {
         }
     }
 
+    /// Submits a block of time-ordered jobs and writes each departure
+    /// into `departures` — the Lindley recursion
+    /// `D_i = max(A_i, D_{i−1}) + S_i` as one tight scan.
+    ///
+    /// State updates (busy time, wait/sojourn totals, queue high-water
+    /// mark) are applied in job order with the exact per-job expressions
+    /// of [`FcfsStation::submit`], so interleaving scalar submits and
+    /// block submits on one station is bit-identical to submitting every
+    /// job individually.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ, arrivals go backwards in time,
+    /// or any `service < 0` — the same contract as [`FcfsStation::submit`].
+    pub fn submit_block(&mut self, arrivals: &[f64], services: &[f64], departures: &mut [f64]) {
+        let n = arrivals.len();
+        assert_eq!(n, services.len(), "lane length mismatch");
+        assert_eq!(n, departures.len(), "lane length mismatch");
+        if n == 0 {
+            return;
+        }
+        // Everything the scan touches lives in registers; the per-job
+        // floating-point add sequence is unchanged, so the write-back
+        // below leaves the station bit-identical to scalar submits.
+        let mut depart = self.last_departure;
+        let mut last_arrival = self.last_arrival;
+        let mut busy_time = self.busy_time;
+        let mut total_wait = self.total_wait;
+        let mut total_sojourn = self.total_sojourn;
+        let mut queue_max = self.queue_max;
+        // Queue high-water mark without per-job deque traffic: departures
+        // are globally nondecreasing, so the deque is sorted and the
+        // front-first expiry of `submit` pops exactly the entries
+        // `<= arrival`. The in-system count at arrival `i` is therefore
+        // the unexpired suffix of the carried deque (front pointer `c`)
+        // plus this block's own jobs `k..i` — whose departures are
+        // already in the output lane — plus job `i` itself. Both pointers
+        // only move forward, so the block costs O(n) total.
+        let carry: &[f64] = self.in_system.make_contiguous();
+        let carry_len = carry.len();
+        let mut c = 0usize;
+        let mut k = 0usize;
+        for i in 0..n {
+            let arrival = arrivals[i];
+            let service = services[i];
+            assert!(
+                arrival >= last_arrival,
+                "FCFS arrivals must be time-ordered: {arrival} < {last_arrival}"
+            );
+            assert!(service >= 0.0, "negative service time: {service}");
+            last_arrival = arrival;
+            let start = arrival.max(depart);
+            depart = start + service;
+            departures[i] = depart;
+            busy_time += service;
+            total_wait += start - arrival;
+            total_sojourn += depart - arrival;
+            while c < carry_len && carry[c] <= arrival {
+                c += 1;
+            }
+            while k < i && departures[k] <= arrival {
+                k += 1;
+            }
+            let in_system = (carry_len - c) + (i - k) + 1;
+            if in_system > queue_max {
+                queue_max = in_system;
+            }
+        }
+        self.last_departure = depart;
+        self.last_arrival = last_arrival;
+        self.busy_time = busy_time;
+        self.jobs += n as u64;
+        self.total_wait = total_wait;
+        self.total_sojourn = total_sojourn;
+        self.queue_max = queue_max;
+        // Restore the deque invariant for the next (scalar or block)
+        // submit: unexpired carried entries, then this block's unexpired
+        // departures.
+        self.in_system.drain(..c);
+        self.in_system.extend(departures[k..].iter().copied());
+    }
+
     /// Number of jobs served.
     #[must_use]
     pub fn jobs(&self) -> u64 {
@@ -240,5 +322,55 @@ mod tests {
         let mut s = FcfsStation::new();
         let c = s.submit(1.0, 0.0);
         assert_eq!(c.sojourn(), 0.0);
+    }
+
+    #[test]
+    fn submit_block_is_bit_identical_to_scalar_submits() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut t = 0.0;
+        let mut arrivals = Vec::new();
+        let mut services = Vec::new();
+        for _ in 0..500 {
+            t += rng.gen::<f64>() * 2.0;
+            arrivals.push(t);
+            services.push(rng.gen::<f64>());
+        }
+        let mut scalar = FcfsStation::new();
+        let scalar_departs: Vec<f64> = arrivals
+            .iter()
+            .zip(&services)
+            .map(|(&a, &s)| scalar.submit(a, s).departure)
+            .collect();
+        // Mixed scalar/block interleaving on one station.
+        let mut blocked = FcfsStation::new();
+        let mut block_departs = vec![0.0; arrivals.len()];
+        blocked.submit_block(&arrivals[..3], &services[..3], &mut block_departs[..3]);
+        for i in 3..7 {
+            block_departs[i] = blocked.submit(arrivals[i], services[i]).departure;
+        }
+        blocked.submit_block(&arrivals[7..], &services[7..], &mut block_departs[7..]);
+        for (a, b) in scalar_departs.iter().zip(&block_departs) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(scalar.jobs(), blocked.jobs());
+        assert_eq!(scalar.busy_time().to_bits(), blocked.busy_time().to_bits());
+        assert_eq!(scalar.queue_max(), blocked.queue_max());
+        assert_eq!(scalar.mean_wait().to_bits(), blocked.mean_wait().to_bits());
+        assert_eq!(
+            scalar.mean_sojourn().to_bits(),
+            blocked.mean_sojourn().to_bits()
+        );
+        assert_eq!(
+            scalar.busy_until().to_bits(),
+            blocked.busy_until().to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn submit_block_rejects_time_travel() {
+        let mut s = FcfsStation::new();
+        let mut d = [0.0; 2];
+        s.submit_block(&[2.0, 1.0], &[0.5, 0.5], &mut d);
     }
 }

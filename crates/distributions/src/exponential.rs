@@ -68,6 +68,21 @@ impl Exponential {
     pub fn sample_with<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
         -open_unit(rng).ln() / self.rate
     }
+
+    /// Fills `out` with samples — bit-identical to `out.len()` successive
+    /// [`Self::sample_with`] calls on the same RNG state.
+    ///
+    /// The uniforms are staged into the slice first (consuming the RNG in
+    /// the scalar draw order), then the `ln` transform runs over the whole
+    /// block so the compiler can vectorize it.
+    pub fn fill<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        for u in out.iter_mut() {
+            *u = open_unit(rng);
+        }
+        for x in out.iter_mut() {
+            *x = -(*x).ln() / self.rate;
+        }
+    }
 }
 
 impl Continuous for Exponential {

@@ -203,8 +203,31 @@ pub trait Discrete: fmt::Debug + Send + Sync {
 /// ```
 #[inline]
 pub fn open_unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    open_unit_from_bits(rng.next_u64())
+}
+
+/// Converts one raw `next_u64` draw into the uniform variate
+/// [`open_unit`] would have produced from it.
+///
+/// This is the staging half of the block-batched samplers: a hot loop can
+/// bank raw `next_u64` outputs into a `u64` lane in draw order, then apply
+/// this (pure, branch-free) transform over the whole slice — the results
+/// are bit-identical to calling [`open_unit`] at the original draw sites.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{RngCore, SeedableRng};
+/// let mut a = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut b = a.clone();
+/// let u = memlat_dist::open_unit(&mut a);
+/// let v = memlat_dist::open_unit_from_bits(b.next_u64());
+/// assert_eq!(u.to_bits(), v.to_bits());
+/// ```
+#[inline]
+pub fn open_unit_from_bits(raw: u64) -> f64 {
     // 53 random mantissa bits, then nudge away from 0.
-    let bits = rng.next_u64() >> 11;
+    let bits = raw >> 11;
     let u = (bits as f64 + 0.5) * (1.0 / (1u64 << 53) as f64);
     debug_assert!(u > 0.0 && u < 1.0);
     u

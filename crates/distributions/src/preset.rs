@@ -70,6 +70,25 @@ impl GapLaw {
         }
     }
 
+    /// Fills `out` with gaps, dispatching the variant **once per block**
+    /// instead of once per draw — bit-identical to `out.len()` successive
+    /// [`GapLaw::sample_with`] calls on the same RNG state.
+    ///
+    /// Single-uniform variants (exponential, Generalized Pareto, uniform,
+    /// deterministic) stage their uniforms and run the transform over the
+    /// whole slice; the data-dependent samplers (Erlang, hyperexponential)
+    /// fall back to the scalar loop inside their own `fill`.
+    pub fn fill<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        match self {
+            GapLaw::Exponential(d) => d.fill(rng, out),
+            GapLaw::GeneralizedPareto(d) => d.fill(rng, out),
+            GapLaw::Deterministic(d) => d.fill(rng, out),
+            GapLaw::Erlang(d) => d.fill(rng, out),
+            GapLaw::Uniform(d) => d.fill(rng, out),
+            GapLaw::Hyperexponential(d) => d.fill(rng, out),
+        }
+    }
+
     /// The inner law as a `&dyn Continuous` (for solvers that take the
     /// trait object).
     #[must_use]

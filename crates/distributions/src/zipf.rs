@@ -105,6 +105,37 @@ impl Zipf {
     pub fn exponent(&self) -> f64 {
         self.exponent
     }
+
+    /// Draws one rank through a concrete RNG type — the monomorphized
+    /// twin of [`Discrete::sample`], bit-identical draw for draw.
+    #[inline]
+    pub fn sample_with<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_integral_n + open_unit(rng) * (self.h_integral_x1 - self.h_integral_n);
+            let x = h_integral_inverse(u, self.exponent);
+            let k64 = (x + 0.5).floor();
+            let k = (k64.max(1.0) as u64).min(self.n);
+            let kf = k as f64;
+            if kf - x <= self.rejection_s
+                || u >= h_integral(kf + 0.5, self.exponent) - h(kf, self.exponent)
+            {
+                return k;
+            }
+        }
+    }
+
+    /// Fills `out` with ranks — bit-identical to `out.len()` successive
+    /// [`Self::sample_with`] calls on the same RNG state.
+    ///
+    /// Rejection-inversion consumes a data-dependent number of draws per
+    /// sample, so the uniforms cannot be staged ahead of the transform.
+    /// This is the scalar sampler in a loop, provided so every law shares
+    /// the block entry point.
+    pub fn fill_u64<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [u64]) {
+        for k in out.iter_mut() {
+            *k = self.sample_with(rng);
+        }
+    }
 }
 
 /// `H(x) = ∫ x^{-s} dx = (x^{1-s} − 1)/(1 − s)`, computed stably (limit
@@ -189,18 +220,7 @@ impl Discrete for Zipf {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> u64 {
-        loop {
-            let u = self.h_integral_n + open_unit(rng) * (self.h_integral_x1 - self.h_integral_n);
-            let x = h_integral_inverse(u, self.exponent);
-            let k64 = (x + 0.5).floor();
-            let k = (k64.max(1.0) as u64).min(self.n);
-            let kf = k as f64;
-            if kf - x <= self.rejection_s
-                || u >= h_integral(kf + 0.5, self.exponent) - h(kf, self.exponent)
-            {
-                return k;
-            }
-        }
+        self.sample_with(rng)
     }
 }
 

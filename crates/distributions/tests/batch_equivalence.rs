@@ -1,0 +1,136 @@
+//! Bit-identity of the block `fill`/`fill_u64` kernels.
+//!
+//! For every law: filling a block must (a) produce exactly the samples
+//! that `N` successive scalar draws from the same RNG state would, bit
+//! for bit, and (b) leave the RNG in exactly the state those scalar
+//! draws would — so a hot loop can switch between scalar and block
+//! sampling mid-stream without perturbing anything downstream.
+
+use memlat_dist::{
+    Deterministic, Exponential, Gamma, GapLaw, GeneralizedPareto, GeometricBatch, Hyperexponential,
+    Uniform, Zipf,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Asserts `fill` ≡ N scalar draws (values and final RNG state).
+fn assert_fill_matches_scalar(
+    seed: u64,
+    n: usize,
+    scalar: impl Fn(&mut StdRng) -> f64,
+    fill: impl Fn(&mut StdRng, &mut [f64]),
+) {
+    let mut scalar_rng = StdRng::seed_from_u64(seed);
+    let mut block_rng = scalar_rng.clone();
+    let expect: Vec<f64> = (0..n).map(|_| scalar(&mut scalar_rng)).collect();
+    let mut got = vec![0.0; n];
+    fill(&mut block_rng, &mut got);
+    for (i, (e, g)) in expect.iter().zip(&got).enumerate() {
+        assert_eq!(e.to_bits(), g.to_bits(), "sample {i} differs");
+    }
+    // Same stream position afterwards.
+    assert_eq!(scalar_rng.next_u64(), block_rng.next_u64());
+}
+
+/// The discrete (`u64`) twin of [`assert_fill_matches_scalar`].
+fn assert_fill_u64_matches_scalar(
+    seed: u64,
+    n: usize,
+    scalar: impl Fn(&mut StdRng) -> u64,
+    fill: impl Fn(&mut StdRng, &mut [u64]),
+) {
+    let mut scalar_rng = StdRng::seed_from_u64(seed);
+    let mut block_rng = scalar_rng.clone();
+    let expect: Vec<u64> = (0..n).map(|_| scalar(&mut scalar_rng)).collect();
+    let mut got = vec![0u64; n];
+    fill(&mut block_rng, &mut got);
+    assert_eq!(expect, got);
+    assert_eq!(scalar_rng.next_u64(), block_rng.next_u64());
+}
+
+proptest! {
+    #[test]
+    fn exponential_fill(seed in 0u64..1_000_000, n in 0usize..600, rate in 1e-3f64..1e6) {
+        let d = Exponential::new(rate).unwrap();
+        assert_fill_matches_scalar(seed, n, |r| d.sample_with(r), |r, out| d.fill(r, out));
+    }
+
+    #[test]
+    fn gpd_fill(seed in 0u64..1_000_000, n in 0usize..600, xi in 0.0f64..0.95, sigma in 1e-6f64..1e3) {
+        let d = GeneralizedPareto::new(xi, sigma).unwrap();
+        assert_fill_matches_scalar(seed, n, |r| d.sample_with(r), |r, out| d.fill(r, out));
+    }
+
+    #[test]
+    fn gpd_fill_xi_zero_branch(seed in 0u64..1_000_000, n in 0usize..600) {
+        // The exponential-limit branch, explicitly.
+        let d = GeneralizedPareto::new(0.0, 2.5e-5).unwrap();
+        assert_fill_matches_scalar(seed, n, |r| d.sample_with(r), |r, out| d.fill(r, out));
+    }
+
+    #[test]
+    fn uniform_fill(seed in 0u64..1_000_000, n in 0usize..600, lo in 0.0f64..1.0, span in 1e-6f64..1e3) {
+        let d = Uniform::new(lo, lo + span).unwrap();
+        assert_fill_matches_scalar(seed, n, |r| d.sample_with(r), |r, out| d.fill(r, out));
+    }
+
+    #[test]
+    fn deterministic_fill(seed in 0u64..1_000_000, n in 0usize..600, v in 0.0f64..1e3) {
+        let d = Deterministic::new(v).unwrap();
+        assert_fill_matches_scalar(seed, n, |r| d.sample_with(r), |r, out| d.fill(r, out));
+    }
+
+    #[test]
+    fn hyperexp_fill(seed in 0u64..1_000_000, n in 0usize..400, mean in 1e-6f64..1.0, scv in 1.01f64..20.0) {
+        let d = Hyperexponential::with_mean_scv(mean, scv).unwrap();
+        assert_fill_matches_scalar(seed, n, |r| d.sample_with(r), |r, out| d.fill(r, out));
+    }
+
+    #[test]
+    fn gamma_fill(seed in 0u64..1_000_000, n in 0usize..400, shape in 0.1f64..20.0, rate in 1e-3f64..1e3) {
+        // Covers both the Marsaglia–Tsang (shape ≥ 1) and boost (< 1) paths.
+        let d = Gamma::new(shape, rate).unwrap();
+        assert_fill_matches_scalar(seed, n, |r| d.sample_with(r), |r, out| d.fill(r, out));
+    }
+
+    #[test]
+    fn geometric_fill(seed in 0u64..1_000_000, n in 0usize..600, q in 0.0f64..0.99) {
+        let d = GeometricBatch::new(q).unwrap();
+        assert_fill_u64_matches_scalar(seed, n, |r| d.sample_with(r), |r, out| d.fill_u64(r, out));
+    }
+
+    #[test]
+    fn geometric_fill_q_zero_consumes_no_draws(seed in 0u64..1_000_000, n in 0usize..600) {
+        // The n = 1 fast path: no RNG state may be touched at all.
+        let d = GeometricBatch::new(0.0).unwrap();
+        assert_fill_u64_matches_scalar(seed, n, |r| d.sample_with(r), |r, out| d.fill_u64(r, out));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let before = rng.clone().next_u64();
+        let mut out = vec![0u64; n];
+        d.fill_u64(&mut rng, &mut out);
+        assert!(out.iter().all(|&x| x == 1));
+        assert_eq!(rng.next_u64(), before);
+    }
+
+    #[test]
+    fn zipf_fill(seed in 0u64..1_000_000, n in 0usize..300, ranks in 1u64..100_000, s in 0.0f64..1.5) {
+        let d = Zipf::new(ranks, s).unwrap();
+        assert_fill_u64_matches_scalar(seed, n, |r| d.sample_with(r), |r, out| d.fill_u64(r, out));
+    }
+
+    #[test]
+    fn gap_law_fill_every_variant(seed in 0u64..1_000_000, n in 0usize..400) {
+        let laws = [
+            GapLaw::from(Exponential::new(1_000.0).unwrap()),
+            GapLaw::from(GeneralizedPareto::facebook(0.15, 56_250.0).unwrap()),
+            GapLaw::from(Deterministic::new(1e-3).unwrap()),
+            GapLaw::from(Gamma::erlang(4, 1e-3).unwrap()),
+            GapLaw::from(Uniform::with_mean(1e-3).unwrap()),
+            GapLaw::from(Hyperexponential::with_mean_scv(1e-3, 4.0).unwrap()),
+        ];
+        for law in &laws {
+            assert_fill_matches_scalar(seed, n, |r| law.sample_with(r), |r, out| law.fill(r, out));
+        }
+    }
+}

@@ -202,8 +202,30 @@ where
     parallel_sweep_with(inputs, || (), |(), input| f(input))
 }
 
+/// Worker count for figure sweeps: `MEMLAT_SWEEP_THREADS` when set to a
+/// positive integer, otherwise the available core count.
+///
+/// Every sweep point is an independent deterministic simulation with a
+/// fixed seed and the outputs are written back by input position, so the
+/// thread count changes wall-clock only — regenerated CSVs are
+/// byte-identical at any setting (the CI figure smoke diffs 1 vs 2).
+#[must_use]
+pub fn sweep_threads() -> usize {
+    if let Ok(v) = std::env::var("MEMLAT_SWEEP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Runs sweep points on a bounded worker pool (one worker per available
-/// core, at most one per input), preserving input order.
+/// core — or [`sweep_threads`]'s override — at most one per input),
+/// preserving input order.
 ///
 /// Each worker builds its own state once via `make_state` and threads it
 /// through every point it handles — simulation sweeps pass
@@ -219,10 +241,7 @@ where
     M: Fn() -> S + Sync,
     F: Fn(&mut S, I) -> O + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .clamp(1, inputs.len().max(1));
+    let threads = sweep_threads().clamp(1, inputs.len().max(1));
     let mut outputs: Vec<Option<O>> = Vec::new();
     outputs.resize_with(inputs.len(), || None);
     if threads <= 1 {
@@ -304,5 +323,21 @@ mod tests {
             assert_eq!(v, idx as i32 * 2);
             assert!(calls >= 1);
         }
+    }
+
+    #[test]
+    fn sweep_threads_env_override() {
+        // Tests run in one process; only exercise the override when the
+        // ambient environment leaves the variable free to mutate.
+        if std::env::var_os("MEMLAT_SWEEP_THREADS").is_some() {
+            return;
+        }
+        assert!(sweep_threads() >= 1);
+        std::env::set_var("MEMLAT_SWEEP_THREADS", "3");
+        assert_eq!(sweep_threads(), 3);
+        // Zero and garbage fall back to auto-detection.
+        std::env::set_var("MEMLAT_SWEEP_THREADS", "0");
+        assert!(sweep_threads() >= 1);
+        std::env::remove_var("MEMLAT_SWEEP_THREADS");
     }
 }

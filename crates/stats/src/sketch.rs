@@ -174,6 +174,17 @@ impl QuantileSketch {
         }
     }
 
+    /// Inserts a block of samples — bit-identical to pushing each element
+    /// in order. The per-sample work (one `ln`, one array increment) stays
+    /// scalar, but block callers skip the per-sample call overhead of the
+    /// streaming sink path.
+    #[inline]
+    pub fn push_slice(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
     /// The counter for log-bin `idx`, growing the dense array when the
     /// bin lies outside the current `[base, base + len)` window.
     #[inline]
@@ -259,11 +270,16 @@ impl QuantileSketch {
     /// Log-bin index for a value `≥ MIN_POSITIVE`: the smallest `i` with
     /// `γ^i ≥ x`.
     fn bin_index(&self, x: f64) -> i32 {
-        let raw = (x.ln() / self.ln_gamma).ceil();
-        // For latencies in (1e-12, 1e12) and alpha ≥ 1e-3 this is a few
-        // tens of thousands at most; the clamp only guards pathological
-        // alpha-near-1 configurations.
-        raw.clamp(f64::from(i32::MIN), f64::from(i32::MAX)) as i32
+        let raw = x.ln() / self.ln_gamma;
+        // Integer ceil: on the baseline x86-64 target `f64::ceil` is a
+        // libm call, and this runs once per pushed sample. `as i64`
+        // truncates toward zero (saturating), so rounding up exactly when
+        // the truncation landed below `raw` reproduces `raw.ceil()` —
+        // including at ±inf and the saturation edges — before the clamp
+        // that guards pathological alpha-near-1 configurations.
+        let t = raw as i64;
+        let t = t.saturating_add(i64::from(raw > t as f64));
+        t.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32
     }
 
     /// Midpoint representative of bin `(γ^(i−1), γ^i]`; within `alpha`
@@ -312,6 +328,29 @@ impl Extend<f64> for QuantileSketch {
 mod tests {
     use super::*;
     use crate::Ecdf;
+
+    #[test]
+    fn integer_ceil_matches_float_ceil() {
+        // The cast-based ceil in `bin_index` must agree with the libm
+        // formula for every reachable input, including the edges.
+        let s = QuantileSketch::new();
+        let float_version = |x: f64| -> i32 {
+            let raw = (x.ln() / s.ln_gamma).ceil();
+            raw.clamp(f64::from(i32::MIN), f64::from(i32::MAX)) as i32
+        };
+        let mut probes: Vec<f64> = vec![MIN_POSITIVE, 1.0, f64::MAX, f64::INFINITY];
+        for e in -40..40 {
+            let b = 10.0f64.powi(e);
+            probes.extend([b, b * (1.0 + 1e-15), b * std::f64::consts::E]);
+        }
+        // Values sitting exactly on bin boundaries (integer raw).
+        for i in [-5000i32, -1, 0, 1, 5000] {
+            probes.push((f64::from(i) * s.ln_gamma).exp());
+        }
+        for x in probes {
+            assert_eq!(s.bin_index(x), float_version(x), "x={x:e}");
+        }
+    }
 
     #[test]
     fn quantiles_within_alpha_of_exact() {

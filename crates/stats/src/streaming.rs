@@ -48,6 +48,16 @@ impl StreamingStats {
         self.max = self.max.max(x);
     }
 
+    /// Adds a block of samples — bit-identical to pushing each element in
+    /// order (Welford's recurrence is inherently sequential, so the win is
+    /// one call and one bounds check per block instead of per sample).
+    #[inline]
+    pub fn push_slice(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
     /// Number of samples seen.
     #[must_use]
     pub fn count(&self) -> u64 {

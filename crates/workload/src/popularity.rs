@@ -5,6 +5,67 @@ use rand::RngCore;
 
 use crate::KeyId;
 
+/// Key spaces up to this size get a precomputed alias table (one
+/// uniform, two array reads per draw); larger ones sample by
+/// rejection-inversion (`O(1)` per draw too, but several transcendental
+/// calls and an expected >1 uniforms each). The cutoff bounds the build
+/// cost and footprint at ~16 MB of table.
+const ALIAS_MAX_KEYS: u64 = 1 << 20;
+
+/// Walker/Vose alias table: draw cell `i` uniformly, then return `i`
+/// itself with probability `prob[i]` and its alias otherwise.
+#[derive(Debug, Clone)]
+struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from the Zipf pmf in `O(n)` (Vose's method).
+    fn build(zipf: &Zipf) -> Self {
+        let n = usize::try_from(zipf.n()).expect("alias key space fits usize");
+        let mut scaled: Vec<f64> = (1..=zipf.n()).map(|k| zipf.pmf(k) * n as f64).collect();
+        let mut prob = vec![1.0f64; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s] = scaled[s];
+            alias[s] = l as u32;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Whichever worklist drains last holds cells within rounding of
+        // exactly 1; they keep prob = 1 and alias = self.
+        Self { prob, alias }
+    }
+
+    /// Draws a 0-based key id from one uniform.
+    #[inline]
+    fn sample(&self, rng: &mut dyn RngCore) -> KeyId {
+        let n = self.prob.len();
+        let x = memlat_dist::open_unit(rng) * n as f64;
+        let i = (x as usize).min(n - 1);
+        let v = x - i as f64;
+        if v < self.prob[i] {
+            i as KeyId
+        } else {
+            KeyId::from(self.alias[i])
+        }
+    }
+}
+
 /// A Zipf-popular key population: rank 1 is the hottest key.
 ///
 /// The paper's §2.1 observation — "a small percentage of values are
@@ -12,6 +73,13 @@ use crate::KeyId;
 /// only a handful of times" — is what this type generates. Feeding it
 /// through a [`crate::Placement`] yields an emergent unbalanced `{p_j}`,
 /// the simulator's alternative to imposing shares directly.
+///
+/// Key spaces up to 2²⁰ keys sample through a precomputed Walker alias
+/// table — one uniform and two array reads per draw; larger spaces
+/// (e.g. [`ZipfPopularity::facebook_etc`]) fall back to table-free
+/// rejection-inversion. The two samplers realize the same pmf but
+/// consume the RNG stream differently, so which one is active is a
+/// function of the key space alone, never of the call site.
 ///
 /// # Examples
 ///
@@ -30,6 +98,7 @@ use crate::KeyId;
 #[derive(Debug, Clone)]
 pub struct ZipfPopularity {
     zipf: Zipf,
+    alias: Option<AliasTable>,
 }
 
 impl ZipfPopularity {
@@ -39,9 +108,9 @@ impl ZipfPopularity {
     ///
     /// Returns [`ParamError`] for an empty key space or negative skew.
     pub fn new(keys: u64, skew: f64) -> Result<Self, ParamError> {
-        Ok(Self {
-            zipf: Zipf::new(keys, skew)?,
-        })
+        let zipf = Zipf::new(keys, skew)?;
+        let alias = (keys <= ALIAS_MAX_KEYS).then(|| AliasTable::build(&zipf));
+        Ok(Self { zipf, alias })
     }
 
     /// Facebook-like preset: the ETC pool's popularity is roughly Zipf
@@ -67,12 +136,22 @@ impl ZipfPopularity {
         self.zipf.exponent()
     }
 
+    /// Whether draws go through the `O(1)`-uniform alias table (small
+    /// key spaces) or rejection-inversion (large ones).
+    #[must_use]
+    pub fn uses_alias_table(&self) -> bool {
+        self.alias.is_some()
+    }
+
     /// Samples a key; hot keys (low ids) are sampled more often.
     ///
     /// Returned ids are 0-based (`rank − 1`).
     #[must_use]
     pub fn sample_key(&self, rng: &mut dyn RngCore) -> KeyId {
-        self.zipf.sample(rng) - 1
+        match &self.alias {
+            Some(table) => table.sample(rng),
+            None => self.zipf.sample(rng) - 1,
+        }
     }
 
     /// Probability that a single access hits the given key id.
@@ -126,6 +205,59 @@ mod tests {
         let pop = ZipfPopularity::facebook_etc().unwrap();
         assert!(pop.keys() >= 10_000_000);
         assert!(pop.skew() > 1.0);
+        // Too large for a table: stays on rejection-inversion.
+        assert!(!pop.uses_alias_table());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        assert!(pop.sample_key(&mut rng) < pop.keys());
+    }
+
+    #[test]
+    fn alias_table_reconstructs_the_pmf_exactly() {
+        // The table is a redistribution of the pmf: summing each cell's
+        // kept and aliased mass must give the pmf back to rounding.
+        let pop = ZipfPopularity::new(10_000, 1.01).unwrap();
+        assert!(pop.uses_alias_table());
+        let table = pop.alias.as_ref().unwrap();
+        let n = table.prob.len();
+        let mut implied = vec![0.0f64; n];
+        for i in 0..n {
+            implied[i] += table.prob[i] / n as f64;
+            implied[table.alias[i] as usize] += (1.0 - table.prob[i]) / n as f64;
+        }
+        for (i, &m) in implied.iter().enumerate() {
+            let exact = pop.access_probability(i as u64);
+            assert!(
+                (m - exact).abs() <= 1e-12 + 1e-9 * exact,
+                "key {i}: implied {m} vs pmf {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_sampler_matches_rejection_sampler_statistically() {
+        // Same pmf, different draw mechanics: empirical head masses from
+        // the alias path must agree with the rejection-inversion path.
+        let pop = ZipfPopularity::new(5_000, 1.01).unwrap();
+        assert!(pop.uses_alias_table());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let n = 100_000;
+        let mut head_alias = 0u32;
+        for _ in 0..n {
+            if pop.sample_key(&mut rng) < 50 {
+                head_alias += 1;
+            }
+        }
+        let mut head_rej = 0u32;
+        for _ in 0..n {
+            if pop.zipf.sample_with(&mut rng) - 1 < 50 {
+                head_rej += 1;
+            }
+        }
+        let fa = f64::from(head_alias) / f64::from(n);
+        let fr = f64::from(head_rej) / f64::from(n);
+        let expect = pop.head_mass(50);
+        assert!((fa - expect).abs() < 0.01, "alias {fa} vs {expect}");
+        assert!((fa - fr).abs() < 0.015, "alias {fa} vs rejection {fr}");
     }
 
     #[test]

@@ -105,3 +105,48 @@ proptest! {
         prop_assert_eq!(manual, reported);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The alias-table sampler realizes the same pmf as the
+    /// rejection-inversion sampler it replaces on small key spaces:
+    /// empirical masses of the head and the lower half both sit within
+    /// binomial noise of the exact Zipf values.
+    #[test]
+    fn alias_sampler_empirical_pmf_matches_exact(
+        keys in 2u64..2_000,
+        skew in 0.0f64..1.4,
+        seed in 0u64..100_000,
+    ) {
+        let pop = ZipfPopularity::new(keys, skew).unwrap();
+        prop_assert!(pop.uses_alias_table());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let draws = 20_000u32;
+        let head_cut = (keys / 4).max(1);
+        let half_cut = (keys / 2).max(1);
+        let (mut head, mut half) = (0u32, 0u32);
+        for _ in 0..draws {
+            let k = pop.sample_key(&mut rng);
+            prop_assert!(k < keys);
+            if k < head_cut {
+                head += 1;
+            }
+            if k < half_cut {
+                half += 1;
+            }
+        }
+        // 5σ binomial slack at p = 1/2, n = 20 000 is ~0.018.
+        let tol = 0.02;
+        let head_frac = f64::from(head) / f64::from(draws);
+        let half_frac = f64::from(half) / f64::from(draws);
+        prop_assert!(
+            (head_frac - pop.head_mass(head_cut)).abs() < tol,
+            "head {} vs {}", head_frac, pop.head_mass(head_cut)
+        );
+        prop_assert!(
+            (half_frac - pop.head_mass(half_cut)).abs() < tol,
+            "half {} vs {}", half_frac, pop.head_mass(half_cut)
+        );
+    }
+}
