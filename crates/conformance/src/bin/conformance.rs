@@ -1,0 +1,63 @@
+//! Conformance harness driver: runs the full grid plus the sampler
+//! goodness-of-fit suite and writes a deterministic
+//! `results/conformance.json`.
+//!
+//! Honours `MEMLAT_QUICK` (fast profile) and `MEMLAT_RESULTS_DIR`
+//! like the experiment binaries. Exits with status 2 when any bound
+//! or tolerance is violated, so CI fails loudly.
+
+use memlat_conformance::{run, Profile};
+
+fn main() {
+    let profile = Profile::from_env();
+    eprintln!(
+        "conformance: {} profile, {} replications per point",
+        if profile.quick { "quick" } else { "full" },
+        profile.replications
+    );
+
+    let report = match run(&profile) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("conformance: simulation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let dir = memlat_experiments::results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("conformance: cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join("conformance.json");
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("conformance: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+
+    for p in &report.points {
+        let verdict = if p.pass() { "ok" } else { "FAIL" };
+        eprintln!(
+            "  point {:<12} n={:<4} rho={:.4} delta={:.4}  {}",
+            p.id, p.n, p.utilization, p.delta, verdict
+        );
+    }
+    for s in &report.samplers {
+        let verdict = if s.pass { "ok" } else { "FAIL" };
+        eprintln!(
+            "  gof {:<20} {:<12} p={:.5}  {}",
+            s.family, s.test, s.p_value, verdict
+        );
+    }
+    eprintln!("conformance: wrote {}", path.display());
+
+    if report.pass() {
+        eprintln!("conformance: PASS");
+    } else {
+        eprintln!("conformance: FAIL");
+        for v in report.violations() {
+            eprintln!("  violation: {v}");
+        }
+        std::process::exit(2);
+    }
+}

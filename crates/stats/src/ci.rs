@@ -56,10 +56,54 @@ impl ConfidenceInterval {
         }
     }
 
+    /// Builds a Student-t CI for the mean of the accumulated samples:
+    /// `mean ± t_{n−1} · s/√n`.
+    ///
+    /// This is the right interval when `n` is the handful of independent
+    /// *replications* the conformance harness runs (t_{2} at 95% is 4.30
+    /// vs the normal 1.96 — the normal interval would claim far more
+    /// precision than three replications deliver). For `n < 2` the
+    /// interval degenerates to the point estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `level ∈ (0, 1)`.
+    #[must_use]
+    pub fn for_mean_t(stats: &StreamingStats, level: f64) -> Self {
+        assert!(
+            level > 0.0 && level < 1.0,
+            "level must be in (0,1), got {level}"
+        );
+        let mean = stats.mean();
+        let half = if stats.count() < 2 {
+            0.0
+        } else {
+            t_value(level, stats.count() - 1) * stats.std_error()
+        };
+        Self {
+            mean,
+            lower: mean - half,
+            upper: mean + half,
+            level,
+        }
+    }
+
     /// Half-width of the interval.
     #[must_use]
     pub fn half_width(&self) -> f64 {
         0.5 * (self.upper - self.lower)
+    }
+
+    /// Half-width relative to the point estimate's magnitude
+    /// (0 when the mean is 0) — the mechanical tolerance-widening term
+    /// the conformance harness adds to its declared relative tolerances.
+    #[must_use]
+    pub fn relative_half_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.half_width() / self.mean.abs()
+        }
     }
 
     /// Whether `x` lies inside the interval.
@@ -105,6 +149,59 @@ pub fn z_value(level: f64) -> f64 {
         "level must be in (0,1), got {level}"
     );
     normal_quantile(0.5 + level / 2.0)
+}
+
+/// Two-sided Student-t critical value with `df` degrees of freedom:
+/// the `t` with `P{|T_df| ≤ t} = level`.
+///
+/// Computed by bisecting the exact t CDF
+/// `F(t) = 1 − ½·I_{df/(df+t²)}(df/2, ½)` (regularized incomplete
+/// beta), so it is accurate at the tiny `df` replication counts
+/// produce — where the normal approximation is badly overconfident.
+/// Converges to [`z_value`] as `df → ∞`.
+///
+/// # Panics
+///
+/// Panics unless `level ∈ (0, 1)` and `df ≥ 1`.
+///
+/// # Examples
+///
+/// ```
+/// let t = memlat_stats::ci::t_value(0.95, 2);
+/// assert!((t - 4.302_653).abs() < 1e-4);
+/// ```
+#[must_use]
+pub fn t_value(level: f64, df: u64) -> f64 {
+    assert!(
+        level > 0.0 && level < 1.0,
+        "level must be in (0,1), got {level}"
+    );
+    assert!(df >= 1, "t_value requires df >= 1");
+    let nu = df as f64;
+    // P{|T| ≤ t} = 1 − I_{ν/(ν+t²)}(ν/2, 1/2).
+    let two_sided =
+        |t: f64| 1.0 - memlat_numerics::special::beta_inc(nu / 2.0, 0.5, nu / (nu + t * t));
+    // Bracket: the t quantile is at least the normal one; double until
+    // the CDF crosses the level (df=1 at 99.9% is ~636, so start wide).
+    let mut lo = 0.0;
+    let mut hi = z_value(level).max(1.0);
+    while two_sided(hi) < level {
+        lo = hi;
+        hi *= 2.0;
+        assert!(hi.is_finite(), "t_value bracket diverged");
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if two_sided(mid) < level {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo <= 1e-12 * hi.max(1.0) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
 }
 
 /// Acklam's inverse normal CDF approximation.
@@ -175,6 +272,38 @@ mod tests {
             );
         }
         assert!(normal_quantile(0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_reference_values() {
+        // Classic t-table entries (two-sided).
+        assert!((t_value(0.95, 1) - 12.7062).abs() < 1e-3);
+        assert!((t_value(0.95, 2) - 4.30265).abs() < 1e-4);
+        assert!((t_value(0.95, 4) - 2.77645).abs() < 1e-4);
+        assert!((t_value(0.95, 9) - 2.26216).abs() < 1e-4);
+        assert!((t_value(0.99, 4) - 4.60409).abs() < 1e-4);
+        assert!((t_value(0.90, 7) - 1.89458).abs() < 1e-4);
+    }
+
+    #[test]
+    fn t_converges_to_normal() {
+        for level in [0.90, 0.95, 0.99] {
+            let t = t_value(level, 1_000_000);
+            assert!((t - z_value(level)).abs() < 1e-3, "level={level}");
+        }
+    }
+
+    #[test]
+    fn t_interval_wider_than_normal_at_small_n() {
+        let s: StreamingStats = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        let z = ConfidenceInterval::for_mean(&s, 0.95);
+        let t = ConfidenceInterval::for_mean_t(&s, 0.95);
+        assert_eq!(z.mean, t.mean);
+        assert!(t.half_width() > 1.5 * z.half_width());
+        assert!(t.relative_half_width() > 0.0);
+        // Degenerate single sample.
+        let one: StreamingStats = [5.0].into_iter().collect();
+        assert_eq!(ConfidenceInterval::for_mean_t(&one, 0.95).half_width(), 0.0);
     }
 
     #[test]

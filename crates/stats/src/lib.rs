@@ -6,14 +6,17 @@
 //! * [`streaming`] — Welford mean/variance accumulators (one pass, stable).
 //! * [`ecdf`] — empirical CDFs with exact quantiles and
 //!   Kolmogorov–Smirnov distances against model CDFs.
+//! * [`gof`] — goodness-of-fit tests (one/two-sample KS with asymptotic
+//!   p-values, chi-square) backing the conformance harness.
 //! * [`histogram`] — log-bucketed latency histograms for cheap
 //!   high-volume percentile estimation.
 //! * [`p2`] — the P² streaming quantile estimator (constant memory).
 //! * [`sketch`] — mergeable log-binned quantile sketch (bounded relative
 //!   error, exact merge) backing the parallel simulator's streaming
 //!   summaries.
-//! * [`ci`] — normal-approximation confidence intervals (the paper quotes
-//!   95% CIs in Table 3).
+//! * [`ci`] — confidence intervals, normal-approximation for large
+//!   sample counts and Student-t for small replication counts (the
+//!   paper quotes 95% CIs in Table 3).
 //! * [`maxstat`] — max-statistics helpers: `E[max of N] ≈ (N/(N+1))`-th
 //!   quantile, the approximation at the heart of the paper's eq. 12.
 //!
@@ -38,6 +41,7 @@
 
 pub mod ci;
 pub mod ecdf;
+pub mod gof;
 pub mod histogram;
 pub mod maxstat;
 pub mod p2;
@@ -46,6 +50,7 @@ pub mod streaming;
 
 pub use ci::ConfidenceInterval;
 pub use ecdf::Ecdf;
+pub use gof::GofTest;
 pub use histogram::LogHistogram;
 pub use maxstat::max_order_quantile;
 pub use p2::P2Quantile;

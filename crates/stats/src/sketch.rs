@@ -116,7 +116,8 @@ impl QuantileSketch {
         self.alpha
     }
 
-    /// Number of samples inserted (NaNs are dropped and not counted).
+    /// Number of samples inserted (non-finite samples are dropped and
+    /// not counted).
     #[must_use]
     pub fn count(&self) -> u64 {
         self.count
@@ -156,11 +157,18 @@ impl QuantileSketch {
         self.bins.iter().filter(|&&c| c != 0).count() + usize::from(self.underflow > 0)
     }
 
-    /// Inserts one sample. NaNs are ignored, mirroring
-    /// [`crate::Ecdf::from_samples`].
+    /// Inserts one sample.
+    ///
+    /// Non-finite inputs (NaN and ±∞) are dropped and not counted —
+    /// NaNs mirror [`crate::Ecdf::from_samples`], and an infinity has
+    /// no log-bin (before this was explicit, `push(f64::INFINITY)`
+    /// saturated [`Self::bin_index`] to `i32::MAX` and the dense bin
+    /// array tried to grow to 2³¹ counters). Finite values below
+    /// [`MIN_POSITIVE`] — zeros, subnormals, and negatives — collapse
+    /// into the underflow bin with the exact minimum preserved.
     #[inline]
     pub fn push(&mut self, x: f64) {
-        if x.is_nan() {
+        if !x.is_finite() {
             return;
         }
         self.count += 1;
@@ -269,14 +277,23 @@ impl QuantileSketch {
 
     /// Log-bin index for a value `≥ MIN_POSITIVE`: the smallest `i` with
     /// `γ^i ≥ x`.
+    ///
+    /// Callers must route non-finite and below-`MIN_POSITIVE` values to
+    /// the underflow/drop paths first ([`Self::push`] does): an index
+    /// computed from those would either saturate or land below the
+    /// first representable bin.
     fn bin_index(&self, x: f64) -> i32 {
+        debug_assert!(
+            x.is_finite() && x >= MIN_POSITIVE,
+            "bin_index expects a finite value >= MIN_POSITIVE, got {x}"
+        );
         let raw = x.ln() / self.ln_gamma;
         // Integer ceil: on the baseline x86-64 target `f64::ceil` is a
         // libm call, and this runs once per pushed sample. `as i64`
         // truncates toward zero (saturating), so rounding up exactly when
         // the truncation landed below `raw` reproduces `raw.ceil()` —
-        // including at ±inf and the saturation edges — before the clamp
-        // that guards pathological alpha-near-1 configurations.
+        // including at the saturation edges — before the clamp that
+        // guards pathological alpha-near-1 configurations.
         let t = raw as i64;
         let t = t.saturating_add(i64::from(raw > t as f64));
         t.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32
@@ -338,14 +355,20 @@ mod tests {
             let raw = (x.ln() / s.ln_gamma).ceil();
             raw.clamp(f64::from(i32::MIN), f64::from(i32::MAX)) as i32
         };
-        let mut probes: Vec<f64> = vec![MIN_POSITIVE, 1.0, f64::MAX, f64::INFINITY];
-        for e in -40..40 {
+        // Only the domain `push` routes here: finite and ≥ MIN_POSITIVE
+        // (non-finite and underflow values never reach bin_index).
+        let mut probes: Vec<f64> = vec![MIN_POSITIVE, 1.0, f64::MAX];
+        for e in -11..40 {
             let b = 10.0f64.powi(e);
             probes.extend([b, b * (1.0 + 1e-15), b * std::f64::consts::E]);
         }
-        // Values sitting exactly on bin boundaries (integer raw).
-        for i in [-5000i32, -1, 0, 1, 5000] {
-            probes.push((f64::from(i) * s.ln_gamma).exp());
+        // Values sitting exactly on bin boundaries (integer raw),
+        // staying above the MIN_POSITIVE underflow threshold.
+        for i in [-1300i32, -1, 0, 1, 5000] {
+            let v = (f64::from(i) * s.ln_gamma).exp();
+            if v >= MIN_POSITIVE {
+                probes.push(v);
+            }
         }
         for x in probes {
             assert_eq!(s.bin_index(x), float_version(x), "x={x:e}");
@@ -426,6 +449,72 @@ mod tests {
         s.push(1.0);
         assert_eq!(s.count(), 1);
         assert_eq!(s.quantile(0.5), 1.0);
+    }
+
+    #[test]
+    fn infinities_dropped() {
+        // Regression: +∞ used to saturate bin_index to i32::MAX and ask
+        // the dense bin array for 2³¹ counters; −∞ poisoned `min`.
+        let mut s = QuantileSketch::new();
+        s.push(f64::INFINITY);
+        s.push(f64::NEG_INFINITY);
+        assert_eq!(s.count(), 0);
+        assert!(s.is_empty());
+        s.push(2.0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 2.0);
+        assert_eq!(s.bin_count(), 1);
+    }
+
+    #[test]
+    fn below_first_bin_goes_to_underflow() {
+        // Negatives, zeros, and sub-MIN_POSITIVE positives all share the
+        // underflow bin; min stays exact so low quantiles are honest.
+        let mut s = QuantileSketch::new();
+        s.push(-3.0);
+        s.push(0.0);
+        s.push(1e-15); // positive but below MIN_POSITIVE
+        s.push(5.0);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.min(), -3.0);
+        // Ranks 1..3 are underflow: reported as the exact minimum.
+        assert_eq!(s.quantile(0.25), -3.0);
+        assert_eq!(s.quantile(0.75), -3.0);
+        // Rank 4 is the real sample.
+        let q = s.quantile(1.0);
+        assert!((q - 5.0).abs() <= s.alpha() * 5.0, "q={q}");
+        // Underflow counts as one occupied bin.
+        assert_eq!(s.bin_count(), 2);
+    }
+
+    #[test]
+    fn merged_sketch_keeps_alpha_error_bound() {
+        // The documented contract — |q̂ − q| ≤ α·q — must survive a
+        // merge of sketches built from disjoint shards, mixed with
+        // underflow values and out-of-order inserts.
+        let samples: Vec<f64> = (1..=6000).map(|i| f64::from(i) * 1e-6).collect();
+        let mut shards: Vec<QuantileSketch> = (0..5).map(|_| QuantileSketch::new()).collect();
+        for (i, &x) in samples.iter().enumerate() {
+            shards[i % 5].push(x);
+        }
+        let mut merged = QuantileSketch::new();
+        for sh in &shards {
+            merged.merge(sh);
+        }
+        assert_eq!(merged.count(), samples.len() as u64);
+        let exact = Ecdf::from_samples(&samples);
+        for p in [0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let q = exact.quantile(p);
+            let approx = merged.quantile(p);
+            assert!(
+                (approx - q).abs() <= merged.alpha() * q,
+                "p={p}: approx={approx} exact={q}"
+            );
+        }
+        // Extremes are exact, not binned.
+        assert_eq!(merged.min(), 1e-6);
+        assert_eq!(merged.max(), 6e-3);
     }
 
     #[test]

@@ -265,4 +265,38 @@ mod tests {
         assert!(ZipfPopularity::new(0, 1.0).is_err());
         assert!(ZipfPopularity::new(10, -0.5).is_err());
     }
+
+    #[test]
+    fn alias_sampler_passes_chi_square_across_skews() {
+        // Sharp distributional conformance: the alias path's draws
+        // against the exact normalized PMF, over a small skew grid
+        // spanning sub-Zipf, the paper's 0.99, and super-Zipf.
+        for &skew in &[0.7, 0.99, 1.2] {
+            let keys = 2_000u64;
+            let pop = ZipfPopularity::new(keys, skew).unwrap();
+            assert!(pop.uses_alias_table());
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xa11a5 ^ skew.to_bits());
+            let n = 30_000usize;
+            // Head ranks individually, tail pooled, so every expected
+            // count stays well above the chi-square small-cell floor.
+            let head = 30usize;
+            let mut observed = vec![0u64; head + 1];
+            for _ in 0..n {
+                let k = pop.sample_key(&mut rng) as usize;
+                observed[k.min(head)] += 1;
+            }
+            let mut expected: Vec<f64> = (0..head as u64)
+                .map(|k| n as f64 * pop.access_probability(k))
+                .collect();
+            let tail: f64 = (head as u64..keys).map(|k| pop.access_probability(k)).sum();
+            expected.push(n as f64 * tail);
+            let test = memlat_stats::gof::chi_square(&observed, &expected, 0);
+            assert!(
+                test.passes(0.01),
+                "skew {skew}: χ² = {:.2}, p = {:.5}",
+                test.statistic,
+                test.p_value
+            );
+        }
+    }
 }

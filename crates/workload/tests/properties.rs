@@ -149,4 +149,44 @@ proptest! {
             "half {} vs {}", half_frac, pop.head_mass(half_cut)
         );
     }
+
+    /// The alias table and a direct inverse-CDF sampler draw from the
+    /// same law: a chi-square homogeneity test over head ranks plus a
+    /// pooled tail cannot tell their samples apart. The significance
+    /// level is extreme (1e-6) because proptest explores random
+    /// parameters each run — a sound sampler must never trip it, while
+    /// a wrong alias construction fails it by orders of magnitude.
+    #[test]
+    fn alias_and_inverse_cdf_samplers_agree(
+        keys in 50u64..1_500,
+        skew in 0.0f64..1.4,
+        seed in 0u64..100_000,
+    ) {
+        let pop = ZipfPopularity::new(keys, skew).unwrap();
+        prop_assert!(pop.uses_alias_table());
+        // Cumulative PMF for the inverse-CDF draw: cum[k] = P(X ≤ k).
+        let mut cum = Vec::with_capacity(keys as usize);
+        let mut acc = 0.0;
+        for k in 0..keys {
+            acc += pop.access_probability(k);
+            cum.push(acc);
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x1ce_cdf);
+        let draws = 4_000usize;
+        let head = (keys as usize / 4).clamp(1, 25);
+        let mut via_alias = vec![0u64; head + 1];
+        let mut via_inverse = vec![0u64; head + 1];
+        for _ in 0..draws {
+            let a = pop.sample_key(&mut rng) as usize;
+            via_alias[a.min(head)] += 1;
+            let u = memlat_dist::open_unit(&mut rng);
+            let i = cum.partition_point(|&c| c < u).min(keys as usize - 1);
+            via_inverse[i.min(head)] += 1;
+        }
+        let test = memlat_stats::gof::chi_square_homogeneity(&via_alias, &via_inverse);
+        prop_assert!(
+            test.passes(1e-6),
+            "χ² = {:.2}, p = {:.2e} over {} bins", test.statistic, test.p_value, head + 1
+        );
+    }
 }

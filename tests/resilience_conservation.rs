@@ -1,0 +1,140 @@
+//! Conservation laws of the fault/resilience accounting, checked at the
+//! whole-cluster level under a seeded [`FaultPlan`], at 1 and 4 worker
+//! threads.
+//!
+//! The per-server unit tests in `crates/cluster/src/server.rs` verify
+//! the same identities on a single station; this suite proves they
+//! survive aggregation across servers, the parallel scheduler, and the
+//! retry drain at the horizon.
+
+use memlat::cluster::{ClientPolicy, ClusterSim, FaultPlan, RetryPolicy, SimConfig, SimOutput};
+use memlat::model::ModelParams;
+
+/// Crash and slowdown windows used throughout (seconds, absolute sim
+/// time; the horizon is `warmup + duration`).
+const CRASH: (usize, f64, f64) = (0, 0.30, 0.45);
+const SLOW: (usize, f64, f64, f64) = (1, 0.20, 0.50, 6.0);
+const WARMUP: f64 = 0.1;
+const DURATION: f64 = 0.6;
+
+fn faulty_config(threads: usize) -> SimConfig {
+    let params = ModelParams::builder().build().unwrap();
+    let plan = FaultPlan::none()
+        .crash(CRASH.0, CRASH.1, CRASH.2)
+        .slowdown(SLOW.0, SLOW.1, SLOW.2, SLOW.3);
+    let client = ClientPolicy::none().timeout(2e-3).retry(RetryPolicy {
+        max_retries: 2,
+        base_backoff: 500e-6,
+        multiplier: 2.0,
+        jitter: 0.5,
+    });
+    SimConfig::new(params)
+        .duration(DURATION)
+        .warmup(WARMUP)
+        .seed(0xfau64 * 0x1_0001)
+        .threads(threads)
+        .fault_plan(plan)
+        .client(client)
+}
+
+fn assert_conservation(out: &SimOutput) {
+    let horizon = WARMUP + DURATION;
+
+    // Every failed measured attempt (timeout or refusal) is accounted
+    // for exactly once: it either earned a retry or exhausted the
+    // budget and became a forced miss. Checked per server, so a
+    // cross-server bookkeeping leak cannot cancel out in the totals.
+    for (j, summary) in out.summaries().iter().enumerate() {
+        let r = &summary.resilience;
+        assert_eq!(
+            r.timeouts + r.refused,
+            r.retries + r.forced_misses,
+            "server {j}: failures ≠ retries + forced misses: {r:?}"
+        );
+    }
+    let total = out.resilience();
+    assert_eq!(
+        total.timeouts + total.refused,
+        total.retries + total.forced_misses
+    );
+
+    // Equivalent formulation over attempts: measured keys each issue
+    // one initial attempt; attempts = keys + retries; every attempt
+    // either fails or completes its key; keys complete normally unless
+    // forced. So completions + failures == attempts.
+    let keys = out.total_keys();
+    let attempts = keys + total.retries;
+    let completions = keys - total.forced_misses;
+    let failures = total.timeouts + total.refused;
+    assert_eq!(completions + failures, attempts);
+
+    // The fault actually bit: the crash window refused traffic and the
+    // retry budget was exhausted at least once.
+    assert!(total.refused > 0, "crash window refused nothing");
+    assert!(total.retries > 0, "no retries under a 150 ms crash");
+    assert!(total.forced_misses > 0, "no graceful degradation observed");
+    assert!(out.forced_miss_ratio() > 0.0);
+    // No hedging configured — the hedge counters must stay silent.
+    assert_eq!(total.hedges_sent, 0);
+    assert_eq!(total.hedges_won, 0);
+
+    // Scheduled downtime/degraded seconds equal the plan's windows
+    // clipped to the horizon, and only on the server each was
+    // scheduled for.
+    let crash_len = (CRASH.2.min(horizon) - CRASH.1.min(horizon)).max(0.0);
+    let slow_len = (SLOW.2.min(horizon) - SLOW.1.min(horizon)).max(0.0);
+    for (j, summary) in out.summaries().iter().enumerate() {
+        let r = &summary.resilience;
+        let want_down = if j == CRASH.0 { crash_len } else { 0.0 };
+        let want_slow = if j == SLOW.0 { slow_len } else { 0.0 };
+        assert!(
+            (r.downtime - want_down).abs() < 1e-12,
+            "server {j}: downtime {} ≠ scheduled {want_down}",
+            r.downtime
+        );
+        assert!(
+            (r.degraded_time - want_slow).abs() < 1e-12,
+            "server {j}: degraded_time {} ≠ scheduled {want_slow}",
+            r.degraded_time
+        );
+    }
+    assert!((total.downtime - crash_len).abs() < 1e-12);
+    assert!((total.degraded_time - slow_len).abs() < 1e-12);
+
+    // Key-level conservation: per-server keys sum to the total, and
+    // misses never exceed keys.
+    let jobs: u64 = out.summaries().iter().map(|s| s.counters.jobs).sum();
+    assert_eq!(jobs, keys);
+    for summary in out.summaries() {
+        assert!(summary.counters.misses <= summary.counters.jobs);
+    }
+}
+
+#[test]
+fn conservation_holds_on_one_thread() {
+    let out = ClusterSim::run(&faulty_config(1)).unwrap();
+    assert_conservation(&out);
+}
+
+#[test]
+fn conservation_holds_on_four_threads_and_matches_one() {
+    let a = ClusterSim::run(&faulty_config(1)).unwrap();
+    let b = ClusterSim::run(&faulty_config(4)).unwrap();
+    assert_conservation(&b);
+
+    // The parallel scheduler must not perturb any of the accounting:
+    // counters, resilience totals, and the per-key record streams are
+    // bit-identical at any worker count.
+    assert_eq!(a.total_keys(), b.total_keys());
+    assert_eq!(a.resilience(), b.resilience());
+    for (sa, sb) in a.summaries().iter().zip(b.summaries()) {
+        assert_eq!(sa.counters.jobs, sb.counters.jobs);
+        assert_eq!(sa.counters.misses, sb.counters.misses);
+        assert_eq!(sa.resilience, sb.resilience);
+        assert!((sa.counters.busy_time - sb.counters.busy_time).abs() == 0.0);
+    }
+    for j in 0..a.summaries().len() {
+        assert_eq!(a.records(j).s(), b.records(j).s());
+        assert_eq!(a.records(j).d(), b.records(j).d());
+    }
+}

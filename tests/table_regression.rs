@@ -40,8 +40,40 @@ fn col(headers: &[String], rows: &[Vec<f64>], name: &str) -> Vec<f64> {
     rows.iter().map(|r| r[idx]).collect()
 }
 
+/// `MEMLAT_REGOLD=1 cargo test golden_table3` regenerates the golden
+/// artifact in place (full profile only) and then immediately
+/// re-validates it with the same assertions every other run applies.
+///
+/// Refuses to run under `MEMLAT_QUICK=1`: a quick-profile artifact is
+/// exactly the stale-golden mistake the drift audit in EXPERIMENTS.md
+/// closed (0.2 measured seconds under-sample long busy periods and
+/// bias `T_S` low by ~25 µs).
+fn maybe_regenerate_table3() {
+    if std::env::var("MEMLAT_REGOLD").map(|v| v == "1") != Ok(true) {
+        return;
+    }
+    assert!(
+        !memlat_experiments::quick_mode(),
+        "refusing to regenerate results/table3.csv under MEMLAT_QUICK=1: \
+         golden artifacts must be full-profile (see the drift caveat in \
+         EXPERIMENTS.md)"
+    );
+    // Write from the test's own manifest dir: the runtime
+    // CARGO_MANIFEST_DIR seen by `results_dir()` points at whichever
+    // package's target is running, which for this test is the
+    // workspace root's facade package, not crates/experiments.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join("table3.csv");
+    let table = memlat_experiments::experiments::table3();
+    std::fs::write(&path, table.to_csv())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    eprintln!("regenerated golden artifact {}", path.display());
+}
+
 #[test]
 fn golden_table3_csv_matches_live_model() {
+    maybe_regenerate_table3();
     // The committed Table 3 artifact must agree with what the current
     // code computes: any drift in the model (or in the healthy
     // simulation path it summarizes) shows up as a mismatch here
