@@ -1,6 +1,6 @@
 //! Cost-aware eviction: a Greedy-Dual cache (GD-Wheel-lite).
 //!
-//! The paper's related work (§2.2, [19] GD-Wheel) improves latency not by
+//! The paper's related work (§2.2, \[19\] GD-Wheel) improves latency not by
 //! reducing the *number* of misses but their *cost*: items that are
 //! expensive to refetch from the database are kept preferentially. This
 //! module implements the classic Greedy-Dual policy the wheel

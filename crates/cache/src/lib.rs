@@ -15,7 +15,7 @@
 //! * [`store`] — the [`Store`]: get/set/delete with TTLs, per-class LRU
 //!   eviction and hit/miss statistics.
 //! * [`gdw`] — a Greedy-Dual **cost-aware** cache (GD-Wheel-lite, the
-//!   paper's related work [19]) for eviction-policy ablations.
+//!   paper's related work \[19\]) for eviction-policy ablations.
 //!
 //! # Examples
 //!

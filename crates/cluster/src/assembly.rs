@@ -132,7 +132,7 @@ pub fn assemble_requests(
 /// Assembles requests under **key replication**: each key is dispatched
 /// to `replicas` distinct servers and completes when the *fastest*
 /// replica does (the "low latency via redundancy" design the paper cites
-/// as related work [12]).
+/// as related work \[12\]).
 ///
 /// The caller is responsible for simulating the *replicated* load level
 /// (replication multiplies every server's key rate by `replicas`); this

@@ -14,7 +14,7 @@ use rand::SeedableRng;
 use crate::{parallel_sweep, parallel_sweep_with, quick_mode, sim_duration, ExpResult};
 
 /// Redundancy trade-off ("low latency via redundancy", the paper's
-/// related work [12]): dispatch every key to `R` replicas and keep the
+/// related work \[12\]): dispatch every key to `R` replicas and keep the
 /// fastest — which multiplies every server's load by `R`.
 ///
 /// For each base per-server rate `λ₀`, compares plain operation against
@@ -213,7 +213,7 @@ pub fn ablation_independence() -> ExpResult {
 }
 
 /// Eviction-policy ablation: slab/LRU vs Greedy-Dual cost-aware caching
-/// (the paper's related work [19], GD-Wheel) under heterogeneous
+/// (the paper's related work \[19\], GD-Wheel) under heterogeneous
 /// database refetch costs.
 ///
 /// Workload: Zipf(1.01) keys; 10% of keys ("hot-cost") take 10× the

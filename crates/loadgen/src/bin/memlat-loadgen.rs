@@ -1,0 +1,171 @@
+//! Load-generator CLI.
+//!
+//! ```text
+//! memlat-loadgen [--quick|--full|--smoke] [--spawn-server PATH | --addr ADDR]
+//!                [--out PATH] [--seed U64]
+//! ```
+//!
+//! Runs the live conformance harness (preload → floor calibration →
+//! utilization sweep → graceful shutdown) and writes the JSON report.
+//! Exit codes: `0` pass, `2` conformance violation, `1` I/O or usage
+//! error. In `--smoke` mode only lifecycle cleanliness (drain, leaked
+//! connections, clean exit) is gated, not the statistical checks — the
+//! CI smoke job uses it to validate the machinery in seconds.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use memlat_loadgen::conformance::{run, Profile};
+use memlat_loadgen::spawn::ServerSource;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: memlat-loadgen [--quick|--full|--smoke] \
+         [--spawn-server PATH | --addr ADDR] [--out PATH] [--seed U64]"
+    );
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let mut profile: Option<Profile> = None;
+    let mut source = ServerSource::InProcess;
+    let mut out: Option<PathBuf> = None;
+    let mut seed: Option<u64> = None;
+    let mut smoke = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => profile = Some(Profile::quick()),
+            "--full" => profile = Some(Profile::full()),
+            "--smoke" => {
+                profile = Some(Profile::smoke());
+                smoke = true;
+            }
+            "--spawn-server" => {
+                let Some(path) = args.next() else {
+                    return usage();
+                };
+                source = ServerSource::Child(PathBuf::from(path));
+            }
+            "--addr" => {
+                let Some(addr) = args.next() else {
+                    return usage();
+                };
+                match addr.parse::<SocketAddr>() {
+                    Ok(a) => source = ServerSource::External(a),
+                    Err(e) => {
+                        eprintln!("bad --addr {addr:?}: {e}");
+                        return ExitCode::from(1);
+                    }
+                }
+            }
+            "--out" => {
+                let Some(path) = args.next() else {
+                    return usage();
+                };
+                out = Some(PathBuf::from(path));
+            }
+            "--seed" => {
+                let Some(s) = args.next() else {
+                    return usage();
+                };
+                match s.parse() {
+                    Ok(v) => seed = Some(v),
+                    Err(e) => {
+                        eprintln!("bad --seed {s:?}: {e}");
+                        return ExitCode::from(1);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return usage();
+            }
+        }
+    }
+
+    let mut profile = profile.unwrap_or_else(Profile::from_env);
+    if let Some(seed) = seed {
+        profile.seed = seed;
+    }
+    let out =
+        out.unwrap_or_else(|| memlat_experiments::results_dir().join("server_conformance.json"));
+
+    eprintln!(
+        "memlat-loadgen: {} profile, {} shard(s), ρ targets {:?}, {} replication(s) × {:.1}s",
+        if smoke {
+            "smoke"
+        } else if profile.quick {
+            "quick"
+        } else {
+            "full"
+        },
+        profile.shards,
+        profile.rho_points,
+        profile.replications,
+        profile.duration,
+    );
+
+    let report = match run(&source, &profile) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("memlat-loadgen: harness failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    if let Some(parent) = out.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("memlat-loadgen: cannot create {}: {e}", parent.display());
+            return ExitCode::from(1);
+        }
+    }
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("memlat-loadgen: cannot write {}: {e}", out.display());
+        return ExitCode::from(1);
+    }
+    eprintln!("memlat-loadgen: report written to {}", out.display());
+
+    for p in &report.points {
+        let m = &p.measure;
+        eprintln!(
+            "  {}: λ̂ {:.0}/s μ̂ {:.0}/s ρ̂ {:.3} δ {:.1} behind {} → {}",
+            p.id,
+            m.lambda_hat,
+            m.mu_hat,
+            m.rho_model,
+            m.delta,
+            m.behind,
+            if p.pass() { "pass" } else { "FAIL" },
+        );
+    }
+
+    let violations = report.violations();
+    let lifecycle_ok = report.leaked_connections == 0 && report.clean_shutdown;
+    let gate = if smoke {
+        lifecycle_ok
+    } else {
+        violations.is_empty()
+    };
+    if !gate {
+        eprintln!("memlat-loadgen: {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        return ExitCode::from(2);
+    }
+    if smoke && !violations.is_empty() {
+        eprintln!(
+            "memlat-loadgen: smoke mode ignoring {} statistical deviation(s) \
+             (windows too short to gate):",
+            violations.len()
+        );
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+    }
+    eprintln!("memlat-loadgen: PASS");
+    ExitCode::SUCCESS
+}

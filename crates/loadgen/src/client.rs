@@ -1,0 +1,256 @@
+//! A minimal memcached text-protocol client connection.
+//!
+//! Binary-safe on the read side: `VALUE` data blocks are consumed by
+//! their declared length, never by line scanning, so payloads containing
+//! CRLF round-trip correctly.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One value returned by `get`/`gets`.
+#[derive(Debug, Clone)]
+pub struct Value {
+    /// The key, echoed by the server.
+    pub key: Vec<u8>,
+    /// Client flags stored with the item.
+    pub flags: u32,
+    /// CAS unique (present for `gets`).
+    pub cas: Option<u64>,
+    /// The payload.
+    pub data: Vec<u8>,
+}
+
+/// A parsed server response.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// `get` result: zero or more values then `END`.
+    Values(Vec<Value>),
+    /// `STORED`.
+    Stored,
+    /// `DELETED`.
+    Deleted,
+    /// `NOT_FOUND`.
+    NotFound,
+    /// `OK` (the `shutdown` admin acknowledgement).
+    Ok,
+    /// `VERSION <string>`.
+    Version(String),
+    /// `stats` result rows.
+    Stats(Vec<(String, String)>),
+    /// Any `ERROR`/`CLIENT_ERROR`/`SERVER_ERROR` line.
+    Error(String),
+}
+
+/// A buffered client connection.
+pub struct Connection {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl Connection {
+    /// Connects with `TCP_NODELAY` and a read timeout (load-generator
+    /// hangs must fail loudly, not deadlock a CI job).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Self {
+            stream,
+            buf: Vec::with_capacity(16 << 10),
+            start: 0,
+        })
+    }
+
+    /// Writes raw protocol bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    fn fill(&mut self) -> io::Result<()> {
+        if self.start > 0 && self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        let mut chunk = [0u8; 16 << 10];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed connection",
+            ));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+
+    /// Reads one `\r\n`-terminated line (terminator stripped).
+    fn read_line(&mut self) -> io::Result<String> {
+        loop {
+            if let Some(pos) = self.buf[self.start..].iter().position(|&b| b == b'\n') {
+                let end = self.start + pos;
+                let mut line = &self.buf[self.start..end];
+                if let [head @ .., b'\r'] = line {
+                    line = head;
+                }
+                let s = String::from_utf8_lossy(line).into_owned();
+                self.start = end + 1;
+                return Ok(s);
+            }
+            self.fill()?;
+        }
+    }
+
+    /// Reads exactly `n` bytes of binary data.
+    fn read_block(&mut self, n: usize) -> io::Result<Vec<u8>> {
+        while self.buf.len() - self.start < n {
+            self.fill()?;
+        }
+        let out = self.buf[self.start..self.start + n].to_vec();
+        self.start += n;
+        Ok(out)
+    }
+
+    /// Reads one complete response (of any kind).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed frames.
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        let line = self.read_line()?;
+        if let Some(rest) = line.strip_prefix("VALUE ") {
+            let mut values = Vec::new();
+            let mut header = rest.to_string();
+            loop {
+                let mut parts = header.split(' ');
+                let (Some(key), Some(flags), Some(len)) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(bad_frame(&header));
+                };
+                let cas = parts.next().map(str::parse).transpose().ok().flatten();
+                let (Ok(flags), Ok(len)) = (flags.parse::<u32>(), len.parse::<usize>()) else {
+                    return Err(bad_frame(&header));
+                };
+                let mut data = self.read_block(len + 2)?;
+                data.truncate(len);
+                values.push(Value {
+                    key: key.as_bytes().to_vec(),
+                    flags,
+                    cas,
+                    data,
+                });
+                let next = self.read_line()?;
+                if next == "END" {
+                    return Ok(Response::Values(values));
+                }
+                let Some(rest) = next.strip_prefix("VALUE ") else {
+                    return Err(bad_frame(&next));
+                };
+                header = rest.to_string();
+            }
+        }
+        if let Some(rest) = line.strip_prefix("STAT ") {
+            let mut rows = Vec::new();
+            let mut row = rest.to_string();
+            loop {
+                let (k, v) = row.split_once(' ').unwrap_or((row.as_str(), ""));
+                rows.push((k.to_string(), v.to_string()));
+                let next = self.read_line()?;
+                if next == "END" {
+                    return Ok(Response::Stats(rows));
+                }
+                let Some(rest) = next.strip_prefix("STAT ") else {
+                    return Err(bad_frame(&next));
+                };
+                row = rest.to_string();
+            }
+        }
+        match line.as_str() {
+            "END" => Ok(Response::Values(Vec::new())),
+            "STORED" => Ok(Response::Stored),
+            "DELETED" => Ok(Response::Deleted),
+            "NOT_FOUND" => Ok(Response::NotFound),
+            "OK" => Ok(Response::Ok),
+            other => {
+                if let Some(v) = other.strip_prefix("VERSION ") {
+                    Ok(Response::Version(v.to_string()))
+                } else if other.starts_with("ERROR")
+                    || other.starts_with("CLIENT_ERROR")
+                    || other.starts_with("SERVER_ERROR")
+                {
+                    Ok(Response::Error(other.to_string()))
+                } else {
+                    Err(bad_frame(other))
+                }
+            }
+        }
+    }
+
+    /// `set` convenience: stores `data` under `key`, returns on `STORED`.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or `InvalidData` when the server rejects the set.
+    pub fn set(&mut self, key: &[u8], data: &[u8]) -> io::Result<()> {
+        let mut frame = Vec::with_capacity(key.len() + data.len() + 32);
+        frame.extend_from_slice(b"set ");
+        frame.extend_from_slice(key);
+        frame.extend_from_slice(format!(" 0 0 {}\r\n", data.len()).as_bytes());
+        frame.extend_from_slice(data);
+        frame.extend_from_slice(b"\r\n");
+        self.send(&frame)?;
+        match self.read_response()? {
+            Response::Stored => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("set rejected: {other:?}"),
+            )),
+        }
+    }
+
+    /// Fetches the server's `stats` as numeric key/value pairs
+    /// (non-numeric values are skipped).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed frames.
+    pub fn stats(&mut self) -> io::Result<std::collections::HashMap<String, u64>> {
+        self.send(b"stats\r\n")?;
+        match self.read_response()? {
+            Response::Stats(rows) => Ok(rows
+                .into_iter()
+                .filter_map(|(k, v)| v.parse::<u64>().ok().map(|v| (k, v)))
+                .collect()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("stats rejected: {other:?}"),
+            )),
+        }
+    }
+
+    /// Clones the underlying stream (for split reader/writer threads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn try_clone_stream(&self) -> io::Result<TcpStream> {
+        self.stream.try_clone()
+    }
+}
+
+fn bad_frame(line: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected server frame: {line:?}"),
+    )
+}

@@ -1,0 +1,35 @@
+//! End-to-end smoke of the live conformance harness against an
+//! in-process server: preload → floor → calibration → one-point sweep →
+//! graceful shutdown, all over real loopback sockets. Gates lifecycle
+//! cleanliness and report shape only — the smoke profile's sub-second
+//! windows are too noisy to assert the statistical checks here (the CI
+//! smoke job applies the same policy).
+
+use memlat_loadgen::conformance::run;
+use memlat_loadgen::{Profile, ServerSource};
+
+#[test]
+fn smoke_profile_lifecycle_is_clean() {
+    let profile = Profile::smoke();
+    let report = run(&ServerSource::InProcess, &profile).expect("harness completes");
+
+    assert_eq!(
+        report.leaked_connections, 0,
+        "connections leaked at shutdown"
+    );
+    assert!(
+        report.clean_shutdown,
+        "shutdown was not acknowledged cleanly"
+    );
+    assert_eq!(report.points.len(), profile.rho_points.len());
+    for point in &report.points {
+        assert_eq!(point.replications, profile.replications);
+        assert!(point.measure.lambda_hat > 0.0, "no traffic was delivered");
+        assert!(point.measure.mu_hat > 0.0, "no service was observed");
+        assert!(!point.checks.is_empty(), "point produced no checks");
+    }
+
+    let json = report.to_json();
+    assert!(json.contains("\"schema\": \"memlat-server-conformance-v1\""));
+    assert!(json.ends_with('\n'));
+}

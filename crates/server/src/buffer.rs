@@ -1,0 +1,156 @@
+//! Pooled per-connection read/write buffers.
+//!
+//! Connections churn (the load generator opens dozens), and each one needs
+//! a read-accumulation buffer and a write staging buffer. Instead of
+//! allocating fresh vectors per connection, a small pool recycles them:
+//! capacity survives the round trip, so steady-state serving does no
+//! buffer allocation at all.
+
+use std::sync::Mutex;
+
+/// A recycling pool of byte buffers.
+#[derive(Debug)]
+pub struct BufferPool {
+    free: Mutex<Vec<Vec<u8>>>,
+    buf_capacity: usize,
+    max_pooled: usize,
+}
+
+impl BufferPool {
+    /// Creates a pool handing out buffers pre-sized to `buf_capacity`,
+    /// retaining at most `max_pooled` returned buffers.
+    #[must_use]
+    pub fn new(buf_capacity: usize, max_pooled: usize) -> Self {
+        Self {
+            free: Mutex::new(Vec::new()),
+            buf_capacity,
+            max_pooled,
+        }
+    }
+
+    /// Takes a cleared buffer from the pool (or allocates one).
+    #[must_use]
+    pub fn acquire(&self) -> Vec<u8> {
+        let mut free = self.free.lock().expect("pool poisoned");
+        free.pop()
+            .unwrap_or_else(|| Vec::with_capacity(self.buf_capacity))
+    }
+
+    /// Returns a buffer to the pool, keeping its capacity.
+    pub fn release(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let mut free = self.free.lock().expect("pool poisoned");
+        if free.len() < self.max_pooled && buf.capacity() > 0 {
+            free.push(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled.
+    #[must_use]
+    pub fn pooled(&self) -> usize {
+        self.free.lock().expect("pool poisoned").len()
+    }
+}
+
+/// A read-accumulation buffer with a consumed prefix.
+///
+/// Incoming socket bytes are appended at the tail; the parser consumes
+/// from the head. Consumed space is reclaimed lazily (only once it crosses
+/// a threshold) so steady-state pipelined parsing does not memmove on
+/// every command.
+#[derive(Debug, Default)]
+pub struct ReadBuf {
+    data: Vec<u8>,
+    start: usize,
+}
+
+const COMPACT_THRESHOLD: usize = 64 << 10;
+
+impl ReadBuf {
+    /// Wraps a (possibly pooled) backing vector.
+    #[must_use]
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Self { data, start: 0 }
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// The not-yet-consumed region.
+    #[must_use]
+    pub fn unread(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    /// Marks `n` bytes consumed from the front of [`ReadBuf::unread`].
+    pub fn consume(&mut self, n: usize) {
+        self.start = (self.start + n).min(self.data.len());
+        if self.start == self.data.len() {
+            self.data.clear();
+            self.start = 0;
+        } else if self.start > COMPACT_THRESHOLD {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Bytes awaiting consumption.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Whether nothing is awaiting consumption.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Surrenders the backing vector (for pool return).
+    #[must_use]
+    pub fn into_inner(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_recycles_capacity() {
+        let pool = BufferPool::new(1024, 2);
+        let mut a = pool.acquire();
+        assert!(a.capacity() >= 1024);
+        a.extend_from_slice(b"junk");
+        pool.release(a);
+        assert_eq!(pool.pooled(), 1);
+        let b = pool.acquire();
+        assert!(b.is_empty(), "recycled buffer must come back cleared");
+        assert!(b.capacity() >= 1024);
+    }
+
+    #[test]
+    fn pool_caps_retention() {
+        let pool = BufferPool::new(16, 1);
+        pool.release(Vec::with_capacity(16));
+        pool.release(Vec::with_capacity(16));
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn readbuf_consume_and_compact() {
+        let mut rb = ReadBuf::from_vec(Vec::new());
+        rb.extend_from_slice(b"hello world");
+        assert_eq!(rb.unread(), b"hello world");
+        rb.consume(6);
+        assert_eq!(rb.unread(), b"world");
+        rb.extend_from_slice(b"!");
+        assert_eq!(rb.unread(), b"world!");
+        rb.consume(6);
+        assert!(rb.is_empty());
+        assert_eq!(rb.unread(), b"");
+    }
+}

@@ -1,0 +1,355 @@
+//! Per-connection command execution: eager dispatch, in-order replies.
+//!
+//! The driver is the connection's state machine, deliberately split from
+//! I/O so both runtimes share it. Its reader side parses as many pipelined
+//! commands as the buffer holds and dispatches every shard job
+//! *immediately* — it never waits for a reply before parsing the next
+//! command. This matters for the physics of the system: back-to-back
+//! requests must queue in the shard channel (the modeled GI^X/M/1 queue),
+//! not in the socket buffer behind a synchronous handler. The writer side
+//! reassembles completions — which arrive out of order across shards — and
+//! emits responses in strict command order via a ticket sequence.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write as _;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+
+use memlat_cache::Bytes;
+
+use crate::buffer::ReadBuf;
+use crate::protocol::parser::{parse, Command, Parsed};
+use crate::shard::{shard_of, ConnEvent, Job, JobReply, ShardOp, ShardReply};
+use crate::{stats, ServerShared};
+
+enum PlanKind {
+    /// Response bytes were computed inline (stats, version, errors, ...).
+    Local(Vec<u8>),
+    /// A `get`/`gets` split into `parts` shard jobs.
+    Get {
+        parts: u32,
+        with_cas: bool,
+        keys: Vec<Vec<u8>>,
+        /// For each requested key: (part index, index within that part).
+        order: Vec<(u32, u32)>,
+    },
+    /// A single-shard `set`.
+    Set { noreply: bool },
+    /// A single-shard `delete`.
+    Delete { noreply: bool },
+}
+
+struct Plan {
+    ticket: u64,
+    kind: PlanKind,
+}
+
+/// Connection state machine shared by both runtimes.
+pub struct ConnDriver {
+    shared: Arc<ServerShared>,
+    read: ReadBuf,
+    out: Vec<u8>,
+    plans: VecDeque<Plan>,
+    stash: HashMap<(u64, u32), ShardReply>,
+    event_tx: mpsc::Sender<ConnEvent>,
+    next_ticket: u64,
+    closing: bool,
+    reader_done: bool,
+}
+
+impl ConnDriver {
+    /// Creates a driver; `event_tx` is the sender cloned into shard jobs.
+    #[must_use]
+    pub fn new(shared: Arc<ServerShared>, event_tx: mpsc::Sender<ConnEvent>) -> Self {
+        let read = ReadBuf::from_vec(shared.buffers.acquire());
+        let out = shared.buffers.acquire();
+        Self {
+            shared,
+            read,
+            out,
+            plans: VecDeque::new(),
+            stash: HashMap::new(),
+            event_tx,
+            next_ticket: 0,
+            closing: false,
+            reader_done: false,
+        }
+    }
+
+    /// Whether the reader side should stop accepting input.
+    #[must_use]
+    pub fn closing(&self) -> bool {
+        self.closing
+    }
+
+    /// Marks the input side finished (EOF, error, or server shutdown).
+    pub fn begin_drain(&mut self) {
+        self.closing = true;
+        self.reader_done = true;
+    }
+
+    /// Whether every pending response has been assembled into the output
+    /// buffer and no more input will arrive.
+    #[must_use]
+    pub fn drained(&self) -> bool {
+        self.reader_done && self.plans.is_empty()
+    }
+
+    /// Whether responses are still owed (for writer-side wakeups).
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        !self.plans.is_empty()
+    }
+
+    /// Feeds freshly read socket bytes through the parser, dispatching
+    /// shard jobs eagerly for every complete pipelined command.
+    pub fn on_bytes(&mut self, bytes: &[u8]) {
+        self.read.extend_from_slice(bytes);
+        self.pump_parser();
+    }
+
+    /// Integrates a completion event from a shard worker.
+    pub fn handle_event(&mut self, ev: ConnEvent) {
+        if let ConnEvent::Reply(JobReply {
+            ticket,
+            part,
+            reply,
+        }) = ev
+        {
+            self.stash.insert((ticket, part), reply);
+        }
+    }
+
+    /// Assembles every completable response and surrenders the output
+    /// bytes accumulated so far.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        self.assemble();
+        std::mem::replace(&mut self.out, self.shared.buffers.acquire())
+    }
+
+    fn pump_parser(&mut self) {
+        while !self.closing {
+            // Temporarily move the read buffer out so the parsed command
+            // may borrow it while the rest of `self` stays mutable.
+            let read = std::mem::take(&mut self.read);
+            let consumed = match parse(read.unread()) {
+                Parsed::Incomplete => 0,
+                Parsed::Reject {
+                    reply,
+                    consumed,
+                    close,
+                } => {
+                    self.push_plan(PlanKind::Local(reply.as_bytes().to_vec()));
+                    if close {
+                        self.closing = true;
+                    }
+                    consumed
+                }
+                Parsed::Cmd { cmd, consumed } => {
+                    self.execute(&cmd);
+                    consumed
+                }
+            };
+            self.read = read;
+            if consumed == 0 {
+                break;
+            }
+            self.read.consume(consumed);
+        }
+    }
+
+    fn push_plan(&mut self, kind: PlanKind) -> u64 {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.plans.push_back(Plan { ticket, kind });
+        ticket
+    }
+
+    fn execute(&mut self, cmd: &Command<'_>) {
+        match cmd {
+            Command::Get { keys, with_cas } => {
+                self.shared.cmd_get.fetch_add(1, Ordering::Relaxed);
+                let shards = self.shared.pool.shards();
+                let mut part_of_shard: HashMap<usize, u32> = HashMap::new();
+                let mut parts: Vec<(usize, Vec<Vec<u8>>)> = Vec::new();
+                let mut order = Vec::with_capacity(keys.len());
+                let mut owned_keys = Vec::with_capacity(keys.len());
+                for key in keys {
+                    let shard = shard_of(key, shards);
+                    let part = *part_of_shard.entry(shard).or_insert_with(|| {
+                        parts.push((shard, Vec::new()));
+                        (parts.len() - 1) as u32
+                    });
+                    let bucket = &mut parts[part as usize].1;
+                    order.push((part, bucket.len() as u32));
+                    bucket.push(key.to_vec());
+                    owned_keys.push(key.to_vec());
+                }
+                let n_parts = parts.len() as u32;
+                let ticket = self.push_plan(PlanKind::Get {
+                    parts: n_parts,
+                    with_cas: *with_cas,
+                    keys: owned_keys,
+                    order,
+                });
+                for (part, (shard, part_keys)) in parts.into_iter().enumerate() {
+                    self.shared.pool.dispatch(
+                        shard,
+                        Job {
+                            op: ShardOp::GetMany(part_keys),
+                            ticket,
+                            part: part as u32,
+                            enqueued: 0.0,
+                            reply: self.event_tx.clone(),
+                        },
+                    );
+                }
+            }
+            Command::Set {
+                key,
+                flags,
+                exptime,
+                noreply,
+                data,
+            } => {
+                self.shared.cmd_set.fetch_add(1, Ordering::Relaxed);
+                let shard = shard_of(key, self.shared.pool.shards());
+                let ticket = self.push_plan(PlanKind::Set { noreply: *noreply });
+                self.shared.pool.dispatch(
+                    shard,
+                    Job {
+                        op: ShardOp::Set {
+                            key: key.to_vec(),
+                            flags: *flags,
+                            exptime: *exptime,
+                            data: Bytes::copy_from_slice(data),
+                        },
+                        ticket,
+                        part: 0,
+                        enqueued: 0.0,
+                        reply: self.event_tx.clone(),
+                    },
+                );
+            }
+            Command::Delete { key, noreply } => {
+                self.shared.cmd_delete.fetch_add(1, Ordering::Relaxed);
+                let shard = shard_of(key, self.shared.pool.shards());
+                let ticket = self.push_plan(PlanKind::Delete { noreply: *noreply });
+                self.shared.pool.dispatch(
+                    shard,
+                    Job {
+                        op: ShardOp::Delete(key.to_vec()),
+                        ticket,
+                        part: 0,
+                        enqueued: 0.0,
+                        reply: self.event_tx.clone(),
+                    },
+                );
+            }
+            Command::Stats => {
+                let body = stats::render_stats(&self.shared);
+                self.push_plan(PlanKind::Local(body));
+            }
+            Command::Version => {
+                let line = format!("VERSION {}\r\n", crate::VERSION).into_bytes();
+                self.push_plan(PlanKind::Local(line));
+            }
+            Command::Quit => {
+                self.push_plan(PlanKind::Local(Vec::new()));
+                self.closing = true;
+            }
+            Command::Shutdown => {
+                self.push_plan(PlanKind::Local(b"OK\r\n".to_vec()));
+                self.closing = true;
+                self.shared.begin_shutdown();
+            }
+        }
+    }
+
+    fn assemble(&mut self) {
+        while let Some(front) = self.plans.front() {
+            let ticket = front.ticket;
+            let ready = match &front.kind {
+                PlanKind::Local(_) => true,
+                PlanKind::Get { parts, .. } => {
+                    (0..*parts).all(|p| self.stash.contains_key(&(ticket, p)))
+                }
+                PlanKind::Set { .. } | PlanKind::Delete { .. } => {
+                    self.stash.contains_key(&(ticket, 0))
+                }
+            };
+            if !ready {
+                break;
+            }
+            let plan = self.plans.pop_front().expect("front checked");
+            match plan.kind {
+                PlanKind::Local(bytes) => self.out.extend_from_slice(&bytes),
+                PlanKind::Get {
+                    parts,
+                    with_cas,
+                    keys,
+                    order,
+                } => {
+                    let mut replies = Vec::with_capacity(parts as usize);
+                    for p in 0..parts {
+                        match self.stash.remove(&(ticket, p)) {
+                            Some(ShardReply::Values(vals)) => replies.push(vals),
+                            _ => replies.push(Vec::new()),
+                        }
+                    }
+                    for (key, (part, within)) in keys.iter().zip(&order) {
+                        let slot = replies
+                            .get(*part as usize)
+                            .and_then(|vals| vals.get(*within as usize));
+                        if let Some(Some(v)) = slot {
+                            self.out.extend_from_slice(b"VALUE ");
+                            self.out.extend_from_slice(key);
+                            if with_cas {
+                                let _ =
+                                    write!(self.out, " {} {} {}\r\n", v.flags, v.data.len(), v.cas);
+                            } else {
+                                let _ = write!(self.out, " {} {}\r\n", v.flags, v.data.len());
+                            }
+                            self.out.extend_from_slice(&v.data);
+                            self.out.extend_from_slice(b"\r\n");
+                        }
+                    }
+                    self.out.extend_from_slice(b"END\r\n");
+                }
+                PlanKind::Set { noreply } => {
+                    let reply = self.stash.remove(&(ticket, 0));
+                    if !noreply {
+                        match reply {
+                            Some(ShardReply::Stored(Ok(()))) => {
+                                self.out.extend_from_slice(b"STORED\r\n");
+                            }
+                            Some(ShardReply::Stored(Err(line))) => {
+                                self.out.extend_from_slice(line.as_bytes());
+                            }
+                            _ => self.out.extend_from_slice(b"SERVER_ERROR internal\r\n"),
+                        }
+                    }
+                }
+                PlanKind::Delete { noreply } => {
+                    let reply = self.stash.remove(&(ticket, 0));
+                    if !noreply {
+                        match reply {
+                            Some(ShardReply::Deleted(true)) => {
+                                self.out.extend_from_slice(b"DELETED\r\n");
+                            }
+                            _ => self.out.extend_from_slice(b"NOT_FOUND\r\n"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ConnDriver {
+    fn drop(&mut self) {
+        let read = std::mem::take(&mut self.read);
+        self.shared.buffers.release(read.into_inner());
+        self.shared.buffers.release(std::mem::take(&mut self.out));
+    }
+}

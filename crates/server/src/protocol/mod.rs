@@ -1,0 +1,4 @@
+//! The memcached text protocol: wire parsing and command execution.
+
+pub mod handler;
+pub mod parser;

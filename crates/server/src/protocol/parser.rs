@@ -1,0 +1,439 @@
+//! Incremental, allocation-light parser for the memcached text protocol.
+//!
+//! The parser consumes a byte buffer that may hold any prefix of the
+//! client's stream: half a line, one command, or many pipelined commands.
+//! Each call inspects the front of the buffer and returns either a complete
+//! command (borrowing key/data slices from the buffer), a protocol
+//! rejection with the exact error line to send, or [`Parsed::Incomplete`]
+//! when more bytes are needed. It never panics on malformed input — that
+//! property is pinned by the property tests in
+//! `tests/protocol_robustness.rs`.
+
+/// Maximum key length accepted, per the memcached protocol (250 bytes).
+pub const MAX_KEY_LEN: usize = 250;
+/// Maximum accepted command-line length before the connection is dropped.
+pub const MAX_LINE_LEN: usize = 8192;
+/// Maximum accepted value length (1 MiB, memcached's classic default).
+pub const MAX_VALUE_LEN: usize = 1 << 20;
+/// Maximum number of keys in one multiget.
+pub const MAX_GET_KEYS: usize = 1024;
+
+/// One complete client command, borrowing from the read buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command<'a> {
+    /// `get`/`gets` — retrieval; `with_cas` distinguishes `gets`.
+    Get {
+        /// Requested keys, in client order (duplicates allowed).
+        keys: Vec<&'a [u8]>,
+        /// Whether the response must carry the CAS unique (the `gets` form).
+        with_cas: bool,
+    },
+    /// `set <key> <flags> <exptime> <bytes> [noreply]` plus a data block.
+    Set {
+        /// Item key.
+        key: &'a [u8],
+        /// Opaque client flags, echoed back on `get`.
+        flags: u32,
+        /// Expiry in seconds relative to now; `0` = never, negative =
+        /// already expired. (The 30-day absolute-timestamp rule of real
+        /// memcached is intentionally not implemented.)
+        exptime: i64,
+        /// Whether the client suppressed the reply.
+        noreply: bool,
+        /// The value bytes (binary-safe; length came from the command line).
+        data: &'a [u8],
+    },
+    /// `delete <key> [noreply]`.
+    Delete {
+        /// Item key.
+        key: &'a [u8],
+        /// Whether the client suppressed the reply.
+        noreply: bool,
+    },
+    /// `stats` — server counters.
+    Stats,
+    /// `version`.
+    Version,
+    /// `quit` — close this connection.
+    Quit,
+    /// `shutdown` — non-standard admin command: graceful server stop.
+    Shutdown,
+}
+
+/// Outcome of one parse attempt against the front of the read buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parsed<'a> {
+    /// A complete command occupying `consumed` bytes of the buffer.
+    Cmd {
+        /// The parsed command.
+        cmd: Command<'a>,
+        /// Bytes to drop from the front of the buffer.
+        consumed: usize,
+    },
+    /// A protocol violation: send `reply`, drop `consumed` bytes, and close
+    /// the connection when `close` is set (framing is unrecoverable).
+    Reject {
+        /// Full error line to send, `\r\n` included.
+        reply: &'static str,
+        /// Bytes to drop from the front of the buffer.
+        consumed: usize,
+        /// Whether the connection must be closed after replying.
+        close: bool,
+    },
+    /// The buffer holds no complete command yet.
+    Incomplete,
+}
+
+const ERR_GENERIC: &str = "ERROR\r\n";
+const ERR_FORMAT: &str = "CLIENT_ERROR bad command line format\r\n";
+const ERR_KEY: &str = "CLIENT_ERROR key too long or malformed\r\n";
+const ERR_CHUNK: &str = "CLIENT_ERROR bad data chunk\r\n";
+const ERR_TOO_LARGE: &str = "CLIENT_ERROR object too large for cache\r\n";
+const ERR_LINE: &str = "CLIENT_ERROR command line too long\r\n";
+
+/// Parses one command from the front of `buf`.
+///
+/// Lines are terminated by `\n`; a preceding `\r` is stripped (so both
+/// strict `\r\n` clients and bare-`\n` tools like `nc` without `-C` work).
+/// Data blocks, which are binary-safe, still require the strict `\r\n`
+/// terminator mandated by the protocol.
+#[must_use]
+pub fn parse(buf: &[u8]) -> Parsed<'_> {
+    let Some(nl) = buf.iter().take(MAX_LINE_LEN + 1).position(|&b| b == b'\n') else {
+        if buf.len() > MAX_LINE_LEN {
+            // No newline within the limit: the line can never be accepted.
+            return Parsed::Reject {
+                reply: ERR_LINE,
+                consumed: buf.len(),
+                close: true,
+            };
+        }
+        return Parsed::Incomplete;
+    };
+    let after_line = nl + 1;
+    let mut line = &buf[..nl];
+    if let [head @ .., b'\r'] = line {
+        line = head;
+    }
+
+    let mut tokens = line.split(|&b| b == b' ').filter(|t| !t.is_empty());
+    let Some(verb) = tokens.next() else {
+        return Parsed::Reject {
+            reply: ERR_GENERIC,
+            consumed: after_line,
+            close: false,
+        };
+    };
+
+    match verb {
+        b"get" | b"gets" => parse_get(tokens, verb == b"gets", after_line),
+        b"set" => parse_set(buf, tokens, after_line),
+        b"delete" => parse_delete(tokens, after_line),
+        b"stats" => Parsed::Cmd {
+            cmd: Command::Stats,
+            consumed: after_line,
+        },
+        b"version" => Parsed::Cmd {
+            cmd: Command::Version,
+            consumed: after_line,
+        },
+        b"quit" => Parsed::Cmd {
+            cmd: Command::Quit,
+            consumed: after_line,
+        },
+        b"shutdown" => Parsed::Cmd {
+            cmd: Command::Shutdown,
+            consumed: after_line,
+        },
+        _ => Parsed::Reject {
+            reply: ERR_GENERIC,
+            consumed: after_line,
+            close: false,
+        },
+    }
+}
+
+fn valid_key(key: &[u8]) -> bool {
+    !key.is_empty() && key.len() <= MAX_KEY_LEN && key.iter().all(|&b| b > 32 && b != 127)
+}
+
+fn parse_get<'a, I>(tokens: I, with_cas: bool, consumed: usize) -> Parsed<'a>
+where
+    I: Iterator<Item = &'a [u8]>,
+{
+    let mut keys = Vec::new();
+    for key in tokens {
+        if !valid_key(key) {
+            return Parsed::Reject {
+                reply: ERR_KEY,
+                consumed,
+                close: false,
+            };
+        }
+        if keys.len() == MAX_GET_KEYS {
+            return Parsed::Reject {
+                reply: ERR_FORMAT,
+                consumed,
+                close: false,
+            };
+        }
+        keys.push(key);
+    }
+    if keys.is_empty() {
+        return Parsed::Reject {
+            reply: ERR_GENERIC,
+            consumed,
+            close: false,
+        };
+    }
+    Parsed::Cmd {
+        cmd: Command::Get { keys, with_cas },
+        consumed,
+    }
+}
+
+fn parse_set<'a, I>(buf: &'a [u8], mut tokens: I, after_line: usize) -> Parsed<'a>
+where
+    I: Iterator<Item = &'a [u8]>,
+{
+    let (Some(key), Some(flags), Some(exptime), Some(bytes)) =
+        (tokens.next(), tokens.next(), tokens.next(), tokens.next())
+    else {
+        return Parsed::Reject {
+            reply: ERR_FORMAT,
+            consumed: after_line,
+            close: false,
+        };
+    };
+    let noreply = match tokens.next() {
+        None => false,
+        Some(b"noreply") if tokens.next().is_none() => true,
+        Some(_) => {
+            return Parsed::Reject {
+                reply: ERR_FORMAT,
+                consumed: after_line,
+                close: false,
+            }
+        }
+    };
+    let (Some(flags), Some(exptime), Some(len)) = (
+        parse_u64(flags).and_then(|v| u32::try_from(v).ok()),
+        parse_i64(exptime),
+        parse_u64(bytes).and_then(|v| usize::try_from(v).ok()),
+    ) else {
+        return Parsed::Reject {
+            reply: ERR_FORMAT,
+            consumed: after_line,
+            close: false,
+        };
+    };
+    if !valid_key(key) {
+        return Parsed::Reject {
+            reply: ERR_KEY,
+            consumed: after_line,
+            close: false,
+        };
+    }
+    if len > MAX_VALUE_LEN {
+        // The framing would require swallowing an unbounded data block;
+        // reject and drop the connection instead.
+        return Parsed::Reject {
+            reply: ERR_TOO_LARGE,
+            consumed: buf.len(),
+            close: true,
+        };
+    }
+    let frame_end = after_line + len + 2;
+    if buf.len() < frame_end {
+        return Parsed::Incomplete;
+    }
+    if &buf[after_line + len..frame_end] != b"\r\n" {
+        // The stated length does not line up with a terminator: framing is
+        // lost, so the connection cannot be safely resynchronized.
+        return Parsed::Reject {
+            reply: ERR_CHUNK,
+            consumed: frame_end,
+            close: true,
+        };
+    }
+    Parsed::Cmd {
+        cmd: Command::Set {
+            key,
+            flags,
+            exptime,
+            noreply,
+            data: &buf[after_line..after_line + len],
+        },
+        consumed: frame_end,
+    }
+}
+
+fn parse_delete<'a, I>(mut tokens: I, consumed: usize) -> Parsed<'a>
+where
+    I: Iterator<Item = &'a [u8]>,
+{
+    let Some(key) = tokens.next() else {
+        return Parsed::Reject {
+            reply: ERR_FORMAT,
+            consumed,
+            close: false,
+        };
+    };
+    let noreply = match tokens.next() {
+        None => false,
+        Some(b"noreply") if tokens.next().is_none() => true,
+        Some(_) => {
+            return Parsed::Reject {
+                reply: ERR_FORMAT,
+                consumed,
+                close: false,
+            }
+        }
+    };
+    if !valid_key(key) {
+        return Parsed::Reject {
+            reply: ERR_KEY,
+            consumed,
+            close: false,
+        };
+    }
+    Parsed::Cmd {
+        cmd: Command::Delete { key, noreply },
+        consumed,
+    }
+}
+
+fn parse_u64(tok: &[u8]) -> Option<u64> {
+    if tok.is_empty() || tok.len() > 20 {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for &b in tok {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add(u64::from(b - b'0'))?;
+    }
+    Some(v)
+}
+
+fn parse_i64(tok: &[u8]) -> Option<i64> {
+    let (neg, digits) = match tok {
+        [b'-', rest @ ..] => (true, rest),
+        _ => (false, tok),
+    };
+    let v = parse_u64(digits)?;
+    let v = i64::try_from(v).ok()?;
+    Some(if neg { -v } else { v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_get() {
+        match parse(b"get foo\r\nrest") {
+            Parsed::Cmd {
+                cmd: Command::Get { keys, with_cas },
+                consumed,
+            } => {
+                assert_eq!(keys, vec![b"foo".as_slice()]);
+                assert!(!with_cas);
+                assert_eq!(consumed, 9);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiget_and_gets() {
+        match parse(b"gets a bb ccc\n") {
+            Parsed::Cmd {
+                cmd: Command::Get { keys, with_cas },
+                ..
+            } => {
+                assert_eq!(keys.len(), 3);
+                assert!(with_cas);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_roundtrip_binary_value() {
+        let frame = b"set k 7 0 4 noreply\r\nA\r\nB\r\n";
+        match parse(frame) {
+            Parsed::Cmd {
+                cmd:
+                    Command::Set {
+                        key,
+                        flags,
+                        exptime,
+                        noreply,
+                        data,
+                    },
+                consumed,
+            } => {
+                assert_eq!(key, b"k");
+                assert_eq!(flags, 7);
+                assert_eq!(exptime, 0);
+                assert!(noreply);
+                assert_eq!(data, b"A\r\nB");
+                assert_eq!(consumed, frame.len());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_waits_for_data() {
+        assert_eq!(parse(b"set k 0 0 10\r\nabc"), Parsed::Incomplete);
+        assert_eq!(parse(b"set k 0 0 "), Parsed::Incomplete);
+    }
+
+    #[test]
+    fn bad_chunk_terminator_closes() {
+        match parse(b"set k 0 0 2\r\nabcd\r\n") {
+            Parsed::Reject { reply, close, .. } => {
+                assert!(reply.starts_with("CLIENT_ERROR"));
+                assert!(close);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_key_rejected() {
+        let key = vec![b'x'; MAX_KEY_LEN + 1];
+        let mut line = b"get ".to_vec();
+        line.extend_from_slice(&key);
+        line.extend_from_slice(b"\r\n");
+        match parse(&line) {
+            Parsed::Reject { reply, close, .. } => {
+                assert!(reply.starts_with("CLIENT_ERROR"));
+                assert!(!close);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_verb_is_error() {
+        match parse(b"frobnicate now\r\n") {
+            Parsed::Reject { reply, .. } => assert_eq!(reply, "ERROR\r\n"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_exptime_parses() {
+        match parse(b"set k 0 -1 1\r\nx\r\n") {
+            Parsed::Cmd {
+                cmd: Command::Set { exptime, .. },
+                ..
+            } => assert_eq!(exptime, -1),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

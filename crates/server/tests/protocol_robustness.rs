@@ -1,0 +1,320 @@
+//! Fuzz/property suite for the text-protocol parser.
+//!
+//! The contract under test: the parser never panics regardless of input,
+//! rejects malformed traffic with `ERROR`/`CLIENT_ERROR` lines, and is
+//! *chunking-invariant* — feeding a pipelined stream split at any byte
+//! boundary yields exactly the commands of the unsplit stream.
+
+use memlat_server::protocol::parser::{parse, Command, Parsed, MAX_KEY_LEN, MAX_LINE_LEN};
+use proptest::prelude::*;
+
+/// Replays the per-connection parse loop: accumulate bytes, pull commands
+/// and rejections off the front until `Incomplete`.
+#[derive(Default)]
+struct Harness {
+    buf: Vec<u8>,
+    /// Debug renderings of accepted commands (owned, comparable).
+    cmds: Vec<String>,
+    rejects: Vec<&'static str>,
+    closed: bool,
+}
+
+impl Harness {
+    fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+        while !self.closed {
+            let (consumed, close) = match parse(&self.buf) {
+                Parsed::Incomplete => break,
+                Parsed::Cmd { cmd, consumed } => {
+                    self.cmds.push(format!("{cmd:?}"));
+                    (consumed, false)
+                }
+                Parsed::Reject {
+                    reply,
+                    consumed,
+                    close,
+                } => {
+                    self.rejects.push(reply);
+                    (consumed, close)
+                }
+            };
+            self.buf.drain(..consumed.min(self.buf.len()));
+            if close {
+                self.closed = true;
+            }
+            if consumed == 0 {
+                break;
+            }
+        }
+    }
+}
+
+/// A pipelined `set`(binary value containing CRLF) + `gets` + `delete
+/// noreply` + `version` stream, the canonical frame for split testing.
+const PIPELINE: &[u8] =
+    b"set k:1 5 0 4\r\na\r\nb\r\ngets k:1 zz\r\ndelete k:1 noreply\r\nversion\r\n";
+
+fn run_split(stream: &[u8], cuts: &[usize]) -> Harness {
+    let mut h = Harness::default();
+    let mut prev = 0;
+    for &c in cuts {
+        let c = c.min(stream.len());
+        if c > prev {
+            h.feed(&stream[prev..c]);
+            prev = c;
+        }
+    }
+    h.feed(&stream[prev..]);
+    h
+}
+
+#[test]
+fn pipeline_split_at_every_byte_boundary() {
+    let whole = run_split(PIPELINE, &[]);
+    assert_eq!(whole.cmds.len(), 4, "{:?}", whole.cmds);
+    assert!(whole.rejects.is_empty());
+    for cut in 0..=PIPELINE.len() {
+        let split = run_split(PIPELINE, &[cut]);
+        assert_eq!(split.cmds, whole.cmds, "split at byte {cut}");
+        assert!(split.rejects.is_empty(), "split at byte {cut}");
+        assert!(!split.closed);
+    }
+}
+
+#[test]
+fn pipeline_fed_one_byte_at_a_time() {
+    let whole = run_split(PIPELINE, &[]);
+    let mut h = Harness::default();
+    for &b in PIPELINE {
+        h.feed(&[b]);
+    }
+    assert_eq!(h.cmds, whole.cmds);
+    assert!(h.rejects.is_empty());
+}
+
+#[test]
+fn oversized_keys_rejected_with_client_error() {
+    let big = "x".repeat(MAX_KEY_LEN + 1);
+    for line in [
+        format!("get {big}\r\n"),
+        format!("set {big} 0 0 1\r\nv\r\n"),
+        format!("delete {big}\r\n"),
+    ] {
+        match parse(line.as_bytes()) {
+            Parsed::Reject { reply, close, .. } => {
+                assert!(reply.starts_with("CLIENT_ERROR"), "{line:?} -> {reply}");
+                assert!(!close);
+            }
+            other => panic!("{line:?} -> {other:?}"),
+        }
+    }
+    // Exactly 250 bytes is legal.
+    let ok = "x".repeat(MAX_KEY_LEN);
+    assert!(matches!(
+        parse(format!("get {ok}\r\n").as_bytes()),
+        Parsed::Cmd { .. }
+    ));
+}
+
+#[test]
+fn malformed_lines_get_protocol_errors() {
+    let cases: &[(&[u8], &str)] = &[
+        (b"\r\n", "ERROR"),
+        (b"   \r\n", "ERROR"),
+        (b"bogus\r\n", "ERROR"),
+        (b"get\r\n", "ERROR"),
+        (b"set k 0 0\r\n", "CLIENT_ERROR"),
+        (b"set k nope 0 1\r\nv\r\n", "CLIENT_ERROR"),
+        (b"set k 0 0 -4\r\n", "CLIENT_ERROR"),
+        (b"set k 0 0 1 yesreply\r\nv\r\n", "CLIENT_ERROR"),
+        (b"set k 0 0 99999999999999999999999\r\n", "CLIENT_ERROR"),
+        (b"delete\r\n", "CLIENT_ERROR"),
+        (b"delete k not-noreply\r\n", "CLIENT_ERROR"),
+        (b"get k\x01ctl\r\n", "CLIENT_ERROR"),
+    ];
+    for (input, prefix) in cases {
+        match parse(input) {
+            Parsed::Reject { reply, .. } => {
+                assert!(reply.starts_with(prefix), "{input:?} -> {reply}");
+            }
+            other => panic!("{input:?} -> {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unterminated_overlong_line_is_fatal() {
+    let junk = vec![b'a'; MAX_LINE_LEN + 10];
+    match parse(&junk) {
+        Parsed::Reject { close, reply, .. } => {
+            assert!(close);
+            assert!(reply.starts_with("CLIENT_ERROR"));
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+}
+
+#[test]
+fn noreply_flags_are_parsed() {
+    match parse(b"set k 1 2 3 noreply\r\nabc\r\n") {
+        Parsed::Cmd {
+            cmd: Command::Set { noreply, .. },
+            ..
+        } => assert!(noreply),
+        other => panic!("unexpected: {other:?}"),
+    }
+    match parse(b"delete k noreply\r\n") {
+        Parsed::Cmd {
+            cmd: Command::Delete { noreply, .. },
+            ..
+        } => assert!(noreply),
+        other => panic!("unexpected: {other:?}"),
+    }
+}
+
+/// Owned spec for a generated valid command.
+#[derive(Debug, Clone)]
+enum Spec {
+    Get(Vec<Vec<u8>>, bool),
+    Set {
+        key: Vec<u8>,
+        flags: u32,
+        exptime: i64,
+        noreply: bool,
+        data: Vec<u8>,
+    },
+    Delete(Vec<u8>, bool),
+    Version,
+    Stats,
+}
+
+fn encode(specs: &[Spec]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for spec in specs {
+        match spec {
+            Spec::Get(keys, with_cas) => {
+                out.extend_from_slice(if *with_cas { b"gets" } else { b"get" });
+                for k in keys {
+                    out.push(b' ');
+                    out.extend_from_slice(k);
+                }
+                out.extend_from_slice(b"\r\n");
+            }
+            Spec::Set {
+                key,
+                flags,
+                exptime,
+                noreply,
+                data,
+            } => {
+                out.extend_from_slice(b"set ");
+                out.extend_from_slice(key);
+                let tail = if *noreply { " noreply" } else { "" };
+                out.extend_from_slice(
+                    format!(" {flags} {exptime} {}{tail}\r\n", data.len()).as_bytes(),
+                );
+                out.extend_from_slice(data);
+                out.extend_from_slice(b"\r\n");
+            }
+            Spec::Delete(key, noreply) => {
+                out.extend_from_slice(b"delete ");
+                out.extend_from_slice(key);
+                if *noreply {
+                    out.extend_from_slice(b" noreply");
+                }
+                out.extend_from_slice(b"\r\n");
+            }
+            Spec::Version => out.extend_from_slice(b"version\r\n"),
+            Spec::Stats => out.extend_from_slice(b"stats\r\n"),
+        }
+    }
+    out
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(33u8..127u8, 1..24)
+}
+
+fn spec_strategy() -> BoxedStrategy<Spec> {
+    prop_oneof![
+        proptest::collection::vec(key_strategy(), 1..4).prop_map(|keys| Spec::Get(keys, false)),
+        proptest::collection::vec(key_strategy(), 1..3).prop_map(|keys| Spec::Get(keys, true)),
+        (
+            key_strategy(),
+            0u32..1000,
+            -5i64..100_000,
+            0u8..2,
+            proptest::collection::vec(0u8..=255, 0..64)
+        )
+            .prop_map(|(key, flags, exptime, nr, data)| Spec::Set {
+                key,
+                flags,
+                exptime,
+                noreply: nr == 1,
+                data,
+            }),
+        (key_strategy(), 0u8..2).prop_map(|(k, nr)| Spec::Delete(k, nr == 1)),
+        Just(Spec::Version),
+        Just(Spec::Stats),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_chunking_is_invariant(
+        specs in proptest::collection::vec(spec_strategy(), 1..8),
+        f1 in 0.0f64..1.0,
+        f2 in 0.0f64..1.0,
+    ) {
+        let stream = encode(&specs);
+        let whole = run_split(&stream, &[]);
+        prop_assert_eq!(whole.cmds.len(), specs.len());
+        prop_assert!(whole.rejects.is_empty());
+        let mut cuts = [
+            (f1 * stream.len() as f64) as usize,
+            (f2 * stream.len() as f64) as usize,
+        ];
+        cuts.sort_unstable();
+        let split = run_split(&stream, &cuts);
+        prop_assert_eq!(&split.cmds, &whole.cmds);
+        prop_assert!(split.rejects.is_empty());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        junk in proptest::collection::vec(0u8..=255, 0..512),
+        f in 0.0f64..1.0,
+    ) {
+        // Whole-buffer and split feeds: the parser must classify, not die.
+        let mut h = Harness::default();
+        let cut = (f * junk.len() as f64) as usize;
+        h.feed(&junk[..cut]);
+        h.feed(&junk[cut..]);
+        // And it must make progress: anything left unconsumed is a strict
+        // prefix needing more bytes, never the whole input when a newline
+        // is present below the line-length cap.
+        if !h.closed && h.buf.len() > MAX_LINE_LEN {
+            prop_assert!(!h.buf.contains(&b'\n'));
+        }
+    }
+
+    #[test]
+    fn junk_after_valid_commands_errors_without_losing_them(
+        specs in proptest::collection::vec(spec_strategy(), 1..4),
+        junk_line in proptest::collection::vec(1u8..=255, 1..40),
+    ) {
+        let mut stream = encode(&specs);
+        // A junk line that is not a valid verb (no spaces, prefix "zz").
+        let mut junk: Vec<u8> = b"zz".to_vec();
+        junk.extend(junk_line.iter().map(|&b| if b == b'\n' || b == b'\r' || b == b' ' { b'x' } else { b }));
+        stream.extend_from_slice(&junk);
+        stream.extend_from_slice(b"\r\n");
+        let h = run_split(&stream, &[]);
+        prop_assert_eq!(h.cmds.len(), specs.len());
+        prop_assert_eq!(h.rejects.len(), 1);
+        prop_assert_eq!(h.rejects[0], "ERROR\r\n");
+    }
+}

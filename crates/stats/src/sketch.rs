@@ -162,7 +162,7 @@ impl QuantileSketch {
     /// Non-finite inputs (NaN and ±∞) are dropped and not counted —
     /// NaNs mirror [`crate::Ecdf::from_samples`], and an infinity has
     /// no log-bin (before this was explicit, `push(f64::INFINITY)`
-    /// saturated [`Self::bin_index`] to `i32::MAX` and the dense bin
+    /// saturated `Self::bin_index` to `i32::MAX` and the dense bin
     /// array tried to grow to 2³¹ counters). Finite values below
     /// [`MIN_POSITIVE`] — zeros, subnormals, and negatives — collapse
     /// into the underflow bin with the exact minimum preserved.
