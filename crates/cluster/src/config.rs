@@ -17,6 +17,22 @@ pub enum MissMode {
     CacheBacked(CacheBackedConfig),
 }
 
+/// How cache misses are relayed to the database stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MissRelay {
+    /// Every miss is an independent database trip — the paper's model.
+    #[default]
+    Independent,
+    /// Per-key fetch coalescing: the first miss for a key dispatches the
+    /// database fetch; concurrent misses for the same key park as
+    /// waiters and resolve at that fetch's completion time ("delayed
+    /// hits", Atre et al. SIGCOMM 2020; Jiang & Ma arXiv 2505.15531).
+    /// Only keyed misses coalesce — [`MissMode::FixedRatio`] carries no
+    /// key identity, so under it this mode is bit-identical to
+    /// [`MissRelay::Independent`].
+    Coalesced,
+}
+
 /// Configuration for [`MissMode::CacheBacked`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheBackedConfig {
@@ -78,6 +94,9 @@ pub struct SimConfig {
     pub db_shards: usize,
     /// Miss decision mode.
     pub miss_mode: MissMode,
+    /// Miss relay mode: independent database trips (the paper) or
+    /// per-key fetch coalescing with delayed hits.
+    pub miss_relay: MissRelay,
     /// Worker threads for the per-server simulations. `1` forces the
     /// legacy sequential path; `0` (default) auto-detects: the
     /// `MEMLAT_THREADS` environment variable if set, else the machine's
@@ -116,6 +135,7 @@ impl SimConfig {
             seed: 0x6d656d6c,
             db_shards: 0,
             miss_mode: MissMode::FixedRatio,
+            miss_relay: MissRelay::Independent,
             threads: 0,
             retention: Retention::default(),
             block: 0,
@@ -156,6 +176,13 @@ impl SimConfig {
     #[must_use]
     pub fn miss_mode(mut self, mode: MissMode) -> Self {
         self.miss_mode = mode;
+        self
+    }
+
+    /// Sets the miss relay mode.
+    #[must_use]
+    pub fn miss_relay(mut self, relay: MissRelay) -> Self {
+        self.miss_relay = relay;
         self
     }
 
@@ -336,6 +363,16 @@ mod tests {
         // Zero miss ratio still yields at least one shard.
         let p = base().with_miss_ratio(0.0).unwrap();
         assert_eq!(SimConfig::new(p).effective_db_shards(), 1);
+    }
+
+    #[test]
+    fn miss_relay_defaults_to_independent() {
+        let c = SimConfig::new(base());
+        assert_eq!(c.miss_relay, MissRelay::Independent);
+        assert_eq!(
+            c.miss_relay(MissRelay::Coalesced).miss_relay,
+            MissRelay::Coalesced
+        );
     }
 
     #[test]

@@ -1,8 +1,15 @@
 //! The database stage: sharded M/M/1 queues fed by cache misses.
 
+use std::collections::HashMap;
+
 use memlat_des::fcfs::FcfsStation;
 use memlat_dist::{Binomial, Discrete};
 use rand::RngCore;
+
+/// Sentinel key id for misses that carry no key identity (fixed-ratio
+/// coin flips, forced misses from degraded requests). A `NO_KEY` miss
+/// never coalesces: it always dispatches its own database fetch.
+pub const NO_KEY: u64 = u64::MAX;
 
 /// A missed key arriving at the database layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -12,6 +19,9 @@ pub struct MissArrival {
     pub time: f64,
     /// Which server / record the latency should be written back to.
     pub origin: (u32, u32),
+    /// The key that missed, or [`NO_KEY`] when the miss has no key
+    /// identity. Only meaningful to the coalescing relay.
+    pub key: u64,
 }
 
 /// Runs the sharded database stage over a **time-sorted** stream of
@@ -65,6 +75,65 @@ pub fn run_db_stage_with(
         next = (next + 1) % shards;
         let done = stations[shard].submit(m.time, svc);
         sink(m.origin, done.sojourn());
+    }
+}
+
+/// Coalescing variant of [`run_db_stage_with`]: per-key outstanding-fetch
+/// tracking with delayed hits.
+///
+/// The first miss for a key dispatches a database fetch exactly like
+/// [`run_db_stage_with`]. While that fetch is outstanding (its departure
+/// time lies in the future), every later miss for the same key parks as a
+/// waiter and resolves at the fetch's completion — a **delayed hit**
+/// whose latency is the residual `completion − arrival`, drawn from no
+/// RNG at all. Once the fetch completes, the next miss for the key
+/// dispatches afresh (the cache-backed store already decided the key was
+/// evicted again).
+///
+/// `sink` receives `(origin, db_latency, delayed)` where `delayed` marks
+/// delayed hits. [`NO_KEY`] misses never coalesce, so on a stream of only
+/// `NO_KEY` misses this function consumes the RNG identically to
+/// [`run_db_stage_with`] and produces the same latencies — the basis of
+/// the coalescing-off differential suite.
+///
+/// # Panics
+///
+/// Same contract as [`run_db_stage`].
+pub fn run_db_stage_coalesced_with(
+    misses: &[MissArrival],
+    shards: usize,
+    mu_d: f64,
+    rng: &mut dyn RngCore,
+    mut sink: impl FnMut((u32, u32), f64, bool),
+) {
+    assert!(shards > 0, "need at least one database shard");
+    assert!(mu_d > 0.0, "database service rate must be positive");
+    let mut stations: Vec<FcfsStation> = (0..shards).map(|_| FcfsStation::new()).collect();
+    // Completion time of the outstanding fetch per key. Entries whose
+    // departure is in the past are stale (the fetch already landed) and
+    // are overwritten on the next dispatch for that key.
+    let mut outstanding: HashMap<u64, f64> = HashMap::new();
+    let mut next = 0usize;
+    let mut prev_t = f64::NEG_INFINITY;
+    for m in misses {
+        assert!(m.time >= prev_t, "misses must be sorted by time");
+        prev_t = m.time;
+        if m.key != NO_KEY {
+            if let Some(&done_at) = outstanding.get(&m.key) {
+                if done_at > m.time {
+                    sink(m.origin, done_at - m.time, true);
+                    continue;
+                }
+            }
+        }
+        let svc = -memlat_dist::open_unit(rng).ln() / mu_d;
+        let shard = next;
+        next = (next + 1) % shards;
+        let done = stations[shard].submit(m.time, svc);
+        if m.key != NO_KEY {
+            outstanding.insert(m.key, done.departure);
+        }
+        sink(m.origin, done.sojourn(), false);
     }
 }
 
@@ -147,6 +216,7 @@ mod tests {
             .map(|i| MissArrival {
                 time: i as f64 * 1e-4,
                 origin: (0, i),
+                key: NO_KEY,
             })
             .collect();
         let out = run_db_stage(&misses, 4, 1_000.0, &mut rng);
@@ -160,6 +230,7 @@ mod tests {
             .map(|i| MissArrival {
                 time: f64::from(i) * 2e-4,
                 origin: (1, i),
+                key: NO_KEY,
             })
             .collect();
         let mut rng_a = rand::rngs::StdRng::seed_from_u64(7);
@@ -180,10 +251,12 @@ mod tests {
             MissArrival {
                 time: 1.0,
                 origin: (0, 0),
+                key: NO_KEY,
             },
             MissArrival {
                 time: 0.5,
                 origin: (0, 1),
+                key: NO_KEY,
             },
         ];
         let _ = run_db_stage(&misses, 1, 1_000.0, &mut rng);
@@ -201,12 +274,108 @@ mod tests {
                 MissArrival {
                     time: t,
                     origin: (0, i),
+                    key: NO_KEY,
                 }
             })
             .collect();
         let out = run_db_stage(&misses, 10, 1_000.0, &mut rng);
         let mean: f64 = out.iter().map(|&(_, d)| d).sum::<f64>() / out.len() as f64;
         assert!((mean * 1e3 - 1.0).abs() < 0.05, "mean={}", mean * 1e3);
+    }
+
+    #[test]
+    fn coalesced_matches_independent_on_keyless_stream() {
+        // A NO_KEY-only stream never coalesces: RNG consumption and every
+        // latency must be identical to the legacy stage.
+        let misses: Vec<MissArrival> = (0..800)
+            .map(|i| MissArrival {
+                time: f64::from(i) * 1.3e-4,
+                origin: (2, i),
+                key: NO_KEY,
+            })
+            .collect();
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(11);
+        let legacy = run_db_stage(&misses, 5, 1_000.0, &mut rng_a);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(11);
+        let mut coalesced = Vec::new();
+        run_db_stage_coalesced_with(&misses, 5, 1_000.0, &mut rng_b, |o, d, delayed| {
+            assert!(!delayed, "keyless miss flagged as delayed hit");
+            coalesced.push((o, d));
+        });
+        assert_eq!(legacy, coalesced);
+        // Both RNGs must have advanced identically.
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+    }
+
+    #[test]
+    fn coalesced_collapses_concurrent_same_key_misses() {
+        // Three misses for key 7 land 0.1 ms apart; μ_D = 100/s makes the
+        // fetch ~10 ms, so the later two must park as delayed hits with
+        // exact residual latencies.
+        let misses = vec![
+            MissArrival {
+                time: 0.0,
+                origin: (0, 0),
+                key: 7,
+            },
+            MissArrival {
+                time: 1e-4,
+                origin: (0, 1),
+                key: 7,
+            },
+            MissArrival {
+                time: 2e-4,
+                origin: (1, 0),
+                key: 7,
+            },
+        ];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut out = Vec::new();
+        run_db_stage_coalesced_with(&misses, 2, 100.0, &mut rng, |o, d, delayed| {
+            out.push((o, d, delayed));
+        });
+        assert_eq!(out.len(), 3);
+        let (_, fetch, delayed0) = out[0];
+        assert!(!delayed0);
+        // Residuals: completion = fetch (arrival 0, empty station), so the
+        // waiter at t has latency fetch − t exactly.
+        assert_eq!(out[1], ((0, 1), fetch - 1e-4, true));
+        assert_eq!(out[2], ((1, 0), fetch - 2e-4, true));
+        // A fourth miss after the fetch completed dispatches afresh.
+        let late = vec![
+            misses[0],
+            MissArrival {
+                time: fetch + 1.0,
+                origin: (3, 3),
+                key: 7,
+            },
+        ];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut flags = Vec::new();
+        run_db_stage_coalesced_with(&late, 2, 100.0, &mut rng, |_, _, delayed| {
+            flags.push(delayed);
+        });
+        assert_eq!(flags, vec![false, false]);
+    }
+
+    #[test]
+    fn coalesced_distinct_keys_do_not_interact() {
+        let misses: Vec<MissArrival> = (0..50)
+            .map(|i| MissArrival {
+                time: f64::from(i) * 1e-6,
+                origin: (0, i),
+                key: u64::from(i),
+            })
+            .collect();
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(21);
+        let legacy = run_db_stage(&misses, 3, 1_000.0, &mut rng_a);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(21);
+        let mut out = Vec::new();
+        run_db_stage_coalesced_with(&misses, 3, 1_000.0, &mut rng_b, |o, d, delayed| {
+            assert!(!delayed);
+            out.push((o, d));
+        });
+        assert_eq!(legacy, out);
     }
 
     #[test]

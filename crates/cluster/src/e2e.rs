@@ -145,6 +145,7 @@ pub fn run_e2e(cfg: &E2eConfig) -> Result<E2eOutput, SimError> {
                     misses.push(MissArrival {
                         time: done.departure,
                         origin: (req_idx as u32, 0),
+                        key: crate::database::NO_KEY,
                     });
                 } else {
                     p.worst_total_completion = p.worst_total_completion.max(done.departure);

@@ -23,7 +23,7 @@
 //! | [`config`] | [`SimConfig`]: model parameters + simulation controls |
 //! | [`fault`] | [`FaultPlan`] crash/slowdown schedules + [`ClientPolicy`] timeout/retry/hedging |
 //! | [`server`] | one memcached server: batches → FCFS exp(μ_S) → miss decision |
-//! | [`database`] | sharded M/M/1 database stage + a fast db-only experiment path |
+//! | [`database`] | sharded M/M/1 database stage (independent or per-key coalescing relay) + a fast db-only experiment path |
 //! | [`sim`] | [`ClusterSim`]: orchestrates servers → database, produces [`SimOutput`] |
 //! | [`columns`] | [`KeyColumns`]: column-major per-key `(s, d)` storage |
 //! | [`assembly`] | synthetic request assembly and latency breakdowns |
@@ -65,7 +65,7 @@ pub mod sim;
 
 pub use assembly::{RequestSample, RequestStats};
 pub use columns::KeyColumns;
-pub use config::{CacheBackedConfig, MissMode, Retention, SimConfig};
+pub use config::{CacheBackedConfig, MissMode, MissRelay, Retention, SimConfig};
 pub use e2e::{E2eConfig, E2eOutput};
 pub use fault::{ClientPolicy, FaultEvent, FaultKind, FaultPlan, HedgePolicy, RetryPolicy};
 pub use runner::{run_replications, ReplicatedStats};

@@ -26,6 +26,7 @@ use rand::Rng;
 use rand::RngCore;
 
 use crate::config::MissMode;
+use crate::database::NO_KEY;
 use crate::fault::{ClientPolicy, ServerFaults};
 
 /// One key's outcome at a memcached server.
@@ -41,6 +42,10 @@ pub struct KeyRecord {
     pub server_latency: f64,
     /// Whether the key missed the cache.
     pub missed: bool,
+    /// The key identity sampled by a cache-backed miss decision, or
+    /// [`NO_KEY`] when none exists (fixed-ratio coin flips, forced
+    /// misses). Feeds the coalescing miss relay.
+    pub key: u64,
     /// Whether the key exhausted every attempt (timeouts/refusals) and
     /// fell through to the database — a forced miss. Zero on healthy runs.
     pub forced: bool,
@@ -112,15 +117,17 @@ impl MissDecider {
         }
     }
 
-    /// Whether the next key misses, at simulated time `now`.
+    /// Whether the next key misses, at simulated time `now`. Returns the
+    /// miss decision and the sampled key identity ([`NO_KEY`] on the
+    /// fixed-ratio path, which draws no key).
     #[inline]
-    fn misses<R: RngCore + ?Sized>(&mut self, now: f64, rng: &mut R) -> bool {
+    fn misses<R: RngCore + ?Sized>(&mut self, now: f64, rng: &mut R) -> (bool, u64) {
         match self {
             MissDecider::Fixed(r) => {
                 if *r <= 0.0 {
-                    false
+                    (false, NO_KEY)
                 } else {
-                    memlat_dist::open_unit(rng) < *r
+                    (memlat_dist::open_unit(rng) < *r, NO_KEY)
                 }
             }
             MissDecider::Cached {
@@ -133,14 +140,14 @@ impl MissDecider {
                 let mut r = &mut *rng;
                 let key = popularity.sample_key(&mut r);
                 if store.get(key, now).is_hit() {
-                    false
+                    (false, key)
                 } else {
                     // Demand fill: the value fetched from the database is
                     // cached (items larger than the biggest chunk are
                     // simply not cached, like memcached).
                     let size = value_sizes.sample_with(rng).max(1.0) as usize;
                     let _ = store.set(key, size, None, now);
-                    true
+                    (true, key)
                 }
             }
         }
@@ -233,6 +240,9 @@ pub trait RecordSink {
                 completion: block.completion[i],
                 server_latency: block.latency[i],
                 missed: block.missed[i],
+                // Blocks exist only on the fixed-ratio path, which
+                // carries no key identity.
+                key: NO_KEY,
                 forced: false,
                 attempts: 1,
                 degraded: false,
@@ -369,6 +379,10 @@ fn fail_attempt<S: RecordSink, R: RngCore + ?Sized>(
             completion: detect,
             server_latency: detect - key.first_arrival,
             missed: false,
+            // No key was ever sampled (every attempt failed before the
+            // miss decision), so the forced database trip never
+            // coalesces.
+            key: NO_KEY,
             forced: true,
             attempts,
             degraded: false,
@@ -418,7 +432,7 @@ fn process_attempt<S: RecordSink, R: RngCore + ?Sized>(
         }
     }
     if key.measured {
-        let missed = decider.misses(done.departure, rng);
+        let (missed, key_id) = decider.misses(done.departure, rng);
         if missed {
             st.misses += 1;
         }
@@ -427,6 +441,7 @@ fn process_attempt<S: RecordSink, R: RngCore + ?Sized>(
             completion: done.departure,
             server_latency: done.departure - key.first_arrival,
             missed,
+            key: key_id,
             forced: false,
             attempts: key.attempts + 1,
             degraded,

@@ -19,15 +19,15 @@
 //! [`ClusterSim::run_with`] to reuse every per-server buffer across
 //! runs.
 
-use memlat_des::metrics::{ResilienceCounters, ServerCounters};
+use memlat_des::metrics::{CoalesceCounters, ResilienceCounters, ServerCounters};
 use memlat_des::rng::stream_rng;
 use memlat_stats::{Ecdf, QuantileSketch, StreamingStats};
 use rand::RngCore;
 
 use crate::{
     columns::KeyColumns,
-    config::{Retention, SimConfig},
-    database::{run_db_stage_with, MissArrival},
+    config::{MissRelay, Retention, SimConfig},
+    database::{run_db_stage_coalesced_with, run_db_stage_with, MissArrival, NO_KEY},
     fault::hedge_outcome,
     server::{
         simulate_server_streaming_with, BlockScratch, KeyBlock, KeyRecord, RecordSink,
@@ -59,6 +59,11 @@ pub struct ServerSummary {
     pub counters: ServerCounters,
     /// Fault and client-resilience counters (all zero on healthy runs).
     pub resilience: ResilienceCounters,
+    /// Miss-coalescing counters for this server's database trips:
+    /// fetches dispatched, delayed hits (misses that waited on an
+    /// outstanding fetch for the same key), and total wait time. All
+    /// zero under [`MissRelay::Independent`].
+    pub coalesce: CoalesceCounters,
     /// Observed utilization (busy time ÷ horizon).
     pub utilization: f64,
 }
@@ -72,6 +77,7 @@ impl ServerSummary {
             healthy_latency: StreamingStats::new(),
             counters: ServerCounters::default(),
             resilience: ResilienceCounters::default(),
+            coalesce: CoalesceCounters::default(),
             utilization: 0.0,
         }
     }
@@ -131,6 +137,10 @@ impl RecordSink for WorkerSink<'_> {
             self.misses.push(MissArrival {
                 time: r.completion,
                 origin: (self.j, self.idx),
+                // Forced misses never sampled a key; regular misses carry
+                // whatever identity the decider drew (NO_KEY on the
+                // fixed-ratio path).
+                key: if r.forced { NO_KEY } else { r.key },
             });
         }
         self.latency.push(r.server_latency);
@@ -166,6 +176,8 @@ impl RecordSink for WorkerSink<'_> {
                 self.misses.push(MissArrival {
                     time: b.completion[i],
                     origin: (self.j, self.idx + i as u32),
+                    // Blocks exist only on the fixed-ratio path: no key.
+                    key: NO_KEY,
                 });
             }
         }
@@ -381,6 +393,8 @@ impl ClusterSim {
                     healthy_latency,
                     counters: stats.counters,
                     resilience: stats.resilience,
+                    // Filled in by the coalescing db stage after merge.
+                    coalesce: CoalesceCounters::default(),
                     utilization: stats.utilization,
                 },
             })
@@ -484,19 +498,45 @@ impl ClusterSim {
         let mut db_rng = stream_rng(cfg.seed, 2_000_000);
         let mut db_latency = StreamingStats::new();
         let mut db_sketch = QuantileSketch::new();
-        run_db_stage_with(
-            all_misses,
-            shards,
-            params.db_service_rate(),
-            &mut db_rng,
-            |(server, idx), d| {
-                db_latency.push(d);
-                db_sketch.push(d);
-                if keep_records {
-                    server_records[server as usize].set_db(idx as usize, d as f32);
-                }
-            },
-        );
+        match cfg.miss_relay {
+            MissRelay::Independent => run_db_stage_with(
+                all_misses,
+                shards,
+                params.db_service_rate(),
+                &mut db_rng,
+                |(server, idx), d| {
+                    db_latency.push(d);
+                    db_sketch.push(d);
+                    if keep_records {
+                        server_records[server as usize].set_db(idx as usize, d as f32);
+                    }
+                },
+            ),
+            MissRelay::Coalesced => run_db_stage_coalesced_with(
+                all_misses,
+                shards,
+                params.db_service_rate(),
+                &mut db_rng,
+                |(server, idx), d, delayed| {
+                    db_latency.push(d);
+                    db_sketch.push(d);
+                    let c = &mut summaries[server as usize].coalesce;
+                    if delayed {
+                        c.delayed_hits += 1;
+                        c.wait_time += d;
+                    } else {
+                        c.dispatched += 1;
+                    }
+                    if keep_records {
+                        let cols = &mut server_records[server as usize];
+                        cols.set_db(idx as usize, d as f32);
+                        if delayed {
+                            cols.set_delayed(idx as usize);
+                        }
+                    }
+                },
+            ),
+        }
 
         Ok(SimOutput {
             server_records: keep_records.then_some(server_records),
@@ -750,6 +790,18 @@ impl SimOutput {
         let mut total = ResilienceCounters::default();
         for s in &self.summaries {
             total.merge(&s.resilience);
+        }
+        total
+    }
+
+    /// Cluster-wide miss-coalescing counters (the merge of every
+    /// server's [`ServerSummary::coalesce`]). All zero under
+    /// [`MissRelay::Independent`].
+    #[must_use]
+    pub fn coalesce(&self) -> CoalesceCounters {
+        let mut total = CoalesceCounters::default();
+        for s in &self.summaries {
+            total.merge(&s.coalesce);
         }
         total
     }

@@ -1,0 +1,226 @@
+//! Property-based tests of the per-key fetch-coalescing invariants,
+//! over randomized cache-backed cluster configurations and synthetic
+//! keyed miss streams.
+//!
+//! The invariants locked down here:
+//!
+//! * **Conservation** — every sampled key resolves exactly once: hits +
+//!   database-path resolutions equal the total, and every database-path
+//!   resolution is either a dispatched fetch or a delayed hit.
+//! * **Waiter drain** — the database stage answers every miss arrival
+//!   exactly once, in arrival order, with its origin intact; no waiter
+//!   is ever leaked or double-resolved.
+//! * **Residual exactness** — a delayed hit waits exactly the residual
+//!   of the outstanding fetch it joins: strictly positive, bounded by
+//!   that fetch's full sojourn, and equal to its completion time minus
+//!   the waiter's arrival time.
+//! * **Dispatch economy** — coalescing never increases the number of
+//!   database dispatches; with all-distinct keys it changes nothing at
+//!   all (bit-identical to the independent relay).
+
+use memlat_cluster::{
+    database::{run_db_stage_coalesced_with, run_db_stage_with, MissArrival, NO_KEY},
+    CacheBackedConfig, ClusterSim, MissMode, MissRelay, SimConfig,
+};
+use memlat_des::stream_rng;
+use memlat_model::ModelParams;
+use proptest::prelude::*;
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// A cache-backed cluster with a deliberately slow database, so that
+/// outstanding-fetch windows are long and coalescing actually triggers.
+fn coalescing_cfg(db_rate: f64, mem_mb: usize, keyspace: u64, skew: f64, seed: u64) -> SimConfig {
+    let params = ModelParams::builder()
+        .db_service_rate(db_rate)
+        .build()
+        .unwrap();
+    SimConfig::new(params)
+        .duration(0.15)
+        .warmup(0.05)
+        .seed(seed)
+        .miss_mode(MissMode::CacheBacked(CacheBackedConfig {
+            memory_bytes: mem_mb << 20,
+            keyspace,
+            skew,
+            mean_value_bytes: 300.0,
+        }))
+        .miss_relay(MissRelay::Coalesced)
+}
+
+/// A sorted synthetic miss stream from random inter-arrival gaps and a
+/// small key pool (small enough that same-key overlap is common).
+fn synthetic_stream(gaps_us: &[f64], keys: &[u64]) -> Vec<MissArrival> {
+    let mut t = 0.0;
+    gaps_us
+        .iter()
+        .zip(keys)
+        .enumerate()
+        .map(|(i, (&gap, &key))| {
+            t += gap * 1e-6;
+            MissArrival {
+                time: t,
+                origin: (0, i as u32),
+                key,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Full-run conservation: hits + database-path resolutions == total
+    /// keys, and every database-path resolution is a dispatch or a
+    /// delayed hit — nothing leaks, nothing double-counts, and the
+    /// record view agrees with the counter view.
+    #[test]
+    fn coalesced_run_conserves_every_key(
+        db_rate in 150.0f64..2_000.0,
+        mem_mb in 1usize..8,
+        keyspace in 20_000u64..200_000,
+        skew in 0.8f64..1.2,
+        seed in 0u64..500,
+    ) {
+        let cfg = coalescing_cfg(db_rate, mem_mb, keyspace, skew, seed);
+        let out = ClusterSim::run(&cfg).unwrap();
+        let jobs: u64 = out.summaries().iter().map(|s| s.counters.jobs).sum();
+        let misses: u64 = out.summaries().iter().map(|s| s.counters.misses).sum();
+        prop_assert_eq!(jobs, out.total_keys());
+        // The db stage answered every miss exactly once...
+        prop_assert_eq!(out.db_latency_stats().count(), misses);
+        // ...and each answer was a dispatched fetch or a delayed hit.
+        let c = out.coalesce();
+        prop_assert_eq!(c.dispatched + c.delayed_hits, misses);
+        // A delayed hit always waits a strictly positive residual.
+        prop_assert_eq!(c.delayed_hits > 0, c.wait_time > 0.0);
+        // The record view agrees: db-positive records == misses.
+        let mut db_records = 0u64;
+        for j in 0..out.shares().len() {
+            for (_, d) in out.records(j) {
+                if d > 0.0 {
+                    db_records += 1;
+                }
+            }
+        }
+        prop_assert_eq!(db_records, misses);
+    }
+
+    /// Coalescing never increases database dispatches: against the
+    /// independent relay on the identical server streams, the coalesced
+    /// relay answers the same number of misses with no more fetches.
+    #[test]
+    fn coalescing_never_increases_dispatches(
+        db_rate in 150.0f64..2_000.0,
+        keyspace in 20_000u64..100_000,
+        seed in 0u64..500,
+    ) {
+        let coalesced_cfg = coalescing_cfg(db_rate, 2, keyspace, 1.05, seed);
+        let independent_cfg = coalesced_cfg.clone().miss_relay(MissRelay::Independent);
+        let coalesced = ClusterSim::run(&coalesced_cfg).unwrap();
+        let independent = ClusterSim::run(&independent_cfg).unwrap();
+        // Same server-side streams: the relay choice is post-merge.
+        prop_assert_eq!(coalesced.total_keys(), independent.total_keys());
+        prop_assert_eq!(coalesced.miss_ratio(), independent.miss_ratio());
+        prop_assert_eq!(
+            coalesced.db_latency_stats().count(),
+            independent.db_latency_stats().count()
+        );
+        let c = coalesced.coalesce();
+        prop_assert!(c.dispatched <= independent.db_latency_stats().count());
+        prop_assert!(!independent.coalesce().any());
+    }
+
+    /// Database-stage waiter drain and residual exactness on synthetic
+    /// keyed streams: every arrival is answered once, in order, with its
+    /// origin intact; every delayed hit waits exactly the residual of
+    /// the outstanding fetch it joined, strictly positive and no longer
+    /// than that fetch's full sojourn.
+    #[test]
+    fn db_stage_drains_waiters_with_exact_residuals(
+        gaps_us in proptest::collection::vec(1.0f64..2_000.0, 20..200),
+        key_picks in proptest::collection::vec(0u64..8, 20..200),
+        shards in 1usize..4,
+        mu_d in 300.0f64..3_000.0,
+        seed in 0u64..1_000,
+    ) {
+        let n = gaps_us.len().min(key_picks.len());
+        let misses = synthetic_stream(&gaps_us[..n], &key_picks[..n]);
+        let mut rng = stream_rng(seed, 42);
+        let mut events: Vec<((u32, u32), f64, bool)> = Vec::new();
+        run_db_stage_coalesced_with(&misses, shards, mu_d, &mut rng, |o, d, delayed| {
+            events.push((o, d, delayed));
+        });
+        // Drain: exactly one resolution per arrival, in arrival order.
+        prop_assert_eq!(events.len(), misses.len());
+        // Completion time and sojourn of each key's outstanding fetch,
+        // reconstructed independently of the implementation's map.
+        let mut fetch: HashMap<u64, (f64, f64)> = HashMap::new();
+        for (m, &(origin, d, delayed)) in misses.iter().zip(&events) {
+            prop_assert_eq!(origin, m.origin);
+            prop_assert!(d > 0.0);
+            if delayed {
+                let &(done_at, sojourn) = fetch
+                    .get(&m.key)
+                    .expect("delayed hit with no outstanding fetch");
+                // The joined fetch was still outstanding...
+                prop_assert!(done_at > m.time);
+                // ...and the wait is exactly its residual, which can
+                // never exceed the full sojourn (fetches dispatch at or
+                // before the waiter arrives in a sorted stream).
+                prop_assert!((d - (done_at - m.time)).abs() <= 1e-12 * done_at.abs().max(1.0));
+                prop_assert!(d <= sojourn + 1e-12);
+            } else {
+                // A dispatch: any prior same-key fetch must have already
+                // completed, or this would have parked as a waiter.
+                if let Some(&(done_at, _)) = fetch.get(&m.key) {
+                    prop_assert!(done_at <= m.time);
+                }
+                fetch.insert(m.key, (m.time + d, d));
+            }
+        }
+        // Dispatch economy: never more fetches than arrivals, and the
+        // split is conserved.
+        let dispatched = events.iter().filter(|e| !e.2).count();
+        let delayed = events.iter().filter(|e| e.2).count();
+        prop_assert_eq!(dispatched + delayed, misses.len());
+    }
+
+    /// With all-distinct keys (or keyless arrivals) nothing can
+    /// coalesce: the coalesced stage must reproduce the independent
+    /// stage bit-for-bit, including its RNG consumption.
+    #[test]
+    fn db_stage_with_distinct_keys_matches_independent(
+        gaps_us in proptest::collection::vec(1.0f64..2_000.0, 20..100),
+        keyless_coin in 0u64..2,
+        shards in 1usize..4,
+        mu_d in 300.0f64..3_000.0,
+        seed in 0u64..1_000,
+    ) {
+        let keyless = keyless_coin == 1;
+        let keys: Vec<u64> = (0..gaps_us.len() as u64)
+            .map(|i| if keyless { NO_KEY } else { i })
+            .collect();
+        let misses = synthetic_stream(&gaps_us, &keys);
+        let mut rng_i = stream_rng(seed, 42);
+        let mut independent: Vec<((u32, u32), f64)> = Vec::new();
+        run_db_stage_with(&misses, shards, mu_d, &mut rng_i, |o, d| {
+            independent.push((o, d));
+        });
+        let mut rng_c = stream_rng(seed, 42);
+        let mut coalesced: Vec<((u32, u32), f64)> = Vec::new();
+        let mut any_delayed = false;
+        run_db_stage_coalesced_with(&misses, shards, mu_d, &mut rng_c, |o, d, delayed| {
+            any_delayed |= delayed;
+            coalesced.push((o, d));
+        });
+        prop_assert!(!any_delayed, "nothing can coalesce here");
+        prop_assert_eq!(independent.len(), coalesced.len());
+        for (a, b) in independent.iter().zip(&coalesced) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        // Identical RNG consumption: the next draw agrees.
+        prop_assert_eq!(rng_i.next_u64(), rng_c.next_u64());
+    }
+}

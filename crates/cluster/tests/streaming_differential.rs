@@ -77,6 +77,11 @@ fn materialized_reference(params: &ModelParams, cfg: &SimConfig) -> Vec<Vec<(f32
                     all_misses.push(MissArrival {
                         time: r.completion,
                         origin: (j as u32, idx as u32),
+                        key: if r.forced {
+                            memlat_cluster::database::NO_KEY
+                        } else {
+                            r.key
+                        },
                     });
                 }
                 recs.push((r.server_latency as f32, 0.0f32));

@@ -42,6 +42,13 @@ fn main() {
             p.id, p.n, p.utilization, p.delta, verdict
         );
     }
+    for c in &report.delayed_hits {
+        let verdict = if c.pass { "ok" } else { "FAIL" };
+        eprintln!(
+            "  delayed-hit {:<18} obs={:.6} exp={:.6} rel_err={:.4}  {}",
+            c.quantity, c.observed, c.expected, c.rel_err, verdict
+        );
+    }
     for s in &report.samplers {
         let verdict = if s.pass { "ok" } else { "FAIL" };
         eprintln!(

@@ -551,6 +551,170 @@ pub fn queue_law_checks(profile: &Profile) -> Result<Vec<SamplerCheck>, SimError
     Ok(checks)
 }
 
+/// One delayed-hit closed-form check: an observed quantity of the
+/// coalescing database stage against its Jiang & Ma (arXiv 2505.15531)
+/// prediction.
+#[derive(Debug, Clone)]
+pub struct DelayedHitCheck {
+    /// Quantity under test (`"mean_latency"`, `"p99_latency"`,
+    /// `"delayed_fraction"`, `"dispatch_rate"`).
+    pub quantity: &'static str,
+    /// Simulated value.
+    pub observed: f64,
+    /// Closed-form prediction.
+    pub expected: f64,
+    /// `|observed − expected| / expected`.
+    pub rel_err: f64,
+    /// Allowed relative tolerance.
+    pub rel_tol: f64,
+    /// `rel_err ≤ rel_tol`.
+    pub pass: bool,
+}
+
+fn delayed_hit_check(
+    quantity: &'static str,
+    observed: f64,
+    expected: f64,
+    rel_tol: f64,
+) -> DelayedHitCheck {
+    let rel_err = (observed - expected).abs() / expected;
+    DelayedHitCheck {
+        quantity,
+        observed,
+        expected,
+        rel_err,
+        rel_tol,
+        pass: rel_err <= rel_tol,
+    }
+}
+
+/// Relative tolerance for the delayed-hit mean, delayed fraction, and
+/// dispatch-rate gates (tens of thousands of arrivals per run put the
+/// sampling error well under 1%; the rest is margin).
+pub const DELAYED_HIT_TOL: f64 = 0.05;
+/// Relative tolerance for the delayed-hit p99 gate (the tail estimator
+/// is noisier than the mean).
+pub const DELAYED_HIT_TAIL_TOL: f64 = 0.10;
+
+/// Gates the simulator's per-key fetch coalescing against the Jiang &
+/// Ma closed forms, in the regime where they are *exact*: per-key
+/// Poisson miss arrivals and `Exp(ν)` fetch latency with no database
+/// queueing (the shard pool is sized so round-robin spacing makes a
+/// busy shard unreachable).
+///
+/// In that regime the memoryless property collapses the whole law: a
+/// dispatched fetch takes `Exp(ν)`, and a delayed hit waits the
+/// residual of an outstanding `Exp(ν)` fetch — also `Exp(ν)` — so
+/// every database-path latency is `Exp(ν)` regardless of the arrival
+/// rates ([`memlat_model::delayed_hit::exponential_mean_latency`]).
+/// The delayed *fraction* and dispatch rate do depend on the per-key
+/// rates, through the renewal-reward aggregates.
+///
+/// Returns the four numeric gates plus a KS check of the pooled
+/// latencies against the `Exp(ν)` CDF (thinned: latencies within one
+/// outstanding-fetch window share its completion time).
+#[must_use]
+pub fn delayed_hit_checks(profile: &Profile) -> (Vec<DelayedHitCheck>, SamplerCheck) {
+    use memlat_cluster::database::{run_db_stage_coalesced_with, MissArrival};
+    use memlat_model::delayed_hit;
+
+    // Mean fetch 1 ms; per-key Poisson rates on a 1/k profile spanning
+    // λ_k·E[Z] from ~24 down to ~1.5 — every key coalesces materially,
+    // none completely.
+    let nu = 1_000.0;
+    let mean_z = 1.0 / nu;
+    let rates: Vec<f64> = (1..=16u32).map(|k| 24_000.0 / f64::from(k)).collect();
+    let horizon = if profile.quick { 0.5 } else { 1.5 };
+
+    // Superpose the per-key Poisson streams, each from its own seeded
+    // generator so the construction is deterministic.
+    let mut arrivals: Vec<(f64, u64)> = Vec::new();
+    for (k, &lambda) in rates.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(0xDE1A_0000 + k as u64);
+        let mut t = 0.0;
+        loop {
+            let u: f64 = memlat_dist::open_unit(&mut rng);
+            t -= u.ln() / lambda;
+            if t >= horizon {
+                break;
+            }
+            arrivals.push((t, k as u64));
+        }
+    }
+    arrivals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let misses: Vec<MissArrival> = arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, &(t, key))| MissArrival {
+            time: t,
+            origin: (0, i as u32),
+            key,
+        })
+        .collect();
+
+    // Generous shards: round-robin spacing between two dispatches to
+    // the same shard is thousands of mean fetches, so queueing never
+    // happens and each sojourn is exactly its Exp(ν) service draw.
+    let shards = 4_096;
+    let mut rng = StdRng::seed_from_u64(0xDE1A_FE7C);
+    let mut latencies: Vec<f64> = Vec::with_capacity(misses.len());
+    let mut delayed = 0u64;
+    run_db_stage_coalesced_with(&misses, shards, nu, &mut rng, |_, d, was_delayed| {
+        latencies.push(d);
+        if was_delayed {
+            delayed += 1;
+        }
+    });
+    let n = latencies.len() as f64;
+    let mean = latencies.iter().sum::<f64>() / n;
+    let mut sorted = latencies.clone();
+    sorted.sort_by(f64::total_cmp);
+    let p99 = sorted[((0.99 * n) as usize).min(sorted.len() - 1)];
+    let dispatched = latencies.len() as u64 - delayed;
+
+    let checks = vec![
+        delayed_hit_check(
+            "mean_latency",
+            mean,
+            delayed_hit::exponential_mean_latency(nu).expect("ν > 0"),
+            DELAYED_HIT_TOL,
+        ),
+        delayed_hit_check(
+            "p99_latency",
+            p99,
+            delayed_hit::exponential_latency_quantile(nu, 0.99).expect("valid quantile"),
+            DELAYED_HIT_TAIL_TOL,
+        ),
+        delayed_hit_check(
+            "delayed_fraction",
+            delayed as f64 / n,
+            delayed_hit::aggregate_delayed_fraction(&rates, mean_z).expect("valid rates"),
+            DELAYED_HIT_TOL,
+        ),
+        delayed_hit_check(
+            "dispatch_rate",
+            dispatched as f64 / horizon,
+            delayed_hit::aggregate_dispatch_rate(&rates, mean_z).expect("valid rates"),
+            DELAYED_HIT_TOL,
+        ),
+    ];
+
+    // KS against Exp(ν): thin to break the within-window dependence
+    // (all delayed hits of one fetch share its completion time).
+    let mut thinned: Vec<f64> = latencies.iter().step_by(profile.thin).copied().collect();
+    thinned.sort_by(f64::total_cmp);
+    let t = ks_one_sample(&thinned, |x| 1.0 - (-nu * x).exp());
+    let ks = SamplerCheck {
+        family: "delayed_hit_exponential",
+        test: "ks".to_string(),
+        n: thinned.len(),
+        statistic: t.statistic,
+        p_value: t.p_value,
+        pass: t.passes(ALPHA),
+    };
+    (checks, ks)
+}
+
 /// Full conformance report: grid points plus sampler and queue-law
 /// goodness-of-fit checks.
 #[derive(Debug, Clone)]
@@ -563,6 +727,8 @@ pub struct Report {
     pub alpha: f64,
     /// Per-grid-point model-vs-simulation checks.
     pub points: Vec<PointReport>,
+    /// Delayed-hit closed-form gates (Jiang & Ma exact regime).
+    pub delayed_hits: Vec<DelayedHitCheck>,
     /// Sampler and queue-law goodness-of-fit checks.
     pub samplers: Vec<SamplerCheck>,
 }
@@ -571,7 +737,9 @@ impl Report {
     /// True when every point and every GOF check passes.
     #[must_use]
     pub fn pass(&self) -> bool {
-        self.points.iter().all(PointReport::pass) && self.samplers.iter().all(|s| s.pass)
+        self.points.iter().all(PointReport::pass)
+            && self.delayed_hits.iter().all(|c| c.pass)
+            && self.samplers.iter().all(|s| s.pass)
     }
 
     /// Human-readable list of every failed check (empty on pass).
@@ -600,6 +768,14 @@ impl Report {
                         c.estimate * 1e6,
                     ));
                 }
+            }
+        }
+        for c in &self.delayed_hits {
+            if !c.pass {
+                v.push(format!(
+                    "delayed_hit/{}: observed {:.6} vs closed form {:.6} (rel err {:.4} > {:.4})",
+                    c.quantity, c.observed, c.expected, c.rel_err, c.rel_tol
+                ));
             }
         }
         for s in &self.samplers {
@@ -661,6 +837,25 @@ impl Report {
                 "    }\n"
             });
         }
+        s.push_str("  ],\n  \"delayed_hits\": [\n");
+        for (i, c) in self.delayed_hits.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"quantity\": \"{}\", \"observed\": {}, \"expected\": {}, \
+                 \"rel_err\": {}, \"rel_tol\": {}, \"pass\": {}}}",
+                c.quantity,
+                json_f64(c.observed),
+                json_f64(c.expected),
+                json_f64(c.rel_err),
+                json_f64(c.rel_tol),
+                c.pass,
+            );
+            s.push_str(if i + 1 < self.delayed_hits.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
         s.push_str("  ],\n  \"samplers\": [\n");
         for (i, c) in self.samplers.iter().enumerate() {
             let _ = write!(
@@ -706,13 +901,16 @@ pub fn run(profile: &Profile) -> Result<Report, SimError> {
     for point in grid(profile).map_err(SimError::Model)? {
         points.push(check_point(&point, profile)?);
     }
+    let (delayed_hits, delayed_ks) = delayed_hit_checks(profile);
     let mut samplers = sampler_checks(profile);
     samplers.extend(queue_law_checks(profile)?);
+    samplers.push(delayed_ks);
     Ok(Report {
         quick: profile.quick,
         replications: profile.replications,
         alpha: ALPHA,
         points,
+        delayed_hits,
         samplers,
     })
 }
@@ -784,6 +982,35 @@ mod tests {
     }
 
     #[test]
+    fn delayed_hit_closed_forms_conform() {
+        let (checks, ks) = delayed_hit_checks(&Profile::quick());
+        assert_eq!(checks.len(), 4);
+        for c in &checks {
+            assert!(
+                c.pass,
+                "{}: observed {:.6} vs expected {:.6} (rel err {:.4} > {:.4})",
+                c.quantity, c.observed, c.expected, c.rel_err, c.rel_tol
+            );
+        }
+        // The regime must be a real coalescing regime, not a vacuous one.
+        let frac = checks
+            .iter()
+            .find(|c| c.quantity == "delayed_fraction")
+            .unwrap();
+        assert!(
+            frac.observed > 0.5,
+            "delayed fraction too small to exercise the machinery: {}",
+            frac.observed
+        );
+        assert!(ks.n > 100, "too few thinned samples: {}", ks.n);
+        assert!(
+            ks.pass,
+            "latency law is not Exp(ν): D = {:.5}, p = {:.5}",
+            ks.statistic, ks.p_value
+        );
+    }
+
+    #[test]
     fn quick_grid_conforms() {
         let profile = Profile::quick();
         for point in grid(&profile).unwrap() {
@@ -802,6 +1029,8 @@ mod tests {
         assert_eq!(ja, jb, "two identical runs must serialize identically");
         assert!(ja.starts_with("{\n  \"schema\": \"memlat-conformance-v1\""));
         assert!(ja.contains("\"points\": ["));
+        assert!(ja.contains("\"delayed_hits\": ["));
+        assert!(ja.contains("\"delayed_fraction\""));
         assert!(ja.contains("\"samplers\": ["));
         assert!(!ja.contains("NaN") && !ja.contains("inf"));
         // Braces/brackets balance — cheap structural sanity without a

@@ -179,9 +179,78 @@ impl ResilienceCounters {
     }
 }
 
+/// Per-server miss-coalescing counters (delayed hits).
+///
+/// When the cluster's miss relay coalesces per-key fetches, each miss
+/// reaching the database either *dispatches* a new fetch or parks as a
+/// waiter on an outstanding fetch for the same key and resolves at that
+/// fetch's completion — a **delayed hit**. These counters account for
+/// both, attributed to the server that originated the miss. All zero
+/// under the independent relay (the paper's model).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoalesceCounters {
+    /// Database fetches actually dispatched (one per outstanding-fetch
+    /// window per key).
+    pub dispatched: u64,
+    /// Misses resolved by waiting on an already-outstanding fetch.
+    pub delayed_hits: u64,
+    /// Total seconds delayed hits spent waiting (the sum of residual
+    /// fetch latencies; `wait_time / delayed_hits` is the mean wait).
+    pub wait_time: f64,
+}
+
+impl CoalesceCounters {
+    /// Combines counters from two disjoint observation streams.
+    pub fn merge(&mut self, other: &Self) {
+        self.dispatched += other.dispatched;
+        self.delayed_hits += other.delayed_hits;
+        self.wait_time += other.wait_time;
+    }
+
+    /// Whether any coalescing activity was observed at all.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self != &Self::default()
+    }
+
+    /// Fraction of database-path resolutions that were delayed hits
+    /// (0 when nothing reached the database).
+    #[must_use]
+    pub fn delayed_fraction(&self) -> f64 {
+        let total = self.dispatched + self.delayed_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.delayed_hits as f64 / total as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn coalesce_counters_merge_and_fraction() {
+        let mut a = CoalesceCounters {
+            dispatched: 3,
+            delayed_hits: 1,
+            wait_time: 0.25,
+        };
+        let b = CoalesceCounters {
+            dispatched: 1,
+            delayed_hits: 3,
+            wait_time: 0.75,
+        };
+        a.merge(&b);
+        assert_eq!(a.dispatched, 4);
+        assert_eq!(a.delayed_hits, 4);
+        assert!((a.wait_time - 1.0).abs() < 1e-12);
+        assert!((a.delayed_fraction() - 0.5).abs() < 1e-12);
+        assert!(a.any());
+        assert!(!CoalesceCounters::default().any());
+        assert_eq!(CoalesceCounters::default().delayed_fraction(), 0.0);
+    }
 
     #[test]
     fn resilience_counters_merge() {

@@ -1,0 +1,4 @@
+//! Regenerates the delayed-hits coalescing sweep. See EXPERIMENTS.md.
+fn main() {
+    memlat_experiments::delayed_hits::delayed_hits().emit();
+}

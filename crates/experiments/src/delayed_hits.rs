@@ -1,0 +1,255 @@
+//! Delayed-hits experiment: what per-key fetch coalescing buys in the
+//! database path, across fetch-latency × Zipf-skew × cache-size regimes.
+//!
+//! Classic cache analysis charges every miss one independent fetch. In a
+//! real memcached deployment the backing store is slow enough that many
+//! misses for a *hot* key arrive while its fetch is still outstanding —
+//! the "delayed hits" of Atre et al. (SIGCOMM 2020). A coalescing relay
+//! parks those requests on the in-flight fetch instead of dispatching
+//! duplicates, which (a) resolves them after only the fetch's residual
+//! and (b) sheds load from the database, shrinking its queues for
+//! everyone.
+//!
+//! One row per regime; both relays run on the same seed with the same
+//! explicitly-sized database, so columns are pathwise comparable:
+//!
+//! * **independent** — the legacy relay: every miss dispatches.
+//! * **coalesced** — first miss per key dispatches; concurrent same-key
+//!   misses wait out the residual.
+//!
+//! The database is sized from a short calibration run to sit at ~90%
+//! utilization under the *independent* relay's dispatch rate, the regime
+//! where queueing dominates and duplicate suppression is worth the most.
+//! Closed-form gating of the coalescing machinery against the Jiang & Ma
+//! (arXiv 2505.15531) expressions lives in the conformance harness; this
+//! sweep maps the engineering win.
+
+use memlat_cluster::{
+    CacheBackedConfig, ClusterSim, MissMode, MissRelay, Retention, SimConfig, SimScratch,
+};
+use memlat_model::ModelParams;
+
+use crate::{parallel_sweep_with, sim_duration, ExpResult};
+
+const SEED: u64 = 0xde1a;
+const WARMUP: f64 = 0.1;
+/// Zipf keyspace shared by every regime; the cache sizes sweep the
+/// fraction of its ~60 MB working set that fits.
+const KEYSPACE: u64 = 200_000;
+const MEAN_VALUE_BYTES: f64 = 300.0;
+/// Target database utilization under the independent relay.
+const TARGET_RHO: f64 = 0.9;
+
+/// One sweep regime: mean fetch latency, popularity skew, cache memory.
+struct Regime {
+    fetch_us: f64,
+    skew: f64,
+    mem_mb: usize,
+}
+
+fn base_cfg(r: &Regime, params: ModelParams) -> SimConfig {
+    SimConfig::new(params)
+        .duration(sim_duration())
+        .warmup(WARMUP)
+        .seed(SEED)
+        .retention(Retention::Summary)
+        .miss_mode(MissMode::CacheBacked(CacheBackedConfig {
+            memory_bytes: r.mem_mb << 20,
+            keyspace: KEYSPACE,
+            skew: r.skew,
+            mean_value_bytes: MEAN_VALUE_BYTES,
+        }))
+}
+
+/// Delayed-hits sweep — fetch latency × skew × cache size, independent
+/// vs coalesced relay on identical seeds and database sizing.
+#[must_use]
+pub fn delayed_hits() -> ExpResult {
+    let regimes: Vec<Regime> = {
+        let mut v = Vec::new();
+        for &fetch_us in &[200.0, 2_000.0] {
+            for &skew in &[0.9, 1.2] {
+                for &mem_mb in &[2usize, 16] {
+                    v.push(Regime {
+                        fetch_us,
+                        skew,
+                        mem_mb,
+                    });
+                }
+            }
+        }
+        v
+    };
+
+    let rows = parallel_sweep_with(regimes, SimScratch::new, |scratch, r| {
+        let mu_d = 1e6 / r.fetch_us;
+        let params = ModelParams::builder()
+            .db_service_rate(mu_d)
+            .build()
+            .expect("valid sweep point");
+        let total_key_rate = params.total_key_rate();
+
+        // Calibration: the emergent miss ratio depends only on the
+        // server-side stream (cache size, skew, seed), not the relay or
+        // the database, so a short independent run pins it — and with it
+        // the shard count that puts the database at ~TARGET_RHO under
+        // one-fetch-per-miss dispatching.
+        let cal_cfg = base_cfg(&r, params.clone()).duration(sim_duration().min(0.5));
+        let cal = ClusterSim::run_with(&cal_cfg, scratch).expect("calibration run");
+        let miss_rate = cal.miss_ratio() * total_key_rate;
+        let shards = ((miss_rate / (TARGET_RHO * mu_d)).ceil() as usize).max(1);
+
+        let cfg = base_cfg(&r, params).db_shards(shards);
+        let independent = ClusterSim::run_with(&cfg, scratch).expect("independent run");
+        let coalesced =
+            ClusterSim::run_with(&cfg.clone().miss_relay(MissRelay::Coalesced), scratch)
+                .expect("coalesced run");
+
+        let c = coalesced.coalesce();
+        let db_keys = coalesced.db_latency_stats().count();
+        let ind_dispatches = independent.db_latency_stats().count();
+        let dispatch_reduction = if ind_dispatches == 0 {
+            0.0
+        } else {
+            100.0 * (ind_dispatches - c.dispatched) as f64 / ind_dispatches as f64
+        };
+        let mean_wait_us = if c.delayed_hits == 0 {
+            0.0
+        } else {
+            c.wait_time / c.delayed_hits as f64 * 1e6
+        };
+        vec![
+            r.fetch_us,
+            r.skew,
+            r.mem_mb as f64,
+            coalesced.miss_ratio() * 100.0,
+            shards as f64,
+            c.dispatched as f64,
+            c.delayed_hits as f64,
+            100.0 * c.delayed_fraction(),
+            dispatch_reduction,
+            independent.db_latency_stats().mean() * 1e6,
+            coalesced.db_latency_stats().mean() * 1e6,
+            independent.db_latency_sketch().quantile(0.99) * 1e6,
+            coalesced.db_latency_sketch().quantile(0.99) * 1e6,
+            mean_wait_us,
+            db_keys as f64,
+        ]
+    });
+
+    let mut r = ExpResult::new(
+        "delayed_hits",
+        "Delayed hits — per-key fetch coalescing vs independent relay, by regime",
+        &[
+            "fetch_us",
+            "skew",
+            "mem_mb",
+            "miss_pct",
+            "db_shards",
+            "dispatched",
+            "delayed_hits",
+            "delayed_pct",
+            "dispatch_reduction_pct",
+            "ind_db_mean_us",
+            "coal_db_mean_us",
+            "ind_db_p99_us",
+            "coal_db_p99_us",
+            "mean_wait_us",
+            "db_keys",
+        ],
+    );
+    for row in rows {
+        r.push_row(row);
+    }
+    r.note(format!(
+        "database sharded for ~{:.0}% utilization under the independent relay \
+         (calibrated per regime from the emergent miss ratio); both relays share \
+         seed {SEED:#x} and the sharding, so columns are pathwise comparable",
+        TARGET_RHO * 100.0
+    ));
+    r.note(
+        "delayed_pct = delayed hits / database-path keys; dispatch_reduction_pct = \
+         fetches the coalescing relay shed relative to one-fetch-per-miss",
+    );
+    r.note(
+        "the win concentrates where fetches are slow and popularity is skewed: \
+         long outstanding windows × hot keys ⇒ many same-key misses coalesce, \
+         cutting both the mean and the p99 of the database path",
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() {
+        std::env::set_var("MEMLAT_QUICK", "1");
+    }
+
+    #[test]
+    fn delayed_hits_story_holds() {
+        quick();
+        let f = delayed_hits();
+        assert_eq!(f.rows.len(), 8);
+        let fetch = f.column("fetch_us").unwrap();
+        let skew = f.column("skew").unwrap();
+        let mem_mb = f.column("mem_mb").unwrap();
+        let delayed_pct = f.column("delayed_pct").unwrap();
+        let reduction = f.column("dispatch_reduction_pct").unwrap();
+        let ind_mean = f.column("ind_db_mean_us").unwrap();
+        let coal_mean = f.column("coal_db_mean_us").unwrap();
+        let ind_p99 = f.column("ind_db_p99_us").unwrap();
+        let coal_p99 = f.column("coal_db_p99_us").unwrap();
+        let dispatched = f.column("dispatched").unwrap();
+        let delayed = f.column("delayed_hits").unwrap();
+        let db_keys = f.column("db_keys").unwrap();
+        for i in 0..f.rows.len() {
+            // Conservation survives into the report.
+            assert_eq!(dispatched[i] + delayed[i], db_keys[i]);
+            // Coalescing can only shed fetches, never add them.
+            assert!(reduction[i] >= 0.0);
+            // The headline regime: slow fetches × hot keys × small
+            // cache ⇒ material coalescing that beats the independent
+            // relay on mean AND p99 of the database path. (The large
+            // cache absorbs most hot-key re-references before they can
+            // miss, so its delayed fraction stays fractional.)
+            if fetch[i] >= 1_000.0 && skew[i] >= 1.2 && mem_mb[i] <= 2.0 {
+                assert!(
+                    delayed_pct[i] > 1.0,
+                    "slow/hot regime barely coalesced: {}% (row {i})",
+                    delayed_pct[i]
+                );
+                assert!(
+                    coal_mean[i] < ind_mean[i],
+                    "coalescing failed to cut the mean: {} !< {} (row {i})",
+                    coal_mean[i],
+                    ind_mean[i]
+                );
+                assert!(
+                    coal_p99[i] < ind_p99[i],
+                    "coalescing failed to cut the p99: {} !< {} (row {i})",
+                    coal_p99[i],
+                    ind_p99[i]
+                );
+            }
+        }
+        // More skew ⇒ more coalescing, within each (fetch, mem) pair.
+        for i in 0..f.rows.len() {
+            for j in 0..f.rows.len() {
+                if fetch[i] == fetch[j]
+                    && f.rows[i][2] == f.rows[j][2]
+                    && skew[i] < skew[j]
+                    && delayed_pct[j] > 0.5
+                {
+                    assert!(
+                        delayed_pct[j] > delayed_pct[i],
+                        "skew {} did not coalesce more than {} (rows {i},{j})",
+                        skew[j],
+                        skew[i]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -516,6 +516,7 @@ pub fn all() -> Vec<ExpResult> {
         fig12(),
         fig13(),
         crate::fault::fault_sweep(),
+        crate::delayed_hits::delayed_hits(),
     ]
 }
 

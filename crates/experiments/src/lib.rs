@@ -22,6 +22,7 @@ use std::fs;
 use std::path::PathBuf;
 
 pub mod ablations;
+pub mod delayed_hits;
 pub mod experiments;
 pub mod fault;
 

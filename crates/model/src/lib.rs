@@ -32,6 +32,8 @@
 //!   variant quantifying the paper's `ln(K+1)` approximation.
 //! * [`latency`] — [`LatencyEstimate`]: the assembled Theorem 1.
 //! * [`cliff`] — Proposition 2: the cliff utilization `ρ_S(ξ)`, Table 4.
+//! * [`delayed_hit`] — extension: per-key fetch coalescing closed forms
+//!   (Jiang & Ma, arXiv 2505.15531) for the simulator's coalescing relay.
 //! * [`analysis`] — §5.3: quantitative factor comparison and
 //!   recommendations.
 //! * [`asymptotics`] — eq. 25 and the `Θ(log N)` growth laws.
@@ -71,6 +73,7 @@ pub mod analysis;
 pub mod asymptotics;
 pub mod cliff;
 pub mod database;
+pub mod delayed_hit;
 pub mod latency;
 pub mod params;
 pub mod request_law;

@@ -7,7 +7,10 @@
 //! survive aggregation across servers, the parallel scheduler, and the
 //! retry drain at the horizon.
 
-use memlat::cluster::{ClientPolicy, ClusterSim, FaultPlan, RetryPolicy, SimConfig, SimOutput};
+use memlat::cluster::{
+    CacheBackedConfig, ClientPolicy, ClusterSim, FaultPlan, MissMode, MissRelay, RetryPolicy,
+    SimConfig, SimOutput,
+};
 use memlat::model::ModelParams;
 
 /// Crash and slowdown windows used throughout (seconds, absolute sim
@@ -108,6 +111,143 @@ fn assert_conservation(out: &SimOutput) {
     for summary in out.summaries() {
         assert!(summary.counters.misses <= summary.counters.jobs);
     }
+}
+
+/// A faulted, cache-backed cluster on the coalescing relay: a slow
+/// database keeps fetches outstanding long enough that same-key misses
+/// coalesce, while the crash/slowdown windows force keys through the
+/// timeout → retry → forced-miss path concurrently.
+fn coalesced_faulty_config(threads: usize) -> SimConfig {
+    let params = ModelParams::builder()
+        .db_service_rate(300.0)
+        .build()
+        .unwrap();
+    let plan = FaultPlan::none()
+        .crash(0, 0.10, 0.18)
+        .slowdown(1, 0.08, 0.25, 6.0);
+    let client = ClientPolicy::none()
+        .timeout(2e-3)
+        .retry(RetryPolicy {
+            max_retries: 2,
+            base_backoff: 500e-6,
+            multiplier: 2.0,
+            jitter: 0.5,
+        })
+        .hedge(1e-3);
+    SimConfig::new(params)
+        .duration(0.3)
+        .warmup(0.05)
+        .seed(0xc0a1_fa01)
+        .threads(threads)
+        .miss_mode(MissMode::CacheBacked(CacheBackedConfig {
+            memory_bytes: 2 << 20,
+            keyspace: 50_000,
+            skew: 1.05,
+            mean_value_bytes: 300.0,
+        }))
+        .miss_relay(MissRelay::Coalesced)
+        .fault_plan(plan)
+        .client(client)
+}
+
+/// Conservation with parked waiters in play: every database-path key —
+/// regular miss or forced (timed-out / refused) miss — resolves exactly
+/// once as either a dispatched fetch or a delayed hit. A waiter whose
+/// origin request was timed out never reaches the relay (the timeout
+/// resolves it to a forced miss first), and a forced miss is keyless by
+/// construction, so it always dispatches and can never park.
+fn assert_coalesced_conservation(out: &SimOutput) {
+    let total = out.resilience();
+    let regular: u64 = out.summaries().iter().map(|s| s.counters.misses).sum();
+    let db_keys = regular + total.forced_misses;
+    assert_eq!(out.db_latency_stats().count(), db_keys);
+    let c = out.coalesce();
+    assert_eq!(c.dispatched + c.delayed_hits, db_keys, "waiter leaked");
+    // Keyless forced misses always dispatch — they can never be absorbed
+    // into another key's outstanding fetch.
+    assert!(c.dispatched >= total.forced_misses);
+    // The regime was chosen so both machineries actually engage.
+    assert!(c.delayed_hits > 0, "regime should coalesce");
+    assert!(c.wait_time > 0.0);
+    assert!(total.forced_misses > 0, "faults should force misses");
+    assert!(total.retries > 0);
+    // The failure ledger is undisturbed by the relay choice.
+    assert_eq!(
+        total.timeouts + total.refused,
+        total.retries + total.forced_misses
+    );
+    assert!(total.hedges_won <= total.hedges_sent);
+    assert!(total.hedges_sent > 0);
+    // Per-server ledgers survive aggregation.
+    for (j, summary) in out.summaries().iter().enumerate() {
+        let r = &summary.resilience;
+        assert_eq!(
+            r.timeouts + r.refused,
+            r.retries + r.forced_misses,
+            "server {j}: failures ≠ retries + forced misses"
+        );
+    }
+}
+
+#[test]
+fn coalescing_with_faults_conserves_and_is_thread_invariant() {
+    let a = ClusterSim::run(&coalesced_faulty_config(1)).unwrap();
+    let b = ClusterSim::run(&coalesced_faulty_config(4)).unwrap();
+    assert_coalesced_conservation(&a);
+    assert_coalesced_conservation(&b);
+    // The parallel scheduler must not perturb waiter parking: counters,
+    // coalesce ledgers, and record streams are bit-identical.
+    assert_eq!(a.total_keys(), b.total_keys());
+    assert_eq!(a.resilience(), b.resilience());
+    assert_eq!(a.coalesce(), b.coalesce());
+    for (sa, sb) in a.summaries().iter().zip(b.summaries()) {
+        assert_eq!(sa.coalesce, sb.coalesce);
+        assert_eq!(sa.resilience, sb.resilience);
+    }
+    for j in 0..a.summaries().len() {
+        assert_eq!(a.records(j).s(), b.records(j).s());
+        assert_eq!(a.records(j).d(), b.records(j).d());
+    }
+}
+
+/// A server faulted for the entire horizon: every one of its measured
+/// keys exhausts the retry budget and degrades to a keyless forced
+/// miss. None of them may park as waiters (nothing to wait on, and a
+/// degraded key must resolve immediately at the database), so that
+/// server's ledger shows zero delayed hits with every database trip a
+/// dispatch, while the healthy servers still coalesce normally.
+#[test]
+fn fully_faulted_server_never_leaks_waiters() {
+    let horizon = 0.05 + 0.3;
+    let base = coalesced_faulty_config(1);
+    // The window must extend past the horizon, not end at it: backoff
+    // retries scheduled near the horizon land *after* the window closes
+    // and would find a healthy server.
+    let cfg = base.fault_plan(FaultPlan::none().crash(0, 0.0, horizon + 1.0));
+    let out = ClusterSim::run(&cfg).unwrap();
+    let down = &out.summaries()[0];
+    // Downtime accounting clips the scheduled window to the horizon.
+    assert!((down.resilience.downtime - horizon).abs() < 1e-12);
+    // Every measured key on the dead server was refused into a forced
+    // miss; none became a regular (keyed) miss.
+    assert_eq!(down.counters.misses, 0, "dead server produced keyed misses");
+    assert!(down.resilience.forced_misses > 0);
+    assert_eq!(down.counters.jobs, down.resilience.forced_misses);
+    // All of them dispatched — a degraded key never parks.
+    assert_eq!(down.coalesce.delayed_hits, 0);
+    assert_eq!(down.coalesce.wait_time, 0.0);
+    assert_eq!(down.coalesce.dispatched, down.resilience.forced_misses);
+    // The cluster-wide ledger still balances, and the healthy servers
+    // still coalesce.
+    let total = out.resilience();
+    let regular: u64 = out.summaries().iter().map(|s| s.counters.misses).sum();
+    assert_eq!(
+        out.db_latency_stats().count(),
+        regular + total.forced_misses
+    );
+    let c = out.coalesce();
+    assert_eq!(c.dispatched + c.delayed_hits, regular + total.forced_misses);
+    assert!(c.delayed_hits > 0, "healthy servers should still coalesce");
 }
 
 #[test]

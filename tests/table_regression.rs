@@ -71,6 +71,79 @@ fn maybe_regenerate_table3() {
     eprintln!("regenerated golden artifact {}", path.display());
 }
 
+/// `MEMLAT_REGOLD=1 cargo test golden_delayed_hits` regenerates the
+/// delayed-hits sweep artifact in place (full profile only), mirroring
+/// [`maybe_regenerate_table3`].
+fn maybe_regenerate_delayed_hits() {
+    if std::env::var("MEMLAT_REGOLD").map(|v| v == "1") != Ok(true) {
+        return;
+    }
+    assert!(
+        !memlat_experiments::quick_mode(),
+        "refusing to regenerate results/delayed_hits.csv under MEMLAT_QUICK=1: \
+         golden artifacts must be full-profile (see the drift caveat in \
+         EXPERIMENTS.md)"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join("delayed_hits.csv");
+    let table = memlat_experiments::delayed_hits::delayed_hits();
+    std::fs::write(&path, table.to_csv())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    eprintln!("regenerated golden artifact {}", path.display());
+}
+
+#[test]
+fn golden_delayed_hits_csv_holds_conservation_and_the_win() {
+    maybe_regenerate_delayed_hits();
+    // The committed sweep must keep telling the delayed-hits story: the
+    // coalescing ledger conserves (dispatched + delayed hits == database
+    // keys, pinning the waiter bookkeeping the differential and property
+    // suites verify live), coalescing never adds fetches, and in the
+    // headline regime (slow fetches × hot keys × small cache) it beats
+    // the independent relay on both the mean and the p99 of the
+    // database path. Checked against
+    // the artifact alone — no simulation re-run — so drift in the
+    // committed CSV is caught even when the code is untouched.
+    let (headers, rows) = load_results_csv("delayed_hits");
+    assert_eq!(rows.len(), 8, "2 fetch latencies × 2 skews × 2 cache sizes");
+    let fetch = col(&headers, &rows, "fetch_us");
+    let skew = col(&headers, &rows, "skew");
+    let mem_mb = col(&headers, &rows, "mem_mb");
+    let dispatched = col(&headers, &rows, "dispatched");
+    let delayed = col(&headers, &rows, "delayed_hits");
+    let db_keys = col(&headers, &rows, "db_keys");
+    let reduction = col(&headers, &rows, "dispatch_reduction_pct");
+    let delayed_pct = col(&headers, &rows, "delayed_pct");
+    let ind_mean = col(&headers, &rows, "ind_db_mean_us");
+    let coal_mean = col(&headers, &rows, "coal_db_mean_us");
+    let ind_p99 = col(&headers, &rows, "ind_db_p99_us");
+    let coal_p99 = col(&headers, &rows, "coal_db_p99_us");
+    let mut headline_rows = 0;
+    for i in 0..rows.len() {
+        assert_eq!(
+            dispatched[i] + delayed[i],
+            db_keys[i],
+            "row {i}: coalescing ledger does not conserve"
+        );
+        assert!(reduction[i] >= 0.0, "row {i}: coalescing added fetches");
+        if fetch[i] >= 1_000.0 && skew[i] >= 1.2 && mem_mb[i] <= 2.0 {
+            headline_rows += 1;
+            assert!(delayed_pct[i] > 1.0, "row {i}: headline regime inert");
+            assert!(
+                coal_mean[i] < ind_mean[i] && coal_p99[i] < ind_p99[i],
+                "row {i}: coalescing lost its latency win \
+                 (mean {} vs {}, p99 {} vs {})",
+                coal_mean[i],
+                ind_mean[i],
+                coal_p99[i],
+                ind_p99[i]
+            );
+        }
+    }
+    assert_eq!(headline_rows, 1, "headline regime row went missing");
+}
+
 #[test]
 fn golden_table3_csv_matches_live_model() {
     maybe_regenerate_table3();
