@@ -45,6 +45,64 @@ fn bench_sampling(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_kernels(c: &mut Criterion) {
+    use rand::RngCore;
+    let mut g = c.benchmark_group("kernels");
+    g.throughput(Throughput::Elements(4_096));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let bits: Vec<u64> = (0..4_096).map(|_| rng.next_u64()).collect();
+    let uniforms: Vec<f64> = bits
+        .iter()
+        .map(|&b| memlat_dist::open_unit_from_bits(b))
+        .collect();
+
+    // Scalar deterministic-libm ports, one call per element.
+    g.bench_function("dln_4k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &u in &uniforms {
+                acc += memlat_dist::simd::dln(u);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.bench_function("dexp_4k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &u in &uniforms {
+                acc += memlat_dist::simd::dexp(-u);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    // Dispatched slice kernels (AVX2 where the host supports it).
+    let mut out = Vec::with_capacity(bits.len());
+    g.bench_function("exp_from_bits_4k", |b| {
+        b.iter(|| {
+            memlat_dist::simd::exp_from_bits(&bits, 80_000.0, &mut out);
+            std::hint::black_box(out.last().copied())
+        })
+    });
+    let mut lane = uniforms.clone();
+    g.bench_function("gp_transform_4k", |b| {
+        b.iter(|| {
+            lane.copy_from_slice(&uniforms);
+            memlat_dist::simd::gp_transform(&mut lane, 0.15, 1.185e-4);
+            std::hint::black_box(lane.last().copied())
+        })
+    });
+    let zpop = memlat_workload::ZipfPopularity::new(1 << 18, 1.01).unwrap();
+    let mut keys = Vec::with_capacity(bits.len());
+    g.bench_function("alias_from_bits_4k", |b| {
+        b.iter(|| {
+            zpop.sample_keys_from_bits(&bits, &mut keys);
+            std::hint::black_box(keys.last().copied())
+        })
+    });
+    g.finish();
+}
+
 fn bench_laplace(c: &mut Criterion) {
     let mut g = c.benchmark_group("laplace");
     let gpd = GeneralizedPareto::facebook(0.15, 56_250.0).unwrap();
@@ -58,5 +116,5 @@ fn bench_laplace(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sampling, bench_laplace);
+criterion_group!(benches, bench_sampling, bench_kernels, bench_laplace);
 criterion_main!(benches);

@@ -33,6 +33,7 @@ fn bench_single_server(c: &mut Criterion) {
                     service_rate: facebook::SERVICE_RATE,
                     miss_ratio: facebook::MISS_RATIO,
                     miss_mode: &MissMode::FixedRatio,
+                    popularity: None,
                     warmup: 0.0,
                     duration: 0.5,
                     faults: ServerFaults::none(),

@@ -70,5 +70,38 @@ fn bench_streaming(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ecdf, bench_streaming);
+fn bench_push_slice(c: &mut Criterion) {
+    // Slice entry points vs per-key pushes over the same data — the
+    // block hot path folds whole lanes at a time, so this is the fold
+    // cost the simulator actually pays.
+    let xs = samples(100_000);
+    let mut g = c.benchmark_group("push_slice");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("welford_slice_100k", |b| {
+        b.iter(|| {
+            let mut s = StreamingStats::new();
+            s.push_slice(&xs);
+            std::hint::black_box(s.mean())
+        })
+    });
+    g.bench_function("sketch_slice_100k", |b| {
+        b.iter(|| {
+            let mut s = memlat_stats::QuantileSketch::new();
+            s.push_slice(&xs);
+            std::hint::black_box(s.quantile(0.99))
+        })
+    });
+    g.bench_function("sketch_scalar_100k", |b| {
+        b.iter(|| {
+            let mut s = memlat_stats::QuantileSketch::new();
+            for &x in &xs {
+                s.push(x);
+            }
+            std::hint::black_box(s.quantile(0.99))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ecdf, bench_streaming, bench_push_slice);
 criterion_main!(benches);

@@ -77,6 +77,7 @@ fn main() {
                     service_rate: facebook::SERVICE_RATE,
                     miss_ratio: facebook::MISS_RATIO,
                     miss_mode: &MissMode::FixedRatio,
+                    popularity: None,
                     warmup: 0.0,
                     duration: 20.0,
                     faults: ServerFaults::none(),

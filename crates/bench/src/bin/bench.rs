@@ -1,8 +1,10 @@
 //! The repo's perf-trajectory harness: runs the full cluster simulation
 //! at three utilization points, a sampling-kernel block-size sweep at
-//! ρ = 0.85, and a live `memlat-server` loopback scenario (closed-loop
-//! pipelined gets against an in-process server), measures keys/second,
-//! wall time and peak RSS, and writes `results/BENCH_cluster.json`.
+//! ρ = 0.85, a server-count scaling sweep (M ∈ {8, 100, 1000, 10000} at
+//! ρ = 0.70, holding `M × duration` roughly constant), and a live
+//! `memlat-server` loopback scenario (closed-loop pipelined gets
+//! against an in-process server), measures keys/second, wall time and
+//! peak RSS, and writes `results/BENCH_cluster.json`.
 //!
 //! Usage:
 //!
@@ -10,8 +12,15 @@
 //! cargo run --release -p memlat-bench --bin bench              # measure
 //! cargo run --release -p memlat-bench --bin bench -- \
 //!     --check results/BENCH_cluster.json                       # gate
+//! cargo run --release -p memlat-bench --bin bench -- \
+//!     --digest <threads> <servers>           # determinism fingerprint
 //! MEMLAT_QUICK=1 ...                                           # short profile
 //! ```
+//!
+//! `--digest` runs one fixed scaled-cluster config at the given thread
+//! count and prints a FNV-1a fingerprint of the full streaming output;
+//! CI byte-diffs the 1-thread and 4-thread digests to prove the
+//! sharded event merge is execution-order independent.
 //!
 //! Each scenario runs in a **fresh child process** (the binary re-execs
 //! itself with `--one`), so the reported peak RSS (`VmHWM`, which only
@@ -31,8 +40,8 @@
 use std::time::Instant;
 
 use memlat_bench::{
-    calibrate_spin_rate, cluster_config, peak_rss_bytes, read_baseline, write_json, BenchReport,
-    Scenario, UTILIZATIONS,
+    calibrate_spin_rate, cluster_config, cluster_config_m, peak_rss_bytes, read_baseline,
+    write_json, BenchReport, Scenario, SCALE_SERVERS, UTILIZATIONS,
 };
 use memlat_cluster::{ClusterSim, Retention, SimScratch};
 
@@ -114,13 +123,19 @@ fn run_one_server(duration: f64, reps: u32) {
 }
 
 /// Child mode: run one scenario `reps` times, print a machine-readable
-/// result line, exit. `block = 0` keeps the config default.
-fn run_one(rho: f64, retention: &str, duration: f64, reps: u32, block: usize) {
+/// result line, exit. `block = 0` keeps the config default; `servers =
+/// 0` keeps the default 4-server topology, otherwise the config comes
+/// from the server-count scaling sweep.
+fn run_one(rho: f64, retention: &str, duration: f64, reps: u32, block: usize, servers: usize) {
     let mut scratch = SimScratch::new();
     let mut best_wall = f64::INFINITY;
     let mut keys = 0u64;
     for _ in 0..reps {
-        let mut cfg = cluster_config(rho, duration);
+        let mut cfg = if servers > 0 {
+            cluster_config_m(rho, duration, servers)
+        } else {
+            cluster_config(rho, duration)
+        };
         if retention == "streaming" {
             cfg = cfg.retention(Retention::Summary);
         }
@@ -136,6 +151,40 @@ fn run_one(rho: f64, retention: &str, duration: f64, reps: u32, block: usize) {
     println!("keys={keys} best_wall={best_wall} rss={}", peak_rss_bytes());
 }
 
+/// Digest mode for CI determinism checks: run one fixed scaled-cluster
+/// config at the given thread count and print a FNV-1a fingerprint of
+/// the full streaming output (key count, miss ratio, per-server
+/// utilizations and Welford moments). Identical digests across thread
+/// counts prove the per-worker event shards merge deterministically —
+/// the property the bench-scale CI job byte-diffs.
+fn run_digest(threads: usize, servers: usize) {
+    let cfg = cluster_config_m(0.70, 0.05, servers)
+        .retention(Retention::Summary)
+        .threads(threads);
+    let out = ClusterSim::run(&cfg).expect("digest config is valid");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut push = |bits: u64| {
+        for b in bits.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+    };
+    push(out.total_keys());
+    push(out.miss_ratio().to_bits());
+    for &u in out.utilization() {
+        push(u.to_bits());
+    }
+    for s in out.summaries() {
+        let l = &s.latency;
+        push(l.count());
+        push(l.mean().to_bits());
+        push(l.sample_variance().to_bits());
+        push(l.min().to_bits());
+        push(l.max().to_bits());
+    }
+    println!("digest={h:016x} keys={}", out.total_keys());
+}
+
 /// Parent mode: spawn `--one` children, assemble the report.
 fn measure() -> BenchReport {
     // Best-of-N wall time, best-of-R child rounds: single-core CI boxes
@@ -146,10 +195,12 @@ fn measure() -> BenchReport {
     // epoch and best-of is comparable across scenarios.
     let (duration, reps, rounds) = if quick() { (1.5, 5, 1) } else { (6.0, 10, 3) };
     let exe = std::env::current_exe().expect("own path");
-    let mut specs: Vec<(String, f64, &str, usize)> = Vec::new();
+    // Spec: (name, rho, mode, block, servers, duration). `servers = 0`
+    // means the default 4-server topology via `cluster_config`.
+    let mut specs: Vec<(String, f64, &str, usize, usize, f64)> = Vec::new();
     for &(label, rho) in UTILIZATIONS {
         for mode in ["streaming", "materialized"] {
-            specs.push((format!("cluster_{label}_{mode}"), rho, mode, 0));
+            specs.push((format!("cluster_{label}_{mode}"), rho, mode, 0, 0, duration));
         }
     }
     // Block-size dimension: the sampling-kernel block at the hottest
@@ -160,23 +211,44 @@ fn measure() -> BenchReport {
             0.85,
             "streaming",
             block,
+            0,
+            duration,
         ));
+    }
+    // Server-count scaling dimension: M ∈ {8, 100, 1k, 10k} at ρ = 0.70,
+    // streaming retention. Simulated work grows linearly with M, so the
+    // durations shrink to hold `M × duration` (≈ total simulated jobs)
+    // roughly constant — each point costs about the same wall time and
+    // the keys/s column isolates per-server overhead at scale.
+    for &(label, servers) in SCALE_SERVERS {
+        let d = match (label, quick()) {
+            ("m8", false) => 3.0,
+            ("m100", false) => 0.5,
+            ("m1k", false) => 0.05,
+            ("m10k", false) => 0.008,
+            ("m8", true) => 0.75,
+            ("m100", true) => 0.12,
+            ("m1k", true) => 0.012,
+            _ => 0.002,
+        };
+        specs.push((format!("cluster_{label}"), 0.70, "streaming", 0, servers, d));
     }
     // The live-server loopback scenario: real TCP sockets through the
     // memlat-server binary's parse/dispatch/store path (retention tag
     // "server" routes the child to `run_one_server`).
-    specs.push(("server_loopback".to_string(), 0.0, "server", 0));
+    specs.push(("server_loopback".to_string(), 0.0, "server", 0, 0, duration));
     let mut scenarios: Vec<Scenario> = Vec::new();
     for round in 0..rounds {
-        for (i, (name, rho, mode, block)) in specs.iter().enumerate() {
+        for (i, (name, rho, mode, block, servers, dur)) in specs.iter().enumerate() {
             let out = std::process::Command::new(&exe)
                 .args([
                     "--one",
                     &rho.to_string(),
                     mode,
-                    &duration.to_string(),
+                    &dur.to_string(),
                     &reps.to_string(),
                     &block.to_string(),
+                    &servers.to_string(),
                 ])
                 .output()
                 .expect("spawn bench child");
@@ -202,7 +274,8 @@ fn measure() -> BenchReport {
                     utilization: *rho,
                     retention: (*mode).to_string(),
                     block: *block,
-                    sim_seconds: duration,
+                    servers: *servers,
+                    sim_seconds: *dur,
                     keys,
                     wall_seconds: wall,
                     keys_per_sec: keys as f64 / wall,
@@ -219,7 +292,7 @@ fn measure() -> BenchReport {
         }
     }
     BenchReport {
-        schema: "memlat-bench-v1".to_string(),
+        schema: "memlat-bench-v2".to_string(),
         quick: quick(),
         calibration_spins_per_sec: calibrate_spin_rate(),
         scenarios,
@@ -234,11 +307,18 @@ fn main() {
         let duration: f64 = args[i + 3].parse().expect("duration");
         let reps: u32 = args[i + 4].parse().expect("reps");
         let block: usize = args.get(i + 5).map_or(0, |b| b.parse().expect("block"));
+        let servers: usize = args.get(i + 6).map_or(0, |s| s.parse().expect("servers"));
         if retention == "server" {
             run_one_server(duration, reps);
         } else {
-            run_one(rho, retention, duration, reps, block);
+            run_one(rho, retention, duration, reps, block, servers);
         }
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--digest") {
+        let threads: usize = args[i + 1].parse().expect("threads");
+        let servers: usize = args.get(i + 2).map_or(100, |s| s.parse().expect("servers"));
+        run_digest(threads, servers);
         return;
     }
 
@@ -269,7 +349,21 @@ fn main() {
         let mut sorted: Vec<f64> = pairs.iter().map(|&(_, r)| r).collect();
         sorted.sort_by(f64::total_cmp);
         let median = sorted.get(sorted.len() / 2).copied().unwrap_or(1.0);
+        // Per-scenario diff table: baseline vs current keys/s, the raw
+        // ratio, the median-relative ratio the gate actually judges, the
+        // calibration-normalized ratio the uniform backstop judges, and
+        // the floor each scenario must clear.
+        println!(
+            "  {:<24} {:>14} {:>14} {:>7} {:>9} {:>8} {:>7}  verdict",
+            "scenario", "baseline k/s", "current k/s", "ratio", "relative", "hw-norm", "floor"
+        );
         for &(s, ratio) in &pairs {
+            let base = baseline
+                .scenarios
+                .iter()
+                .find(|b| b.name == s.name)
+                .expect("paired above")
+                .keys_per_sec;
             let relative = ratio / median;
             let normalized = ratio / hw;
             let tolerance = if s.retention == "server" {
@@ -287,8 +381,15 @@ fn main() {
                 "ok"
             };
             println!(
-                "  [check] {}: {:.0} keys/s, ratio {:.2} (relative {:.2}, hw-normalized {:.2}) {}",
-                s.name, s.keys_per_sec, ratio, relative, normalized, verdict
+                "  {:<24} {:>14.0} {:>14.0} {:>7.2} {:>9.2} {:>8.2} {:>7.2}  {}",
+                s.name,
+                base,
+                s.keys_per_sec,
+                ratio,
+                relative,
+                normalized,
+                1.0 - tolerance,
+                verdict
             );
         }
         // The tentpole's in-run invariant: block-1024 vs scalar block-1,

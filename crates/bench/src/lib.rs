@@ -17,8 +17,9 @@
 //!
 //! Besides the Criterion suites, the `bench` binary is the repo's perf
 //! trajectory: it measures full-cluster keys/sec, wall time and peak RSS
-//! at three utilizations and writes `results/BENCH_cluster.json`
-//! (schema `memlat-bench-v1`); `--check <baseline>` turns it into a CI
+//! at three utilizations plus a server-count scaling sweep
+//! (M ∈ {8, 100, 1000, 10000}) and writes `results/BENCH_cluster.json`
+//! (schema `memlat-bench-v2`); `--check <baseline>` turns it into a CI
 //! regression gate. The helpers below (config, calibration, RSS probe,
 //! JSON round-trip) live in the library so both the binary and the
 //! Criterion suites share them.
@@ -64,6 +65,36 @@ pub fn cluster_config(rho: f64, duration: f64) -> SimConfig {
         .seed(BENCH_SEED)
 }
 
+/// The server counts of the scaling dimension: brackets the paper's
+/// small testbed (M = 8-ish) up to the 10k-server deployments its
+/// model targets.
+pub const SCALE_SERVERS: &[(&str, usize)] =
+    &[("m8", 8), ("m100", 100), ("m1k", 1_000), ("m10k", 10_000)];
+
+/// Builds the M-server scaling benchmark config at utilization `rho`.
+///
+/// The simulated duration is per-scenario (total work scales with
+/// `M × duration`, so the sweep holds `M × duration` roughly constant);
+/// the warm-up scales with the duration — the per-server queue's
+/// relaxation time is milliseconds at `μ_S = 80 Kps`, so even the
+/// shortest clamp comfortably covers the transient.
+///
+/// # Panics
+///
+/// Panics if `rho` is outside the stable region (validated at build).
+#[must_use]
+pub fn cluster_config_m(rho: f64, duration: f64, servers: usize) -> SimConfig {
+    let params = ModelParams::builder()
+        .servers(servers)
+        .key_rate_per_server(rho * 80_000.0)
+        .build()
+        .expect("bench utilization is stable");
+    SimConfig::new(params)
+        .duration(duration)
+        .warmup((duration * 0.1).clamp(0.002, 0.1))
+        .seed(BENCH_SEED)
+}
+
 /// One measured scenario in the report.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -76,6 +107,8 @@ pub struct Scenario {
     /// Sampling-kernel block size the scenario pinned (`SimConfig::block`);
     /// 0 means the config default (auto-detected, currently 1024).
     pub block: usize,
+    /// Simulated server count `M`; 0 means the config default (4).
+    pub servers: usize,
     /// Simulated seconds (excluding warm-up).
     pub sim_seconds: f64,
     /// Keys recorded by the run.
@@ -93,7 +126,8 @@ pub struct Scenario {
 /// The full `BENCH_cluster.json` payload.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
-    /// Schema tag, `memlat-bench-v1`.
+    /// Schema tag, `memlat-bench-v2` (v2 added the `servers` scaling
+    /// dimension).
     pub schema: String,
     /// Whether the quick profile was active.
     pub quick: bool,
@@ -118,8 +152,8 @@ impl BenchReport {
         );
         let _ = writeln!(
             out,
-            "{:<28} {:>6} {:>6} {:>10} {:>10} {:>12} {:>10}",
-            "scenario", "rho", "block", "keys", "wall_s", "keys/s", "rss_mb"
+            "{:<28} {:>6} {:>6} {:>6} {:>10} {:>10} {:>12} {:>10}",
+            "scenario", "rho", "M", "block", "keys", "wall_s", "keys/s", "rss_mb"
         );
         for s in &self.scenarios {
             let block = if s.block == 0 {
@@ -127,11 +161,17 @@ impl BenchReport {
             } else {
                 s.block.to_string()
             };
+            let servers = if s.servers == 0 {
+                "4".to_string()
+            } else {
+                s.servers.to_string()
+            };
             let _ = writeln!(
                 out,
-                "{:<28} {:>6.2} {:>6} {:>10} {:>10.3} {:>12.0} {:>10.1}",
+                "{:<28} {:>6.2} {:>6} {:>6} {:>10} {:>10.3} {:>12.0} {:>10.1}",
                 s.name,
                 s.utilization,
+                servers,
                 block,
                 s.keys,
                 s.wall_seconds,
@@ -142,7 +182,7 @@ impl BenchReport {
         out
     }
 
-    /// Serializes the report as pretty JSON (schema `memlat-bench-v1`).
+    /// Serializes the report as pretty JSON (schema `memlat-bench-v2`).
     #[must_use]
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
@@ -162,6 +202,7 @@ impl BenchReport {
             let _ = writeln!(out, "      \"utilization\": {},", s.utilization);
             let _ = writeln!(out, "      \"retention\": \"{}\",", s.retention);
             let _ = writeln!(out, "      \"block\": {},", s.block);
+            let _ = writeln!(out, "      \"servers\": {},", s.servers);
             let _ = writeln!(out, "      \"sim_seconds\": {},", s.sim_seconds);
             let _ = writeln!(out, "      \"keys\": {},", s.keys);
             let _ = writeln!(out, "      \"wall_seconds\": {},", s.wall_seconds);
@@ -189,7 +230,7 @@ impl BenchReport {
     ///
     /// # Panics
     ///
-    /// Panics when the text does not carry the `memlat-bench-v1` schema
+    /// Panics when the text does not carry the `memlat-bench-v2` schema
     /// or a field fails to parse.
     #[must_use]
     pub fn from_json(text: &str) -> Self {
@@ -216,6 +257,7 @@ impl BenchReport {
                     utilization: 0.0,
                     retention: String::new(),
                     block: 0,
+                    servers: 0,
                     sim_seconds: 0.0,
                     keys: 0,
                     wall_seconds: 0.0,
@@ -229,6 +271,8 @@ impl BenchReport {
                     s.retention = v.to_string();
                 } else if let Some(v) = field(line, "block") {
                     s.block = v.parse().expect("block");
+                } else if let Some(v) = field(line, "servers") {
+                    s.servers = v.parse().expect("servers");
                 } else if let Some(v) = field(line, "sim_seconds") {
                     s.sim_seconds = v.parse().expect("sim_seconds");
                 } else if let Some(v) = field(line, "keys") {
@@ -243,7 +287,7 @@ impl BenchReport {
                 }
             }
         }
-        assert_eq!(schema, "memlat-bench-v1", "unknown bench schema");
+        assert_eq!(schema, "memlat-bench-v2", "unknown bench schema");
         Self {
             schema,
             quick,
@@ -341,7 +385,7 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let report = BenchReport {
-            schema: "memlat-bench-v1".to_string(),
+            schema: "memlat-bench-v2".to_string(),
             quick: true,
             calibration_spins_per_sec: 1.5e9,
             scenarios: vec![Scenario {
@@ -349,6 +393,7 @@ mod tests {
                 utilization: 0.7,
                 retention: "streaming".to_string(),
                 block: 256,
+                servers: 100,
                 sim_seconds: 0.5,
                 keys: 123_456,
                 wall_seconds: 0.25,
@@ -365,6 +410,7 @@ mod tests {
         assert_eq!(a.keys, b.keys);
         assert_eq!(a.retention, b.retention);
         assert_eq!(a.block, b.block);
+        assert_eq!(a.servers, b.servers);
         assert_eq!(a.peak_rss_bytes, b.peak_rss_bytes);
         assert!((a.keys_per_sec - b.keys_per_sec).abs() < 1e-9);
         assert!((parsed.calibration_spins_per_sec - 1.5e9).abs() < 1.0);
@@ -383,5 +429,17 @@ mod tests {
         let cfg = cluster_config(0.7, 1.0);
         let peak = cfg.params.peak_utilization().unwrap();
         assert!((peak - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_config_sets_servers_and_bounded_warmup() {
+        for &(_, m) in SCALE_SERVERS {
+            let duration = 24.0 / m as f64;
+            let cfg = cluster_config_m(0.7, duration, m);
+            assert_eq!(cfg.params.servers(), m);
+            let peak = cfg.params.peak_utilization().unwrap();
+            assert!((peak - 0.7).abs() < 1e-12);
+            assert!(cfg.warmup >= 0.002 && cfg.warmup <= 0.1, "{}", cfg.warmup);
+        }
     }
 }

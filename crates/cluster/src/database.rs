@@ -70,7 +70,7 @@ pub fn run_db_stage_with(
     for m in misses {
         assert!(m.time >= prev_t, "misses must be sorted by time");
         prev_t = m.time;
-        let svc = -memlat_dist::open_unit(rng).ln() / mu_d;
+        let svc = -memlat_dist::simd::dln(memlat_dist::open_unit(rng)) / mu_d;
         let shard = next;
         next = (next + 1) % shards;
         let done = stations[shard].submit(m.time, svc);
@@ -126,7 +126,7 @@ pub fn run_db_stage_coalesced_with(
                 }
             }
         }
-        let svc = -memlat_dist::open_unit(rng).ln() / mu_d;
+        let svc = -memlat_dist::simd::dln(memlat_dist::open_unit(rng)) / mu_d;
         let shard = next;
         next = (next + 1) % shards;
         let done = stations[shard].submit(m.time, svc);
@@ -192,7 +192,7 @@ pub fn db_only_experiment(
         any += 1;
         let mut worst = 0.0f64;
         for _ in 0..k {
-            let d = -memlat_dist::open_unit(rng).ln() / effective_rate;
+            let d = -memlat_dist::simd::dln(memlat_dist::open_unit(rng)) / effective_rate;
             worst = worst.max(d);
         }
         sum_td += worst;

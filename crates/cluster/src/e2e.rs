@@ -134,7 +134,8 @@ pub fn run_e2e(cfg: &E2eConfig) -> Result<E2eOutput, SimError> {
             let key_arrival = clock + half_net;
             for _ in 0..c {
                 total_keys += 1;
-                let svc = -memlat_dist::open_unit(&mut rng).ln() / params.service_rate();
+                let svc = -memlat_dist::simd::dln(memlat_dist::open_unit(&mut rng))
+                    / params.service_rate();
                 let done = stations[j].submit(key_arrival, svc);
                 let s = done.sojourn();
                 p.worst_s = p.worst_s.max(s);

@@ -97,23 +97,44 @@ enum MissDecider {
     Cached {
         // Boxed: the slab store dwarfs the Fixed variant.
         store: Box<Store>,
-        popularity: ZipfPopularity,
+        popularity: std::sync::Arc<ZipfPopularity>,
         value_sizes: GeneralizedPareto,
     },
 }
 
 impl MissDecider {
-    fn new(mode: &MissMode, miss_ratio: f64) -> Result<Self, ParamError> {
+    fn new(
+        mode: &MissMode,
+        miss_ratio: f64,
+        prebuilt: Option<&std::sync::Arc<ZipfPopularity>>,
+    ) -> Result<Self, ParamError> {
         match mode {
             MissMode::FixedRatio => Ok(MissDecider::Fixed(miss_ratio)),
-            MissMode::CacheBacked(cfg) => Ok(MissDecider::Cached {
-                store: Box::new(
-                    Store::new(StoreConfig::with_memory(cfg.memory_bytes))
-                        .map_err(|e| ParamError::new(e.to_string()))?,
-                ),
-                popularity: ZipfPopularity::new(cfg.keyspace, cfg.skew)?,
-                value_sizes: GeneralizedPareto::with_mean(0.35, cfg.mean_value_bytes)?,
-            }),
+            MissMode::CacheBacked(cfg) => {
+                // The alias table build is O(keyspace); cluster sweeps
+                // share one table across all servers and sweep points via
+                // the prebuilt handle instead of rebuilding per server.
+                let popularity = match prebuilt {
+                    Some(p) => {
+                        debug_assert_eq!(p.keys(), cfg.keyspace, "prebuilt popularity mismatch");
+                        debug_assert_eq!(
+                            p.skew().to_bits(),
+                            cfg.skew.to_bits(),
+                            "prebuilt popularity mismatch"
+                        );
+                        std::sync::Arc::clone(p)
+                    }
+                    None => std::sync::Arc::new(ZipfPopularity::new(cfg.keyspace, cfg.skew)?),
+                };
+                Ok(MissDecider::Cached {
+                    store: Box::new(
+                        Store::new(StoreConfig::with_memory(cfg.memory_bytes))
+                            .map_err(|e| ParamError::new(e.to_string()))?,
+                    ),
+                    popularity,
+                    value_sizes: GeneralizedPareto::with_mean(0.35, cfg.mean_value_bytes)?,
+                })
+            }
         }
     }
 
@@ -174,6 +195,11 @@ pub struct ServerSimParams<'a> {
     pub miss_ratio: f64,
     /// Miss decision mode.
     pub miss_mode: &'a MissMode,
+    /// Pre-built Zipf popularity for [`MissMode::CacheBacked`] runs.
+    /// `None` builds the alias table from the mode's config; cluster
+    /// sweeps pass a shared handle so the O(keyspace) build happens once
+    /// per `(keyspace, skew)` instead of once per server per sweep point.
+    pub popularity: Option<std::sync::Arc<ZipfPopularity>>,
     /// Warm-up seconds (records discarded).
     pub warmup: f64,
     /// Measured seconds after warm-up.
@@ -414,7 +440,7 @@ fn process_attempt<S: RecordSink, R: RngCore + ?Sized>(
         fail_attempt(t, key, st, env, rng);
         return;
     }
-    let mut svc = -memlat_dist::open_unit(rng).ln() / env.service_rate;
+    let mut svc = -memlat_dist::simd::dln(memlat_dist::open_unit(rng)) / env.service_rate;
     let degraded = env.faults.degraded_at(t);
     if degraded {
         svc *= env.faults.slow_factor_at(t);
@@ -495,7 +521,7 @@ where
     R: RngCore + ?Sized,
 {
     let mut arrivals = BatchArrivals::new(p.interarrival, p.concurrency)?;
-    let mut decider = MissDecider::new(p.miss_mode, p.miss_ratio)?;
+    let mut decider = MissDecider::new(p.miss_mode, p.miss_ratio, p.popularity.as_ref())?;
     let horizon = p.warmup + p.duration;
     let env = AttemptEnv {
         service_rate: p.service_rate,
@@ -586,13 +612,15 @@ where
             if n == 0 {
                 break;
             }
-            // Deferred pure transforms, one contiguous lane at a time.
+            // Deferred pure transforms, one contiguous lane at a time. The
+            // service lane runs through the SIMD-dispatched kernel, which
+            // is bit-identical to the scalar `-dln(u)/μ` the attempt path
+            // draws.
             scratch.service.clear();
-            scratch.service.extend(
-                scratch
-                    .svc_bits
-                    .iter()
-                    .map(|&b| -memlat_dist::open_unit_from_bits(b).ln() / p.service_rate),
+            memlat_dist::simd::exp_from_bits(
+                &scratch.svc_bits,
+                p.service_rate,
+                &mut scratch.service,
             );
             scratch.depart.clear();
             scratch.depart.resize(n, 0.0);
@@ -705,7 +733,7 @@ pub fn simulate_server<R: RngCore + ?Sized>(
 /// Convenience: draw an exponential service sample (used by the database
 /// stage as well).
 pub fn exp_sample(rate: f64, rng: &mut impl Rng) -> f64 {
-    -memlat_dist::open_unit(rng).ln() / rate
+    -memlat_dist::simd::dln(memlat_dist::open_unit(rng)) / rate
 }
 
 #[cfg(test)]
@@ -723,6 +751,7 @@ mod tests {
             service_rate: facebook::SERVICE_RATE,
             miss_ratio: facebook::MISS_RATIO,
             miss_mode: &MissMode::FixedRatio,
+            popularity: None,
             warmup: 0.2,
             duration,
             faults: ServerFaults::none(),
@@ -807,6 +836,7 @@ mod tests {
             service_rate: facebook::SERVICE_RATE,
             miss_ratio: 0.0,
             miss_mode: &MissMode::FixedRatio,
+            popularity: None,
             warmup: 0.0,
             duration: 0.3,
             faults: ServerFaults::none(),
@@ -916,6 +946,7 @@ mod tests {
                 service_rate: facebook::SERVICE_RATE,
                 miss_ratio: 0.0,
                 miss_mode: &MissMode::FixedRatio,
+                popularity: None,
                 warmup: 0.0,
                 duration: 0.3,
                 faults: ServerFaults::none(),
@@ -945,6 +976,7 @@ mod tests {
                 service_rate: facebook::SERVICE_RATE,
                 miss_ratio: 0.0, // ignored in cache-backed mode
                 miss_mode: &mode,
+                popularity: None,
                 warmup: 0.5,
                 duration: 0.5,
                 faults: ServerFaults::none(),

@@ -24,9 +24,11 @@ use memlat_des::rng::stream_rng;
 use memlat_stats::{Ecdf, QuantileSketch, StreamingStats};
 use rand::RngCore;
 
+use memlat_workload::ZipfPopularity;
+
 use crate::{
     columns::KeyColumns,
-    config::{MissRelay, Retention, SimConfig},
+    config::{MissMode, MissRelay, Retention, SimConfig},
     database::{run_db_stage_coalesced_with, run_db_stage_with, MissArrival, NO_KEY},
     fault::hedge_outcome,
     server::{
@@ -103,10 +105,9 @@ struct ServerCell {
     /// Per-record forced/degraded flags, kept only when hedging needs to
     /// rebuild the summaries after the merge-step min pass.
     flags: Vec<u8>,
-    /// Missed keys: arrival time at the database + origin `(server, idx)`.
+    /// Missed keys: arrival time at the database + origin `(server, idx)`,
+    /// time-sorted by the worker before the merge step.
     misses: Vec<MissArrival>,
-    /// Staging lanes for the block-batched server hot path.
-    block: BlockScratch,
 }
 
 /// The per-server streaming fold: consumes resolved keys (one at a time
@@ -220,10 +221,21 @@ pub struct SimScratch {
     /// Per-server cells, stored lane-major for the thread dispatch (see
     /// [`lane_pos`]).
     cells: Vec<ServerCell>,
+    /// Staging lanes for the block-batched server hot path: one per
+    /// worker lane, not per server. A lane simulates its servers one at
+    /// a time, so sharing keeps the block scratch footprint
+    /// `O(threads × block)` instead of `O(servers × block)` — at
+    /// M = 10 000 servers the per-server layout dominated peak memory.
+    blocks: Vec<BlockScratch>,
     /// Pre-hedge per-server latency populations (hedging only).
     pristine: Vec<Vec<f32>>,
     /// The merged miss stream.
     misses: Vec<MissArrival>,
+    /// Cached Zipf popularity (alias table) keyed by
+    /// `(keyspace, skew bits)`: the O(keyspace) alias build happens once
+    /// per scratch per configuration, not once per server per sweep
+    /// point.
+    zipf: Option<((u64, u64), std::sync::Arc<ZipfPopularity>)>,
 }
 
 impl SimScratch {
@@ -303,22 +315,51 @@ impl ClusterSim {
 
         let SimScratch {
             cells,
+            blocks,
             pristine,
             misses: all_misses,
+            zipf,
         } = scratch;
         if cells.len() < servers {
             cells.resize_with(servers, ServerCell::default);
         }
+        if blocks.len() < threads {
+            blocks.resize_with(threads, BlockScratch::default);
+        }
+
+        // Pre-build (or reuse) the Zipf popularity for cache-backed
+        // runs: the alias-table build is O(keyspace), so a sweep must
+        // not pay it once per server per point.
+        let popularity = match &cfg.miss_mode {
+            MissMode::FixedRatio => None,
+            MissMode::CacheBacked(cc) => {
+                let key = (cc.keyspace, cc.skew.to_bits());
+                let arc = match zipf {
+                    Some((k, arc)) if *k == key => std::sync::Arc::clone(arc),
+                    _ => {
+                        let arc = std::sync::Arc::new(
+                            ZipfPopularity::new(cc.keyspace, cc.skew)
+                                .map_err(|e| SimError::InvalidConfig(e.to_string()))?,
+                        );
+                        *zipf = Some((key, std::sync::Arc::clone(&arc)));
+                        arc
+                    }
+                };
+                Some(arc)
+            }
+        };
 
         // One worker per server; identical code on the sequential and
         // parallel paths, so thread count cannot change the output.
         let block = cfg.effective_block();
-        let worker = |j: usize, cell: &mut ServerCell| -> Result<ServerOutcome, SimError> {
+        let worker = |j: usize,
+                      cell: &mut ServerCell,
+                      block_scratch: &mut BlockScratch|
+         -> Result<ServerOutcome, SimError> {
             let ServerCell {
                 cols,
                 flags,
                 misses,
-                block: block_scratch,
             } = cell;
             cols.clear();
             flags.clear();
@@ -363,6 +404,7 @@ impl ClusterSim {
                     service_rate: params.service_rate(),
                     miss_ratio: params.miss_ratio(),
                     miss_mode: &cfg.miss_mode,
+                    popularity: popularity.clone(),
                     warmup: cfg.warmup,
                     duration: cfg.duration,
                     faults,
@@ -379,11 +421,18 @@ impl ClusterSim {
                 sketch,
                 degraded_latency,
                 mut healthy_latency,
+                misses,
                 ..
             } = sink;
             if plain_run {
                 healthy_latency = latency;
             }
+            // Time-sort this server's miss shard on the worker thread
+            // (stable, and already nearly sorted on healthy runs where
+            // FCFS departures are monotone). The merge step then only
+            // k-way merges M sorted streams instead of re-sorting the
+            // whole concatenated stream on the main thread.
+            misses.sort_by(|a, b| a.time.total_cmp(&b.time));
             Ok(ServerOutcome {
                 keys: stats.counters.jobs,
                 summary: ServerSummary {
@@ -400,7 +449,7 @@ impl ClusterSim {
             })
         };
 
-        let mut outcomes = dispatch(servers, threads, &worker, cells)?;
+        let mut outcomes = dispatch(servers, threads, &worker, cells, blocks)?;
 
         // Hedged duplicates: a deterministic merge-step pass, in server
         // order, so the thread count still cannot change the output. A
@@ -470,7 +519,6 @@ impl ClusterSim {
         let mut server_records: Vec<KeyColumns> = Vec::new();
         let mut summaries = Vec::with_capacity(outcomes.len());
         let mut utilization = Vec::with_capacity(outcomes.len());
-        all_misses.clear();
         let mut total_keys = 0u64;
         let mut total_misses = 0u64;
         for (j, out) in outcomes.into_iter().enumerate() {
@@ -480,7 +528,6 @@ impl ClusterSim {
             // separately (they reach the database but are a fault
             // artifact, not a cache property).
             total_misses += out.summary.counters.misses;
-            all_misses.append(&mut cell.misses);
             utilization.push(out.summary.utilization);
             summaries.push(out.summary);
             if keep_records {
@@ -490,10 +537,13 @@ impl ClusterSim {
             }
         }
 
-        // Merge miss streams in time order and run the database stage.
-        // `sort_by` is stable, so ties resolve in (server, index) order —
-        // exactly what the sequential loop produced.
-        all_misses.sort_by(|a, b| a.time.total_cmp(&b.time));
+        // K-way merge of the per-server time-sorted miss shards, keyed
+        // `(time, server)`: equal times resolve in server order, and a
+        // server's equal-time misses keep their push order (its shard was
+        // stable-sorted) — exactly the order the previous global stable
+        // sort over the concatenated stream produced, without an
+        // O(K log K) single-threaded pass over every miss.
+        merge_miss_shards(servers, threads, cells, all_misses);
         let shards = cfg.effective_db_shards();
         let mut db_rng = stream_rng(cfg.seed, 2_000_000);
         let mut db_latency = StreamingStats::new();
@@ -556,6 +606,73 @@ impl ClusterSim {
     }
 }
 
+/// Head of one server's miss shard in the k-way merge, ordered by
+/// `(time, server)` — see [`merge_miss_shards`].
+struct MergeHead {
+    time: f64,
+    server: u32,
+}
+
+impl PartialEq for MergeHead {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for MergeHead {}
+impl PartialOrd for MergeHead {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MergeHead {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.server.cmp(&other.server))
+    }
+}
+
+/// Merges the per-server time-sorted miss shards into `all_misses` in
+/// `(time, server, push order)` order via a binary heap over the M
+/// stream heads: `O(K log M)` with `K` total misses, versus
+/// `O(K log K)` for the old concatenate-and-sort.
+fn merge_miss_shards(
+    servers: usize,
+    threads: usize,
+    cells: &[ServerCell],
+    all_misses: &mut Vec<MissArrival>,
+) {
+    all_misses.clear();
+    let total: usize = (0..servers)
+        .map(|j| cells[lane_pos(servers, threads, j)].misses.len())
+        .sum();
+    all_misses.reserve(total);
+    let mut next = vec![0usize; servers];
+    let mut heap = std::collections::BinaryHeap::with_capacity(servers);
+    for j in 0..servers {
+        let shard = &cells[lane_pos(servers, threads, j)].misses;
+        if !shard.is_empty() {
+            heap.push(std::cmp::Reverse(MergeHead {
+                time: shard[0].time,
+                server: j as u32,
+            }));
+        }
+    }
+    while let Some(std::cmp::Reverse(MergeHead { server, .. })) = heap.pop() {
+        let j = server as usize;
+        let shard = &cells[lane_pos(servers, threads, j)].misses;
+        let pos = next[j];
+        all_misses.push(shard[pos]);
+        next[j] = pos + 1;
+        if pos + 1 < shard.len() {
+            heap.push(std::cmp::Reverse(MergeHead {
+                time: shard[pos + 1].time,
+                server,
+            }));
+        }
+    }
+}
+
 /// Number of servers thread `lane` handles: servers `j ≡ lane (mod
 /// threads)`.
 fn lane_len(servers: usize, threads: usize, lane: usize) -> usize {
@@ -582,29 +699,35 @@ fn dispatch<F>(
     threads: usize,
     worker: &F,
     cells: &mut [ServerCell],
+    blocks: &mut [BlockScratch],
 ) -> Result<Vec<ServerOutcome>, SimError>
 where
-    F: Fn(usize, &mut ServerCell) -> Result<ServerOutcome, SimError> + Sync,
+    F: Fn(usize, &mut ServerCell, &mut BlockScratch) -> Result<ServerOutcome, SimError> + Sync,
 {
     let mut slots: Vec<Option<Result<ServerOutcome, SimError>>> = Vec::new();
     slots.resize_with(servers, || None);
     if threads <= 1 {
+        let block = &mut blocks[0];
         for (j, (slot, cell)) in slots.iter_mut().zip(cells.iter_mut()).enumerate() {
-            *slot = Some(worker(j, cell));
+            *slot = Some(worker(j, cell, block));
         }
     } else {
         std::thread::scope(|scope| {
             let mut rest_cells = &mut cells[..servers];
             let mut rest_slots = &mut slots[..];
+            let mut rest_blocks = &mut blocks[..threads];
             for lane in 0..threads {
                 let n = lane_len(servers, threads, lane);
                 let (cell_lane, next_cells) = rest_cells.split_at_mut(n);
                 let (slot_lane, next_slots) = rest_slots.split_at_mut(n);
+                let (block_lane, next_blocks) = rest_blocks.split_at_mut(1);
                 rest_cells = next_cells;
                 rest_slots = next_slots;
+                rest_blocks = next_blocks;
                 scope.spawn(move || {
+                    let block = &mut block_lane[0];
                     for (i, (slot, cell)) in slot_lane.iter_mut().zip(cell_lane).enumerate() {
-                        *slot = Some(worker(lane + i * threads, cell));
+                        *slot = Some(worker(lane + i * threads, cell, block));
                     }
                 });
             }

@@ -133,6 +133,35 @@ fn block_sizes_are_bit_identical_under_hedging() {
     }
 }
 
+/// Forced-scalar dispatch is bit-identical to whatever the host
+/// auto-detected (AVX2 where available): the SIMD kernels share the
+/// deterministic `dln`/`dexp` ports with the scalar fallback and use no
+/// FMA, so instruction selection must be invisible in the output. On an
+/// AVX2 host this proves SIMD ↔ scalar identity end to end through the
+/// full cluster simulation; on hosts without AVX2 both runs take the
+/// scalar path and the test degrades to a (still valid) self-check.
+/// CI additionally runs a whole matrix leg under `MEMLAT_NO_SIMD=1`,
+/// which pins detection off before any kernel runs.
+#[test]
+fn forced_scalar_dispatch_is_bit_identical() {
+    let params = ModelParams::builder().build().unwrap();
+    let base = SimConfig::new(params)
+        .duration(0.3)
+        .warmup(0.05)
+        .seed(0x513d);
+    let auto = ClusterSim::run(&base.clone().threads(4).block(1024)).unwrap();
+    memlat_dist::simd::set_forced_scalar(true);
+    let scalar = ClusterSim::run(&base.clone().threads(4).block(1024)).unwrap();
+    let scalar_unblocked = ClusterSim::run(&base.threads(1).block(1)).unwrap();
+    memlat_dist::simd::set_forced_scalar(false);
+    assert!(!memlat_dist::simd::simd_active() || cfg!(target_arch = "x86_64"));
+    assert_eq!(fnv1a_records(&auto), fnv1a_records(&scalar));
+    assert_eq!(auto.summaries(), scalar.summaries());
+    assert_eq!(auto.db_latency_stats(), scalar.db_latency_stats());
+    assert_eq!(fnv1a_records(&auto), fnv1a_records(&scalar_unblocked));
+    assert_eq!(auto.summaries(), scalar_unblocked.summaries());
+}
+
 /// A timeout that can never fire still forces the scalar path (the
 /// eligibility check is conservative), so output stays pinned.
 #[test]

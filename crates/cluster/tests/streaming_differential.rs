@@ -60,6 +60,7 @@ fn materialized_reference(params: &ModelParams, cfg: &SimConfig) -> Vec<Vec<(f32
                     service_rate: params.service_rate(),
                     miss_ratio: params.miss_ratio(),
                     miss_mode: &MissMode::FixedRatio,
+                    popularity: None,
                     warmup: cfg.warmup,
                     duration: cfg.duration,
                     faults: ServerFaults::none(),

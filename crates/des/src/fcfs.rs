@@ -131,6 +131,14 @@ impl FcfsStation {
         // Everything the scan touches lives in registers; the per-job
         // floating-point add sequence is unchanged, so the write-back
         // below leaves the station bit-identical to scalar submits.
+        //
+        // Codegen audit (`--emit=asm`, x86_64 release): this scan
+        // compiles to scalar `maxsd`/`addsd` — the Lindley recurrence
+        // `depart = max(arrival, depart) + service` carries `depart`
+        // across iterations, so no lane-parallel form exists without
+        // reassociating the adds (which would break bit-identity with
+        // per-job submits). It stays scalar by design; the vector wins
+        // live upstream in the uniform→law transforms that feed it.
         let mut depart = self.last_departure;
         let mut last_arrival = self.last_arrival;
         let mut busy_time = self.busy_time;

@@ -64,9 +64,13 @@ impl Exponential {
 impl Exponential {
     /// Draws one sample through a concrete RNG type — the monomorphized
     /// twin of [`Continuous::sample`], bit-identical draw for draw.
+    ///
+    /// Uses the deterministic [`crate::simd::dln`] kernel so that scalar
+    /// draws, bulk [`Self::fill`] blocks, and the AVX2 path all produce the
+    /// same bits.
     #[inline]
     pub fn sample_with<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
-        -open_unit(rng).ln() / self.rate
+        -crate::simd::dln(open_unit(rng)) / self.rate
     }
 
     /// Fills `out` with samples — bit-identical to `out.len()` successive
@@ -74,14 +78,12 @@ impl Exponential {
     ///
     /// The uniforms are staged into the slice first (consuming the RNG in
     /// the scalar draw order), then the `ln` transform runs over the whole
-    /// block so the compiler can vectorize it.
+    /// block through the SIMD-dispatched kernel.
     pub fn fill<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
         for u in out.iter_mut() {
             *u = open_unit(rng);
         }
-        for x in out.iter_mut() {
-            *x = -(*x).ln() / self.rate;
-        }
+        crate::simd::exp_transform(out, self.rate);
     }
 }
 

@@ -72,7 +72,7 @@ impl GeometricBatch {
         if u <= 1.0 - self.q {
             return 1;
         }
-        let n = ((1.0 - u).ln() / self.ln_q).ceil();
+        let n = (crate::simd::dln(1.0 - u) / self.ln_q).ceil();
         (n as u64).max(1)
     }
 
@@ -91,15 +91,7 @@ impl GeometricBatch {
         for b in out.iter_mut() {
             *b = rng.next_u64();
         }
-        for b in out.iter_mut() {
-            let u = crate::open_unit_from_bits(*b);
-            *b = if u <= 1.0 - self.q {
-                1
-            } else {
-                let n = ((1.0 - u).ln() / self.ln_q).ceil();
-                (n as u64).max(1)
-            };
-        }
+        crate::simd::geometric_transform(out, self.q, self.ln_q);
     }
 }
 

@@ -111,11 +111,11 @@ impl Hyperexponential {
         for (w, r) in self.weights.iter().zip(&self.rates) {
             acc += w;
             if u <= acc {
-                return -open_unit(rng).ln() / *r;
+                return -crate::simd::dln(open_unit(rng)) / *r;
             }
         }
         // Floating-point slack: fall through to the last phase.
-        -open_unit(rng).ln() / *self.rates.last().expect("non-empty")
+        -crate::simd::dln(open_unit(rng)) / *self.rates.last().expect("non-empty")
     }
 
     /// Fills `out` with samples — bit-identical to `out.len()` successive

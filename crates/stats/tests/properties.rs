@@ -156,4 +156,53 @@ proptest! {
         prop_assert_eq!(&outer, &whole);
         prop_assert_eq!(&rev, &whole);
     }
+
+    /// `StreamingStats::push_slice` is bit-identical to scalar pushes —
+    /// the Welford recurrence carries a serial dependence, so the slice
+    /// entry point must never reassociate it (splitting the slice
+    /// arbitrarily must not matter either).
+    #[test]
+    fn streaming_push_slice_bit_identical(
+        xs in proptest::collection::vec(1e-9f64..1e6, 0..600),
+        cut in 0usize..600,
+    ) {
+        let cut = cut.min(xs.len());
+        let mut scalar = StreamingStats::new();
+        for &x in &xs {
+            scalar.push(x);
+        }
+        let mut sliced = StreamingStats::new();
+        sliced.push_slice(&xs[..cut]);
+        sliced.push_slice(&xs[cut..]);
+        prop_assert_eq!(sliced.count(), scalar.count());
+        prop_assert_eq!(sliced.mean().to_bits(), scalar.mean().to_bits());
+        prop_assert_eq!(
+            sliced.sample_variance().to_bits(),
+            scalar.sample_variance().to_bits()
+        );
+        prop_assert_eq!(sliced.min().to_bits(), scalar.min().to_bits());
+        prop_assert_eq!(sliced.max().to_bits(), scalar.max().to_bits());
+    }
+
+    /// `QuantileSketch::push_slice` is bit-identical to scalar pushes:
+    /// same bins, same counters, same quantile answers.
+    #[test]
+    fn sketch_push_slice_bit_identical(
+        xs in proptest::collection::vec(1e-9f64..1e6, 0..600),
+        cut in 0usize..600,
+        p in 0.0f64..1.0,
+    ) {
+        let cut = cut.min(xs.len());
+        let mut scalar = QuantileSketch::new();
+        for &x in &xs {
+            scalar.push(x);
+        }
+        let mut sliced = QuantileSketch::new();
+        sliced.push_slice(&xs[..cut]);
+        sliced.push_slice(&xs[cut..]);
+        prop_assert_eq!(&sliced, &scalar);
+        if !xs.is_empty() {
+            prop_assert_eq!(sliced.quantile(p).to_bits(), scalar.quantile(p).to_bits());
+        }
+    }
 }

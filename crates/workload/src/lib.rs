@@ -45,7 +45,7 @@ pub mod trace;
 
 pub use arrival::BatchArrivals;
 pub use placement::{ConsistentHashRing, HashMod, Placement, StaticProbability};
-pub use popularity::ZipfPopularity;
+pub use popularity::{alias_builds, ZipfPopularity};
 pub use request::RequestGenerator;
 pub use retry::RetryQueue;
 

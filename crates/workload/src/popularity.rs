@@ -1,9 +1,26 @@
 //! Key popularity — the skew behind the unbalanced load distribution.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use memlat_dist::{Discrete, ParamError, Zipf};
 use rand::RngCore;
 
 use crate::KeyId;
+
+/// Process-wide count of alias-table constructions, for asserting that
+/// sweep/simulation layers reuse cached tables instead of rebuilding a
+/// multi-megabyte table per sweep point (see [`alias_builds`]).
+static ALIAS_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of alias tables built by this process so far.
+///
+/// Monotone counter; take a snapshot before the code under test and diff
+/// after. Tests asserting exact counts should run in their own process
+/// (their own integration-test binary) to avoid cross-test interference.
+#[must_use]
+pub fn alias_builds() -> u64 {
+    ALIAS_BUILDS.load(Ordering::Relaxed)
+}
 
 /// Key spaces up to this size get a precomputed alias table (one
 /// uniform, two array reads per draw); larger ones sample by
@@ -23,6 +40,7 @@ struct AliasTable {
 impl AliasTable {
     /// Builds the table from the Zipf pmf in `O(n)` (Vose's method).
     fn build(zipf: &Zipf) -> Self {
+        ALIAS_BUILDS.fetch_add(1, Ordering::Relaxed);
         let n = usize::try_from(zipf.n()).expect("alias key space fits usize");
         let mut scaled: Vec<f64> = (1..=zipf.n()).map(|k| zipf.pmf(k) * n as f64).collect();
         let mut prob = vec![1.0f64; n];
@@ -154,6 +172,26 @@ impl ZipfPopularity {
         }
     }
 
+    /// Bulk alias sampling: appends one key id per raw `next_u64` draw in
+    /// `bits` onto `out`, bit-identical to calling [`Self::sample_key`] at
+    /// each original draw site. Runs through the SIMD-dispatched gather
+    /// kernel on AVX2 hosts.
+    ///
+    /// Only the alias path can be bulk-driven (rejection-inversion consumes
+    /// a data-dependent number of uniforms per key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this population does not use the alias table
+    /// ([`Self::uses_alias_table`] is `false`).
+    pub fn sample_keys_from_bits(&self, bits: &[u64], out: &mut Vec<KeyId>) {
+        let table = self
+            .alias
+            .as_ref()
+            .expect("bulk sampling requires the alias-table path");
+        memlat_dist::simd::alias_from_bits(&table.prob, &table.alias, bits, out);
+    }
+
     /// Probability that a single access hits the given key id.
     #[must_use]
     pub fn access_probability(&self, key: KeyId) -> f64 {
@@ -258,6 +296,28 @@ mod tests {
         let expect = pop.head_mass(50);
         assert!((fa - expect).abs() < 0.01, "alias {fa} vs {expect}");
         assert!((fa - fr).abs() < 0.015, "alias {fa} vs rejection {fr}");
+    }
+
+    #[test]
+    fn bulk_sampling_is_bit_identical_to_scalar() {
+        use rand::RngCore;
+        let pop = ZipfPopularity::new(5_000, 0.99).unwrap();
+        for n in [0usize, 1, 3, 7, 37, 1024] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xb17 + n as u64);
+            let bits: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+            let mut bulk = Vec::new();
+            pop.sample_keys_from_bits(&bits, &mut bulk);
+            let mut replay = rand::rngs::StdRng::seed_from_u64(0xb17 + n as u64);
+            let scalar: Vec<u64> = (0..n).map(|_| pop.sample_key(&mut replay)).collect();
+            assert_eq!(bulk, scalar, "n={n}");
+        }
+    }
+
+    #[test]
+    fn build_counter_increments() {
+        let before = alias_builds();
+        let _pop = ZipfPopularity::new(1_000, 1.0).unwrap();
+        assert!(alias_builds() > before);
     }
 
     #[test]
