@@ -80,6 +80,9 @@ fn bench_kernels(c: &mut Criterion) {
     let mut out = Vec::with_capacity(bits.len());
     g.bench_function("exp_from_bits_4k", |b| {
         b.iter(|| {
+            // The kernel appends; without the clear the vector grows by
+            // 4 096 every iteration and the timing drifts upward.
+            out.clear();
             memlat_dist::simd::exp_from_bits(&bits, 80_000.0, &mut out);
             std::hint::black_box(out.last().copied())
         })
@@ -98,6 +101,34 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| {
             zpop.sample_keys_from_bits(&bits, &mut keys);
             std::hint::black_box(keys.last().copied())
+        })
+    });
+
+    // The arrival block, both ways: the pre-PR-9 serial recurrence
+    // (`powf` inside the `clock += gap` chain, one dependent iteration
+    // per batch) against the speculative pipeline's shape (lane
+    // transform over banked bits, then a serial prefix sum of cheap
+    // adds). Same 4 096 gap draws, same GP(ξ = 0.15) law.
+    let (xi, sox) = (0.15, 1.185e-4);
+    g.bench_function("arrival_block_powf_serial_4k", |b| {
+        b.iter(|| {
+            let mut clock = 0.0;
+            for &u in &uniforms {
+                clock += sox * (u.powf(-xi) - 1.0);
+            }
+            std::hint::black_box(clock)
+        })
+    });
+    let mut gaps = Vec::with_capacity(bits.len());
+    g.bench_function("arrival_block_lane_pipeline_4k", |b| {
+        b.iter(|| {
+            gaps.clear();
+            memlat_dist::simd::gp_from_bits(&bits, xi, sox, &mut gaps);
+            let mut clock = 0.0;
+            for &gap in &gaps {
+                clock += gap;
+            }
+            std::hint::black_box(clock)
         })
     });
     g.finish();

@@ -13,15 +13,25 @@
 //! block`] keys, raw uniforms are banked per key, the uniform→law
 //! transforms and the FCFS Lindley recursion run as tight slice scans,
 //! and whole blocks reach the sink via [`RecordSink::record_block`].
-//! Blocks consume the RNG stream in exactly the scalar order, so block
-//! size can never change the output — only the wall clock.
+//! Arrival generation itself is block-shaped too: for single-draw gap
+//! laws the speculative pipeline
+//! ([`BatchArrivals::fill_block_speculative`]) banks raw gap bits,
+//! transforms them through the SIMD kernels, prefix-sums the times off a
+//! carried clock, and patches the horizon boundary by deterministic
+//! over-generate-and-trim — so the serial `t += gap` recurrence no
+//! longer gates throughput. Blocks consume the RNG stream in exactly the
+//! scalar order, so block size can never change the output — only the
+//! wall clock.
 
 use memlat_cache::{Store, StoreConfig};
 use memlat_des::fcfs::FcfsStation;
 use memlat_des::metrics::{ResilienceCounters, ServerCounters};
 use memlat_dist::{GapLaw, GeneralizedPareto, ParamError};
 use memlat_workload::retry::exponential_backoff;
-use memlat_workload::{arrival::BatchArrivals, RetryQueue, ZipfPopularity};
+use memlat_workload::{
+    arrival::{ArrivalScratch, BatchArrivals},
+    RetryQueue, ZipfPopularity,
+};
 use rand::Rng;
 use rand::RngCore;
 
@@ -304,6 +314,10 @@ impl<F: FnMut(&KeyRecord)> RecordSink for FnSink<F> {
 pub struct BlockScratch {
     /// Arrival time of each staged key.
     arrival: Vec<f64>,
+    /// Speculative arrival-pipeline lanes: banked gap bits, transformed
+    /// gaps, and the kept batches' times/sizes (see
+    /// [`BatchArrivals::fill_block_speculative`]).
+    arrival_lanes: ArrivalScratch,
     /// Raw service-draw bits, banked in stream order.
     svc_bits: Vec<u64>,
     /// Raw miss-draw bits (empty when the miss ratio is 0).
@@ -498,7 +512,7 @@ pub fn simulate_server_streaming<S, R>(
 ) -> Result<ServerRunStats, ParamError>
 where
     S: FnMut(&KeyRecord),
-    R: RngCore + ?Sized,
+    R: RngCore + Clone,
 {
     simulate_server_streaming_with(p, rng, &mut BlockScratch::new(), FnSink(sink))
 }
@@ -518,7 +532,7 @@ pub fn simulate_server_streaming_with<S, R>(
 ) -> Result<ServerRunStats, ParamError>
 where
     S: RecordSink,
-    R: RngCore + ?Sized,
+    R: RngCore + Clone,
 {
     let mut arrivals = BatchArrivals::new(p.interarrival, p.concurrency)?;
     let mut decider = MissDecider::new(p.miss_mode, p.miss_ratio, p.popularity.as_ref())?;
@@ -573,14 +587,21 @@ where
                 process_attempt(t, key, &mut st, &mut decider, &env, rng);
             }
         }
+        // Gap laws with a block bits-kernel (exponential, GP — every law
+        // the paper's sweeps use) take the speculative arrival pipeline;
+        // the data-dependent laws stay on the scalar batch driver.
+        let speculative = arrivals.speculative_supported();
+        let key_draws = 1 + usize::from(draw_miss);
         while !done {
             scratch.clear();
             // Stage ≥ block keys (a batch is never split), banking the
             // raw bits of each key's draws in exactly the scalar order:
             // service uniform, then — when r > 0 — the miss uniform. The
             // warm-up loop's first post-warmup batch seeds the first
-            // block; the rest stream through `drive_batches_with`, which
-            // hoists the gap-law dispatch out of the per-batch loop.
+            // block; the rest stream through the speculative block
+            // pipeline (or, for multi-draw gap laws, through
+            // `drive_batches_with`, which hoists the gap-law dispatch out
+            // of the per-batch loop).
             if let Some((t, batch)) = pending.take() {
                 for _ in 0..batch {
                     scratch.arrival.push(t);
@@ -591,22 +612,63 @@ where
                 }
             }
             if scratch.arrival.len() < p.block {
-                arrivals.drive_batches_with(rng, |t, batch, rng| {
-                    if t >= horizon {
-                        done = true;
-                        return false;
+                if speculative {
+                    // Bank raw gap bits and key bits in scalar draw order,
+                    // transform the gap lane through the SIMD kernels, and
+                    // prefix-sum the arrival times off the carried clock.
+                    // The horizon trim inside rewinds the RNG to exactly
+                    // the scalar stream position.
+                    let BlockScratch {
+                        arrival,
+                        arrival_lanes,
+                        svc_bits,
+                        miss_bits,
+                        ..
+                    } = &mut *scratch;
+                    done = arrivals.fill_block_speculative(
+                        rng,
+                        horizon,
+                        p.block - arrival.len(),
+                        key_draws,
+                        arrival_lanes,
+                        |batch, rng| {
+                            for _ in 0..batch {
+                                svc_bits.push(rng.next_u64());
+                                if draw_miss {
+                                    miss_bits.push(rng.next_u64());
+                                }
+                            }
+                        },
+                    );
+                    // Expand kept batches into the per-key arrival lane,
+                    // then drop the over-generated tail of the key lanes.
+                    for (&t, &b) in arrival_lanes.times().iter().zip(arrival_lanes.sizes()) {
+                        arrival.extend(std::iter::repeat_n(t, b as usize));
                     }
-                    scratch
-                        .arrival
-                        .extend(std::iter::repeat_n(t, batch as usize));
-                    for _ in 0..batch {
-                        scratch.svc_bits.push(rng.next_u64());
+                    if done {
+                        svc_bits.truncate(arrival.len());
                         if draw_miss {
-                            scratch.miss_bits.push(rng.next_u64());
+                            miss_bits.truncate(arrival.len());
                         }
                     }
-                    scratch.arrival.len() < p.block
-                });
+                } else {
+                    arrivals.drive_batches_with(rng, |t, batch, rng| {
+                        if t >= horizon {
+                            done = true;
+                            return false;
+                        }
+                        scratch
+                            .arrival
+                            .extend(std::iter::repeat_n(t, batch as usize));
+                        for _ in 0..batch {
+                            scratch.svc_bits.push(rng.next_u64());
+                            if draw_miss {
+                                scratch.miss_bits.push(rng.next_u64());
+                            }
+                        }
+                        scratch.arrival.len() < p.block
+                    });
+                }
             }
             let n = scratch.arrival.len();
             if n == 0 {
@@ -714,7 +776,7 @@ where
 /// # Errors
 ///
 /// Returns [`ParamError`] when the miss mode's parameters are invalid.
-pub fn simulate_server<R: RngCore + ?Sized>(
+pub fn simulate_server<R: RngCore + Clone>(
     p: ServerSimParams<'_>,
     rng: &mut R,
 ) -> Result<ServerRun, ParamError> {

@@ -126,15 +126,16 @@ impl GeneralizedPareto {
         if self.xi == 0.0 {
             -self.sigma * crate::simd::dln(u)
         } else {
-            // Inverse CDF with 1-U ~ U: ((U^{-ξ}) − 1) σ/ξ, via libm `powf`
-            // rather than the deterministic `dexp(-ξ·dln(u))` composition.
-            // This is a measured latency call: gap draws sit on the serial
-            // `t += gap` arrival recurrence, where libm pow's shorter
-            // dependency chain beats the two-division software composition
-            // by ~20% end-to-end on the reference box (the SIMD
-            // `gp_transform` kernel only pays off on independent lanes,
-            // which a running arrival clock never provides).
-            self.sigma_over_xi * (u.powf(-self.xi) - 1.0)
+            // Inverse CDF with 1-U ~ U: ((U^{-ξ}) − 1) σ/ξ, computed as the
+            // deterministic `dexp(-ξ·dln(u))` composition so the scalar
+            // reference, [`Self::fill`], and the AVX2 `gp_from_bits` /
+            // `gp_transform` lane kernels all produce the same bits. (PR 8
+            // kept this draw on libm `powf` — ~20% shorter dependency chain
+            // on the then-serial `t += gap` recurrence — but the speculative
+            // block arrival pipeline turned gap generation into a lane
+            // problem, where the shared composition wins and bit-identity
+            // across scalar/SIMD becomes load-bearing.)
+            self.sigma_over_xi * (crate::simd::dexp(-self.xi * crate::simd::dln(u)) - 1.0)
         }
     }
 
@@ -142,9 +143,9 @@ impl GeneralizedPareto {
     /// [`Self::sample_with`] calls on the same RNG state.
     ///
     /// The uniforms are staged first (scalar draw order), then the
-    /// inverse-CDF transform runs branch-hoisted over the whole block:
-    /// the `ξ = 0` exponential limit and the `ξ > 0` power law each get a
-    /// tight loop of the exact per-sample expression.
+    /// inverse-CDF transform runs branch-hoisted over the whole block
+    /// through the SIMD-dispatched kernels: `exp_scale_transform` for the
+    /// `ξ = 0` exponential limit, `gp_transform` for the power law.
     pub fn fill<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
         for u in out.iter_mut() {
             *u = open_unit(rng);
@@ -152,12 +153,20 @@ impl GeneralizedPareto {
         if self.xi == 0.0 {
             crate::simd::exp_scale_transform(out, self.sigma);
         } else {
-            // Must stay bit-identical to `sample_with`, which uses libm
-            // `powf` (see the latency note there) — so the bulk path does
-            // too, not the `gp_transform` SIMD kernel.
-            for x in out.iter_mut() {
-                *x = self.sigma_over_xi * ((*x).powf(-self.xi) - 1.0);
-            }
+            crate::simd::gp_transform(out, self.xi, self.sigma_over_xi);
+        }
+    }
+
+    /// Appends one sample per raw `next_u64` draw in `bits` onto `out` —
+    /// bit-identical to feeding the same bits through
+    /// [`Self::sample_with`] draw for draw. This is the gap lane of the
+    /// speculative block arrival pipeline: the caller banks raw bits in
+    /// scalar stream order and transforms the whole slice at once.
+    pub fn fill_from_bits(&self, bits: &[u64], out: &mut Vec<f64>) {
+        if self.xi == 0.0 {
+            crate::simd::exp_scale_from_bits(bits, self.sigma, out);
+        } else {
+            crate::simd::gp_from_bits(bits, self.xi, self.sigma_over_xi, out);
         }
     }
 }
@@ -283,6 +292,26 @@ mod tests {
         let n = 400_000;
         let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
         assert!((mean - 1.0).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn fill_from_bits_matches_sample_with() {
+        use rand::RngCore;
+        // Both GP branches: ξ > 0 (power law) and ξ = 0 (exponential limit).
+        for d in [
+            GeneralizedPareto::facebook(0.15, 56_250.0).unwrap(),
+            GeneralizedPareto::facebook(0.0, 56_250.0).unwrap(),
+        ] {
+            let mut bits_rng = rand::rngs::StdRng::seed_from_u64(31);
+            let bits: Vec<u64> = (0..1000).map(|_| bits_rng.next_u64()).collect();
+            let mut lane = Vec::new();
+            d.fill_from_bits(&bits, &mut lane);
+            let mut draw_rng = rand::rngs::StdRng::seed_from_u64(31);
+            for (i, &x) in lane.iter().enumerate() {
+                let y = d.sample_with(&mut draw_rng);
+                assert_eq!(x.to_bits(), y.to_bits(), "draw {i}");
+            }
+        }
     }
 
     #[test]

@@ -89,6 +89,33 @@ impl GapLaw {
         }
     }
 
+    /// Whether this law draws exactly one raw `next_u64` per gap **and**
+    /// has a block bits-kernel ([`GapLaw::gaps_from_bits`]) — the
+    /// dispatch gate of the speculative block arrival pipeline. The
+    /// data-dependent laws (Erlang, hyperexponential) and the zero-draw
+    /// deterministic law stay on the scalar batch driver.
+    #[must_use]
+    pub fn has_bits_kernel(&self) -> bool {
+        matches!(self, GapLaw::Exponential(_) | GapLaw::GeneralizedPareto(_))
+    }
+
+    /// Appends one gap per raw `next_u64` draw in `bits` onto `out`,
+    /// bit-identical to feeding the same bits through
+    /// [`GapLaw::sample_with`] draw for draw. The transform runs as a
+    /// slice scan through the SIMD-dispatched kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`GapLaw::has_bits_kernel`] is false — callers gate on
+    /// it before banking bits.
+    pub fn gaps_from_bits(&self, bits: &[u64], out: &mut Vec<f64>) {
+        match self {
+            GapLaw::Exponential(d) => crate::simd::exp_from_bits(bits, d.rate(), out),
+            GapLaw::GeneralizedPareto(d) => d.fill_from_bits(bits, out),
+            _ => panic!("gaps_from_bits needs a single-draw law with a bits kernel"),
+        }
+    }
+
     /// The inner law as a `&dyn Continuous` (for solvers that take the
     /// trait object).
     #[must_use]
@@ -198,6 +225,40 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn bits_kernel_gate_matches_draw_shape() {
+        let mut laned = 0;
+        for law in laws() {
+            if law.has_bits_kernel() {
+                laned += 1;
+                // One raw u64 per draw: feeding banked bits through the
+                // lane kernel must reproduce sample_with bit for bit.
+                use rand::RngCore;
+                let mut bits_rng = rand::rngs::StdRng::seed_from_u64(0xbeef);
+                let bits: Vec<u64> = (0..500).map(|_| bits_rng.next_u64()).collect();
+                let mut lane = Vec::new();
+                law.gaps_from_bits(&bits, &mut lane);
+                let mut draw_rng = rand::rngs::StdRng::seed_from_u64(0xbeef);
+                for (i, &x) in lane.iter().enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        law.sample_with(&mut draw_rng).to_bits(),
+                        "draw {i}"
+                    );
+                }
+            }
+        }
+        // Exponential and GeneralizedPareto — the arrival hot path's laws.
+        assert_eq!(laned, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits kernel")]
+    fn gaps_from_bits_rejects_multi_draw_laws() {
+        let law = GapLaw::from(Hyperexponential::with_mean_scv(1e-3, 4.0).unwrap());
+        law.gaps_from_bits(&[1, 2, 3], &mut Vec::new());
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! reference *by construction* — the differential suites then prove it
 //! empirically.
 //!
+//! Since the speculative block arrival pipeline landed, the gap laws are
+//! lane-shaped too: `exp_from_bits`/`exp_scale_from_bits`/`gp_from_bits`
+//! transform banked raw gap draws as whole slices, so the GP power law now
+//! runs through `dexp(-ξ·dln u)` everywhere (PR 8's `powf`-stays-serial
+//! negative result no longer applies — the serial recurrence it was
+//! measured on is gone).
+//!
 //! Dispatch is resolved once at first use: x86-64 with AVX2 detected at
 //! runtime takes the vector path unless `MEMLAT_NO_SIMD` is set in the
 //! environment (or [`set_forced_scalar`] was called — the in-process test
@@ -229,6 +236,52 @@ fn exp_transform_scalar(xs: &mut [f64], rate: f64) {
     }
 }
 
+/// Appends `-sigma * dln(open_unit_from_bits(b))` for every `b` in `bits`
+/// onto `out` — the GP `ξ = 0` exponential-limit gap lane of the
+/// speculative arrival pipeline.
+pub fn exp_scale_from_bits(bits: &[u64], sigma: f64, out: &mut Vec<f64>) {
+    let start = out.len();
+    out.resize(start + bits.len(), 0.0);
+    let dst = &mut out[start..];
+    #[cfg(target_arch = "x86_64")]
+    if mode() == MODE_AVX2 {
+        // SAFETY: MODE_AVX2 is only ever stored after
+        // `is_x86_feature_detected!("avx2")` returned true.
+        unsafe { avx2::exp_scale_from_bits(bits, sigma, dst) };
+        return;
+    }
+    exp_scale_from_bits_scalar(bits, sigma, dst);
+}
+
+fn exp_scale_from_bits_scalar(bits: &[u64], sigma: f64, dst: &mut [f64]) {
+    for (x, &b) in dst.iter_mut().zip(bits) {
+        *x = -sigma * dln(open_unit_from_bits(b));
+    }
+}
+
+/// Appends `(σ/ξ)(dexp(-ξ · dln(u)) − 1)` for every raw draw in `bits`
+/// onto `out` — the GP `ξ > 0` gap lane of the speculative arrival
+/// pipeline, bit-identical to `GeneralizedPareto::sample_with` fed the
+/// same bits.
+pub fn gp_from_bits(bits: &[u64], xi: f64, sigma_over_xi: f64, out: &mut Vec<f64>) {
+    let start = out.len();
+    out.resize(start + bits.len(), 0.0);
+    let dst = &mut out[start..];
+    #[cfg(target_arch = "x86_64")]
+    if mode() == MODE_AVX2 {
+        // SAFETY: AVX2 presence established at dispatch init.
+        unsafe { avx2::gp_from_bits(bits, xi, sigma_over_xi, dst) };
+        return;
+    }
+    gp_from_bits_scalar(bits, xi, sigma_over_xi, dst);
+}
+
+fn gp_from_bits_scalar(bits: &[u64], xi: f64, sigma_over_xi: f64, dst: &mut [f64]) {
+    for (x, &b) in dst.iter_mut().zip(bits) {
+        *x = sigma_over_xi * (dexp(-xi * dln(open_unit_from_bits(b))) - 1.0);
+    }
+}
+
 /// Transforms staged `(0, 1)` uniforms into Generalized Pareto samples in
 /// place — the `ξ > 0` inverse CDF `x <- (σ/ξ)(u^{-ξ} − 1)`, computed as
 /// `dexp(-ξ · dln(u))` so the power law shares the deterministic kernels.
@@ -288,6 +341,34 @@ fn geometric_transform_scalar(vals: &mut [u64], q: f64, ln_q: f64) {
             let n = (dln(1.0 - u) / ln_q).ceil();
             (n as u64).max(1)
         };
+    }
+}
+
+/// Writes `dln(x) / ln_gamma` for every `x` in `xs` into `dst` — the
+/// log-bin lane of the quantile sketch's block push. Elements outside
+/// `[lo, f64::MAX]` (underflow, infinities, NaN) are substituted with a
+/// placeholder of `1.0` before the log so the lane stays inside
+/// [`dln`]'s domain; callers route those elements off the bin path by
+/// re-testing `x`, exactly as the scalar per-sample push does.
+///
+/// # Panics
+///
+/// Panics if `xs` and `dst` differ in length.
+pub fn sketch_bins(xs: &[f64], ln_gamma: f64, lo: f64, dst: &mut [f64]) {
+    assert_eq!(xs.len(), dst.len(), "sketch_bins slices must match");
+    #[cfg(target_arch = "x86_64")]
+    if mode() == MODE_AVX2 {
+        // SAFETY: AVX2 presence established at dispatch init.
+        unsafe { avx2::sketch_bins(xs, ln_gamma, lo, dst) };
+        return;
+    }
+    sketch_bins_scalar(xs, ln_gamma, lo, dst);
+}
+
+fn sketch_bins_scalar(xs: &[f64], ln_gamma: f64, lo: f64, dst: &mut [f64]) {
+    for (d, &x) in dst.iter_mut().zip(xs) {
+        let x = if x >= lo && x <= f64::MAX { x } else { 1.0 };
+        *d = dln(x) / ln_gamma;
     }
 }
 
@@ -489,6 +570,42 @@ mod avx2 {
     }
 
     #[target_feature(enable = "avx2")]
+    pub unsafe fn exp_scale_from_bits(bits: &[u64], sigma: f64, dst: &mut [f64]) {
+        let n = bits.len();
+        let vnsig = _mm256_set1_pd(-sigma);
+        let mut i = 0;
+        while i + 4 <= n {
+            let raw = _mm256_loadu_si256(bits.as_ptr().add(i).cast());
+            let u = open_unit4(raw);
+            // Scalar is `-sigma * dln(u)`: one multiply by (-sigma).
+            _mm256_storeu_pd(dst.as_mut_ptr().add(i), _mm256_mul_pd(vnsig, dln4(u)));
+            i += 4;
+        }
+        super::exp_scale_from_bits_scalar(&bits[i..], sigma, &mut dst[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gp_from_bits(bits: &[u64], xi: f64, sigma_over_xi: f64, dst: &mut [f64]) {
+        let n = bits.len();
+        let vnxi = _mm256_set1_pd(-xi);
+        let vsox = _mm256_set1_pd(sigma_over_xi);
+        let one = _mm256_set1_pd(1.0);
+        let mut i = 0;
+        while i + 4 <= n {
+            let raw = _mm256_loadu_si256(bits.as_ptr().add(i).cast());
+            let u = open_unit4(raw);
+            // Scalar: sigma_over_xi * (dexp((-xi) * dln(u)) - 1.0).
+            let e = dexp4(_mm256_mul_pd(vnxi, dln4(u)));
+            _mm256_storeu_pd(
+                dst.as_mut_ptr().add(i),
+                _mm256_mul_pd(vsox, _mm256_sub_pd(e, one)),
+            );
+            i += 4;
+        }
+        super::gp_from_bits_scalar(&bits[i..], xi, sigma_over_xi, &mut dst[i..]);
+    }
+
+    #[target_feature(enable = "avx2")]
     pub unsafe fn gp_transform(xs: &mut [f64], xi: f64, sigma_over_xi: f64) {
         let n = xs.len();
         let vnxi = _mm256_set1_pd(-xi);
@@ -506,6 +623,30 @@ mod avx2 {
             i += 4;
         }
         super::gp_transform_scalar(&mut xs[i..], xi, sigma_over_xi);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sketch_bins(xs: &[f64], ln_gamma: f64, lo: f64, dst: &mut [f64]) {
+        let n = xs.len();
+        let vlo = _mm256_set1_pd(lo);
+        let vmax = _mm256_set1_pd(f64::MAX);
+        let one = _mm256_set1_pd(1.0);
+        let vg = _mm256_set1_pd(ln_gamma);
+        let mut i = 0;
+        while i + 4 <= n {
+            let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+            // Ordered compares are false on NaN, so the placeholder
+            // blend routes NaN, ±inf and sub-`lo` lanes to 1.0 exactly
+            // like the scalar `x >= lo && x <= MAX` select.
+            let ok = _mm256_and_pd(
+                _mm256_cmp_pd::<_CMP_GE_OQ>(x, vlo),
+                _mm256_cmp_pd::<_CMP_LE_OQ>(x, vmax),
+            );
+            let safe = _mm256_blendv_pd(one, x, ok);
+            _mm256_storeu_pd(dst.as_mut_ptr().add(i), _mm256_div_pd(dln4(safe), vg));
+            i += 4;
+        }
+        super::sketch_bins_scalar(&xs[i..], ln_gamma, lo, &mut dst[i..]);
     }
 
     #[target_feature(enable = "avx2")]
@@ -690,6 +831,75 @@ mod tests {
             assert_eq!(
                 a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
                 b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn gap_bits_kernels_match_scalar() {
+        for &n in &LENS {
+            let bits = random_bits(n, 4_200 + n as u64);
+
+            let mut simd_out = Vec::new();
+            exp_scale_from_bits(&bits, 1.6e-5, &mut simd_out);
+            let mut scalar_out = vec![0.0; n];
+            exp_scale_from_bits_scalar(&bits, 1.6e-5, &mut scalar_out);
+            assert_eq!(
+                simd_out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                scalar_out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "n={n}"
+            );
+
+            let (xi, sox) = (0.15, (1.0 - 0.15) / 56_250.0 / 0.15);
+            let mut simd_out = Vec::new();
+            gp_from_bits(&bits, xi, sox, &mut simd_out);
+            let mut scalar_out = vec![0.0; n];
+            gp_from_bits_scalar(&bits, xi, sox, &mut scalar_out);
+            assert_eq!(
+                simd_out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                scalar_out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "n={n}"
+            );
+
+            // The bits kernel composes open_unit + the in-place transform,
+            // so the two public entry points must agree bit for bit.
+            let mut uniforms: Vec<f64> = bits.iter().map(|&b| open_unit_from_bits(b)).collect();
+            gp_transform(&mut uniforms, xi, sox);
+            assert_eq!(
+                simd_out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                uniforms.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_bins_kernel_matches_scalar() {
+        let ln_gamma = 2.0f64 * 0.01 / (1.0 - 0.01); // ~ln(gamma) at alpha=0.01
+        let lo = 1e-12;
+        for &n in &LENS {
+            // Latency-shaped values with the edge cases the lane must
+            // route through the placeholder blend.
+            let mut xs: Vec<f64> = random_bits(n, 7_700 + n as u64)
+                .iter()
+                .map(|&b| 1e-5 * (1.0 + open_unit_from_bits(b) * 1e4))
+                .collect();
+            for (i, bad) in [0.0, 1e-300, f64::INFINITY, f64::NEG_INFINITY, f64::NAN]
+                .into_iter()
+                .enumerate()
+            {
+                if i < xs.len() {
+                    xs[i] = bad;
+                }
+            }
+            let mut simd_out = vec![0.0; n];
+            sketch_bins(&xs, ln_gamma, lo, &mut simd_out);
+            let mut scalar_out = vec![0.0; n];
+            sketch_bins_scalar(&xs, ln_gamma, lo, &mut scalar_out);
+            assert_eq!(
+                simd_out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                scalar_out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
                 "n={n}"
             );
         }

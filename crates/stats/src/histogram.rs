@@ -27,6 +27,12 @@ pub struct LogHistogram {
     min_value: f64,
     buckets_per_decade: usize,
     counts: Vec<u64>,
+    /// Precomputed bucket edges: `edges[i]` is the lower bound of bucket
+    /// `i`, with one extra entry past the last bucket. Memoizes the
+    /// `min · 10^(i/bpd)` bound so quantile scans stop paying a `powf`
+    /// per bucket probed — the values are bit-identical to computing the
+    /// expression on the fly.
+    edges: Vec<f64>,
     underflow: u64,
     overflow: u64,
     total: u64,
@@ -53,10 +59,14 @@ impl LogHistogram {
         );
         let decades = (max_value / min_value).log10();
         let n = (decades * buckets_per_decade as f64).ceil() as usize + 1;
+        let edges = (0..=n)
+            .map(|i| min_value * 10f64.powf(i as f64 / buckets_per_decade as f64))
+            .collect();
         Self {
             min_value,
             buckets_per_decade,
             counts: vec![0; n],
+            edges,
             underflow: 0,
             overflow: 0,
             total: 0,
@@ -78,9 +88,9 @@ impl LogHistogram {
         (idx < self.counts.len()).then_some(idx)
     }
 
-    /// Lower edge of bucket `i`.
+    /// Lower edge of bucket `i` — a table lookup, not a `powf`.
     fn bucket_lo(&self, i: usize) -> f64 {
-        self.min_value * 10f64.powf(i as f64 / self.buckets_per_decade as f64)
+        self.edges[i]
     }
 
     /// Records one value.
@@ -221,6 +231,18 @@ mod tests {
         let mut a = LogHistogram::new(1e-6, 1.0, 10);
         let b = LogHistogram::new(1e-6, 1.0, 20);
         a.merge(&b);
+    }
+
+    #[test]
+    fn edge_table_is_bit_identical_to_powf() {
+        for (min, bpd) in [(1e-8, 100usize), (1e-6, 7), (0.3, 1)] {
+            let h = LogHistogram::new(min, 100.0, bpd);
+            assert_eq!(h.edges.len(), h.counts.len() + 1);
+            for (i, &e) in h.edges.iter().enumerate() {
+                let direct = min * 10f64.powf(i as f64 / bpd as f64);
+                assert_eq!(e.to_bits(), direct.to_bits(), "edge {i}");
+            }
+        }
     }
 
     #[test]

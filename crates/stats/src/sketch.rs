@@ -40,6 +40,21 @@ pub const MIN_POSITIVE: f64 = 1e-12;
 /// Default relative-error bound (1%).
 pub const DEFAULT_ALPHA: f64 = 0.01;
 
+/// `raw.ceil()` clamped into `i32`, without the libm `ceil` call.
+///
+/// On the baseline x86-64 target `f64::ceil` is a libm call, and this
+/// runs once per pushed sample. `as i64` truncates toward zero
+/// (saturating), so rounding up exactly when the truncation landed
+/// below `raw` reproduces `raw.ceil()` — including at the saturation
+/// edges — before the clamp that guards pathological alpha-near-1
+/// configurations.
+#[inline]
+fn ceil_clamp(raw: f64) -> i32 {
+    let t = raw as i64;
+    let t = t.saturating_add(i64::from(raw > t as f64));
+    t.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32
+}
+
 /// A mergeable quantile sketch over nonnegative samples with bounded
 /// relative error.
 ///
@@ -183,13 +198,38 @@ impl QuantileSketch {
     }
 
     /// Inserts a block of samples — bit-identical to pushing each element
-    /// in order. The per-sample work (one `ln`, one array increment) stays
-    /// scalar, but block callers skip the per-sample call overhead of the
-    /// streaming sink path.
+    /// in order.
+    ///
+    /// The expensive part of a push is the logarithm behind the bin
+    /// index; here it is hoisted out of the per-element loop and
+    /// computed four lanes at a time by
+    /// [`memlat_dist::simd::sketch_bins`] over a small stack chunk. The
+    /// kernel is the same deterministic `dln` the scalar path uses, op
+    /// for op, so chunked insertion is bit-identical to repeated
+    /// [`Self::push`] under every dispatch mode. Out-of-domain elements
+    /// (non-finite, or below [`MIN_POSITIVE`]) get a placeholder lane
+    /// value that the scalar epilogue never reads — it routes them to
+    /// the drop/underflow paths first, exactly as `push` does.
     #[inline]
     pub fn push_slice(&mut self, xs: &[f64]) {
-        for &x in xs {
-            self.push(x);
+        const CHUNK: usize = 256;
+        let mut raw = [0.0f64; CHUNK];
+        for chunk in xs.chunks(CHUNK) {
+            let raw = &mut raw[..chunk.len()];
+            memlat_dist::simd::sketch_bins(chunk, self.ln_gamma, MIN_POSITIVE, raw);
+            for (&x, &r) in chunk.iter().zip(raw.iter()) {
+                if !x.is_finite() {
+                    continue;
+                }
+                self.count += 1;
+                self.min = self.min.min(x);
+                self.max = self.max.max(x);
+                if x < MIN_POSITIVE {
+                    self.underflow += 1;
+                } else {
+                    *self.slot(ceil_clamp(r)) += 1;
+                }
+            }
         }
     }
 
@@ -287,16 +327,14 @@ impl QuantileSketch {
             x.is_finite() && x >= MIN_POSITIVE,
             "bin_index expects a finite value >= MIN_POSITIVE, got {x}"
         );
-        let raw = x.ln() / self.ln_gamma;
-        // Integer ceil: on the baseline x86-64 target `f64::ceil` is a
-        // libm call, and this runs once per pushed sample. `as i64`
-        // truncates toward zero (saturating), so rounding up exactly when
-        // the truncation landed below `raw` reproduces `raw.ceil()` —
-        // including at the saturation edges — before the clamp that
-        // guards pathological alpha-near-1 configurations.
-        let t = raw as i64;
-        let t = t.saturating_add(i64::from(raw > t as f64));
-        t.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32
+        // `dln`, not libm `ln`: the block path ([`Self::push_slice`])
+        // computes this same quotient four lanes at a time with the
+        // AVX2 twin of `dln`, and scalar-vs-block bit-identity requires
+        // the one-at-a-time path to use the identical log. (`dln` and
+        // libm agree to ≤1 ulp, so the α-relative accuracy contract is
+        // unaffected; bins can shift only for values within a ulp of a
+        // bin edge, which the contract already permits.)
+        ceil_clamp(memlat_dist::simd::dln(x) / self.ln_gamma)
     }
 
     /// Midpoint representative of bin `(γ^(i−1), γ^i]`; within `alpha`
@@ -352,7 +390,7 @@ mod tests {
         // formula for every reachable input, including the edges.
         let s = QuantileSketch::new();
         let float_version = |x: f64| -> i32 {
-            let raw = (x.ln() / s.ln_gamma).ceil();
+            let raw = (memlat_dist::simd::dln(x) / s.ln_gamma).ceil();
             raw.clamp(f64::from(i32::MIN), f64::from(i32::MAX)) as i32
         };
         // Only the domain `push` routes here: finite and ≥ MIN_POSITIVE
@@ -373,6 +411,46 @@ mod tests {
         for x in probes {
             assert_eq!(s.bin_index(x), float_version(x), "x={x:e}");
         }
+    }
+
+    #[test]
+    fn push_slice_is_bit_identical_to_push() {
+        // The chunked lane path must be indistinguishable from scalar
+        // insertion — same counts, same bins, same exact extremes —
+        // under both dispatch modes, including chunk-boundary-straddling
+        // lengths and the drop/underflow edge cases inside a chunk.
+        let mut xs: Vec<f64> = (0u32..1000)
+            .map(|i| {
+                // Latency-shaped spread across the sketch's range plus a
+                // pseudo-random mantissa wiggle (no RNG dependency here).
+                let wiggle = f64::from(i.wrapping_mul(2_654_435_761u32) >> 16) * 1e-9;
+                1e-6 * 1.02f64.powi(i as i32 % 600) * (1.0 + wiggle)
+            })
+            .collect();
+        xs[3] = 0.0;
+        xs[100] = f64::NAN;
+        xs[255] = f64::INFINITY;
+        xs[256] = MIN_POSITIVE / 2.0;
+        xs[511] = f64::NEG_INFINITY;
+        xs[512] = -1.0;
+        for forced_scalar in [false, true] {
+            memlat_dist::simd::set_forced_scalar(forced_scalar);
+            for len in [0usize, 1, 7, 255, 256, 257, 1000] {
+                let mut scalar = QuantileSketch::new();
+                for &x in &xs[..len] {
+                    scalar.push(x);
+                }
+                let mut block = QuantileSketch::new();
+                block.push_slice(&xs[..len]);
+                assert_eq!(scalar, block, "len={len} forced_scalar={forced_scalar}");
+                assert_eq!(scalar.count(), block.count());
+                if scalar.count() > 0 {
+                    assert_eq!(scalar.min().to_bits(), block.min().to_bits());
+                    assert_eq!(scalar.max().to_bits(), block.max().to_bits());
+                }
+            }
+        }
+        memlat_dist::simd::set_forced_scalar(false);
     }
 
     #[test]

@@ -90,6 +90,57 @@ impl<G: Continuous> BatchArrivals<G> {
     }
 }
 
+/// Reusable lanes for the speculative block arrival pipeline
+/// ([`BatchArrivals::fill_block_speculative`]): raw gap bits banked in
+/// scalar draw order, their transformed gaps, and the kept batches'
+/// absolute times and sizes. Holding one per worker lane (e.g. inside the
+/// cluster simulator's block scratch) amortizes the allocations across a
+/// whole sweep.
+#[derive(Debug, Default)]
+pub struct ArrivalScratch {
+    /// Raw gap-draw bits, one `next_u64` per staged batch.
+    gap_bits: Vec<u64>,
+    /// Gaps transformed from `gap_bits` via the lane kernels.
+    gaps: Vec<f64>,
+    /// Absolute arrival times of the kept (pre-horizon) batches.
+    times: Vec<f64>,
+    /// Batch sizes, parallel to `times` after the horizon trim.
+    sizes: Vec<u64>,
+}
+
+impl ArrivalScratch {
+    /// Creates empty lanes.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn clear(&mut self) {
+        self.gap_bits.clear();
+        self.gaps.clear();
+        self.times.clear();
+        self.sizes.clear();
+    }
+
+    /// Arrival times of the kept batches, in arrival order.
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Batch sizes of the kept batches, parallel to [`Self::times`].
+    #[must_use]
+    pub fn sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+
+    /// Total keys across the kept batches.
+    #[must_use]
+    pub fn keys(&self) -> usize {
+        self.sizes.iter().map(|&b| b as usize).sum()
+    }
+}
+
 impl BatchArrivals<GapLaw> {
     /// [`next_batch`](Self::next_batch) through a concrete RNG type: the
     /// gap draw is a static match over [`GapLaw`] and the batch draw is
@@ -144,6 +195,115 @@ impl BatchArrivals<GapLaw> {
             GapLaw::Hyperexponential(d) => drive!(d),
         }
         self.clock = clock;
+    }
+
+    /// Whether [`fill_block_speculative`](Self::fill_block_speculative)
+    /// supports this stream's gap law (one raw `u64` per gap draw and a
+    /// block bits-kernel — see [`GapLaw::has_bits_kernel`]).
+    #[must_use]
+    pub fn speculative_supported(&self) -> bool {
+        self.gaps.has_bits_kernel()
+    }
+
+    /// Speculatively generates whole batches until at least `min_keys`
+    /// keys are staged (batches are never split) or the horizon is
+    /// crossed — the block reformulation of the serial `clock += gap`
+    /// recurrence.
+    ///
+    /// Raw gap bits are banked in scalar draw order and transformed to
+    /// gaps as one slice scan through the SIMD-dispatched
+    /// [`GapLaw::gaps_from_bits`] kernel; absolute arrival times come
+    /// from a deterministic in-block prefix sum seeded with the carried
+    /// clock, so every add happens in the same order on the same values
+    /// as the scalar recurrence — bit-identical by construction.
+    /// `draw_keys(size, rng)` runs once per staged batch, in stream
+    /// order, so callers can bank their own per-key draws; it must
+    /// consume exactly `key_draws` raw `u64`s per key.
+    ///
+    /// The horizon boundary is handled by over-generation and a
+    /// deterministic trim: when batch `k`'s time lands at or past
+    /// `horizon`, batches `k..` are discarded and the RNG is rewound to
+    /// the snapshot taken on entry, then fast-forwarded by exactly the
+    /// draws a scalar [`next_batch_with`](Self::next_batch_with) loop
+    /// would have consumed — gap and batch-size draws for the kept
+    /// batches *and* the terminal crossing batch, plus `key_draws` per
+    /// kept key. RNG stream position and batch counts therefore match
+    /// the scalar reference exactly, which is what keeps block size
+    /// invisible in the output.
+    ///
+    /// Returns `true` when the horizon was crossed (the stream is
+    /// exhausted); the kept batches are in
+    /// [`ArrivalScratch::times`]/[`ArrivalScratch::sizes`], and the clock
+    /// is left exactly where the scalar loop would leave it (the crossing
+    /// batch's time).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the gap law has no bits kernel — gate on
+    /// [`Self::speculative_supported`].
+    pub fn fill_block_speculative<R, F>(
+        &mut self,
+        rng: &mut R,
+        horizon: f64,
+        min_keys: usize,
+        key_draws: usize,
+        scratch: &mut ArrivalScratch,
+        mut draw_keys: F,
+    ) -> bool
+    where
+        R: RngCore + Clone,
+        F: FnMut(u64, &mut R),
+    {
+        scratch.clear();
+        let snapshot = rng.clone();
+        let batch = self.batch;
+        // Near the horizon, staging past the crossing is pure waste (the
+        // tail is discarded and its draws replayed), so cap the staged
+        // batches by the expected count left before the horizon, with
+        // slack for gap-law variance. The cap only shrinks the effective
+        // block size — proven invisible in the output — and a short fill
+        // that neither crosses nor reaches `min_keys` just means the
+        // caller fills again from a closer clock.
+        let mean_gap = Continuous::mean(&self.gaps);
+        let remaining = (horizon - self.clock).max(0.0);
+        let cap = if mean_gap > 0.0 && mean_gap.is_finite() {
+            (remaining / mean_gap * 1.25) as usize + 8
+        } else {
+            usize::MAX
+        };
+        let mut staged = 0usize;
+        while staged < min_keys.max(1) && scratch.sizes.len() < cap {
+            scratch.gap_bits.push(rng.next_u64());
+            let b = batch.sample_with(rng);
+            scratch.sizes.push(b);
+            draw_keys(b, rng);
+            staged += b as usize;
+        }
+        self.gaps
+            .gaps_from_bits(&scratch.gap_bits, &mut scratch.gaps);
+        let mut clock = self.clock;
+        let mut cut = None;
+        for (i, &g) in scratch.gaps.iter().enumerate() {
+            clock += g;
+            if clock >= horizon {
+                cut = Some(i);
+                break;
+            }
+            scratch.times.push(clock);
+        }
+        self.clock = clock;
+        let Some(cut) = cut else {
+            return false;
+        };
+        scratch.sizes.truncate(cut);
+        let kept_keys: usize = scratch.sizes.iter().map(|&b| b as usize).sum();
+        let batch_draws = usize::from(batch.q() > 0.0);
+        let replay = (cut + 1) * (1 + batch_draws) + kept_keys * key_draws;
+        *rng = snapshot;
+        for _ in 0..replay {
+            rng.next_u64();
+        }
+        true
     }
 }
 
@@ -234,6 +394,97 @@ mod tests {
     fn rejects_bad_q() {
         let gaps = Exponential::new(10.0).unwrap();
         assert!(BatchArrivals::new(Box::new(gaps), 1.0).is_err());
+    }
+
+    /// Scalar reference for the speculative driver: the exact
+    /// `next_batch_with` + per-key-draw loop the block path must match.
+    fn scalar_reference(
+        law: &GapLaw,
+        q: f64,
+        horizon: f64,
+        key_draws: usize,
+        seed: u64,
+    ) -> (Vec<(f64, u64)>, Vec<u64>, f64, u64) {
+        let mut s = BatchArrivals::new(law.clone(), q).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut batches = Vec::new();
+        let mut key_bits = Vec::new();
+        loop {
+            let (t, b) = s.next_batch_with(&mut rng);
+            if t >= horizon {
+                break;
+            }
+            batches.push((t, b));
+            for _ in 0..b * key_draws as u64 {
+                key_bits.push(rng.next_u64());
+            }
+        }
+        let next = rng.next_u64();
+        (batches, key_bits, s.clock(), next)
+    }
+
+    #[test]
+    fn speculative_blocks_match_scalar_reference() {
+        use rand::RngCore;
+        let laws = [
+            GapLaw::from(GeneralizedPareto::facebook(0.15, 56_250.0).unwrap()),
+            GapLaw::from(GeneralizedPareto::facebook(0.0, 56_250.0).unwrap()),
+            GapLaw::from(Exponential::new(56_250.0).unwrap()),
+        ];
+        let horizon = 0.02;
+        for law in &laws {
+            for &(q, key_draws) in &[(0.1, 2usize), (0.0, 1usize), (0.45, 1usize)] {
+                let (want_batches, want_bits, want_clock, want_next) =
+                    scalar_reference(law, q, horizon, key_draws, 99);
+                for min_keys in [1usize, 37, 256, 1024] {
+                    let mut s = BatchArrivals::new(law.clone(), q).unwrap();
+                    assert!(s.speculative_supported());
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+                    let mut scratch = ArrivalScratch::new();
+                    let mut batches = Vec::new();
+                    let mut key_bits = Vec::new();
+                    loop {
+                        let crossed = s.fill_block_speculative(
+                            &mut rng,
+                            horizon,
+                            min_keys,
+                            key_draws,
+                            &mut scratch,
+                            |b, rng| {
+                                for _ in 0..b * key_draws as u64 {
+                                    key_bits.push(rng.next_u64());
+                                }
+                            },
+                        );
+                        batches.extend(
+                            scratch
+                                .times()
+                                .iter()
+                                .copied()
+                                .zip(scratch.sizes().iter().copied()),
+                        );
+                        if crossed {
+                            // Trim the speculative tail of the key draws.
+                            let kept: usize = batches.iter().map(|&(_, b)| b as usize).sum();
+                            key_bits.truncate(kept * key_draws);
+                            break;
+                        }
+                    }
+                    assert_eq!(batches.len(), want_batches.len(), "min_keys={min_keys}");
+                    for (a, w) in batches.iter().zip(&want_batches) {
+                        assert_eq!(a.0.to_bits(), w.0.to_bits(), "min_keys={min_keys}");
+                        assert_eq!(a.1, w.1, "min_keys={min_keys}");
+                    }
+                    assert_eq!(key_bits, want_bits, "min_keys={min_keys}");
+                    assert_eq!(
+                        s.clock().to_bits(),
+                        want_clock.to_bits(),
+                        "min_keys={min_keys}"
+                    );
+                    assert_eq!(rng.next_u64(), want_next, "min_keys={min_keys}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod request;
 pub mod retry;
 pub mod trace;
 
-pub use arrival::BatchArrivals;
+pub use arrival::{ArrivalScratch, BatchArrivals};
 pub use placement::{ConsistentHashRing, HashMod, Placement, StaticProbability};
 pub use popularity::{alias_builds, ZipfPopularity};
 pub use request::RequestGenerator;
