@@ -34,6 +34,7 @@ fn bench_single_server(c: &mut Criterion) {
                     miss_ratio: facebook::MISS_RATIO,
                     miss_mode: &MissMode::FixedRatio,
                     popularity: None,
+                    routed: None,
                     warmup: 0.0,
                     duration: 0.5,
                     faults: ServerFaults::none(),

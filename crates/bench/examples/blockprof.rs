@@ -78,6 +78,7 @@ fn main() {
                     miss_ratio: facebook::MISS_RATIO,
                     miss_mode: &MissMode::FixedRatio,
                     popularity: None,
+                    routed: None,
                     warmup: 0.0,
                     duration: 20.0,
                     faults: ServerFaults::none(),

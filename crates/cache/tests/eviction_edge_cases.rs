@@ -1,0 +1,168 @@
+//! Eviction edge cases for the slab/LRU store — the degenerate shapes
+//! the emergent-miss-ratio experiments can push it into: items that
+//! exactly fill a chunk, empty values, memory budgets too small to hold
+//! anything, and LRU recency under repeated re-`set`s of a hot key.
+
+use memlat_cache::{Lookup, SlabConfig, Store, StoreConfig, StoreError};
+
+/// The default per-item metadata overhead (`StoreConfig::default`).
+const OVERHEAD: usize = 80;
+
+fn store_with(bytes: usize) -> Store {
+    Store::new(StoreConfig::with_memory(bytes)).unwrap()
+}
+
+/// An item whose total size (value + overhead) lands exactly on a chunk
+/// boundary must use that class, not spill into the next one — and one
+/// more byte must bump it.
+#[test]
+fn exact_fit_uses_the_boundary_class() {
+    let s = store_with(4 << 20);
+    for class in 0..s.slabs().classes().len().min(8) {
+        let chunk = s.slabs().classes()[class].chunk_size;
+        let exact = s.slabs().class_for(chunk).unwrap();
+        assert_eq!(
+            s.slabs().classes()[exact].chunk_size,
+            chunk,
+            "item of exactly {chunk} bytes must land in the {chunk}-chunk class"
+        );
+        let bumped = s.slabs().class_for(chunk + 1).unwrap();
+        assert!(
+            s.slabs().classes()[bumped].chunk_size > chunk,
+            "item of {chunk}+1 bytes must move to a larger class"
+        );
+    }
+
+    // Through the store: a value sized to exactly fill the smallest
+    // chunk stores, hits, and packs a full page with no slack.
+    let mut s = store_with(4 << 20);
+    let chunk = s.slabs().classes()[0].chunk_size;
+    let value = chunk - OVERHEAD;
+    let per_page = s.slabs().classes()[0].chunks_per_page;
+    for k in 0..per_page as u64 {
+        s.set(k, value, None, 0.0).unwrap();
+    }
+    assert_eq!(s.len(), per_page);
+    assert_eq!(s.stats().evictions, 0, "exact fits must not over-allocate");
+    // The page is genuinely full: one more exact-fit item in the same
+    // class evicts rather than growing (memory budget: 4 pages, one per
+    // touched class — give the whole budget to class 0 first).
+    let pages = 4 << 20 >> 20;
+    for p in 1..pages {
+        for k in 0..per_page as u64 {
+            s.set(p * 100_000 + k, value, None, 0.0).unwrap();
+        }
+    }
+    s.set(999_999, value, None, 0.0).unwrap();
+    assert_eq!(s.stats().evictions, 1);
+}
+
+/// Zero-byte values are legal memcached items: they consume a chunk
+/// (metadata is not free), hit with `value_size == 0`, and evict like
+/// anything else.
+#[test]
+fn zero_byte_values_are_real_items() {
+    let mut s = store_with(1 << 20);
+    s.set(1, 0, None, 0.0).unwrap();
+    assert_eq!(s.len(), 1);
+    match s.get(1, 0.0) {
+        Lookup::Hit { value_size, .. } => assert_eq!(value_size, 0),
+        Lookup::Miss => panic!("zero-byte item must hit"),
+    }
+    // A page of zero-byte items fills and evicts normally.
+    let class = s.slabs().class_for(OVERHEAD).unwrap();
+    let per_page = s.slabs().classes()[class].chunks_per_page;
+    for k in 2..2 + per_page as u64 {
+        s.set(k, 0, None, 0.0).unwrap();
+    }
+    assert_eq!(s.len(), per_page);
+    assert_eq!(s.stats().evictions, 1, "key 1 should have been evicted");
+    assert!(s.get(1, 0.0).is_miss());
+}
+
+/// Memory budgets below one item: a budget under a page is rejected at
+/// construction; within a valid store, an item above the largest chunk
+/// is refused as too large, and a single-chunk class under pressure
+/// evicts its only resident rather than growing.
+#[test]
+fn budget_smaller_than_one_item() {
+    // Below one page: the slab allocator cannot even hold one page.
+    assert!(Store::new(StoreConfig::with_memory(1024)).is_err());
+    let cfg = StoreConfig {
+        slab: SlabConfig {
+            memory_limit: 512,
+            page_size: 1 << 20,
+            ..SlabConfig::default()
+        },
+        ..StoreConfig::default()
+    };
+    assert!(Store::new(cfg).is_err());
+
+    // One page exactly: an item bigger than the page-sized largest chunk
+    // can never be stored.
+    let mut s = store_with(1 << 20);
+    assert!(matches!(
+        s.set(1, 1 << 20, None, 0.0),
+        Err(StoreError::ItemTooLarge { .. })
+    ));
+    assert_eq!(s.len(), 0);
+
+    // A page-filling item leaves room for exactly one resident: the
+    // next set in that class evicts the only item instead of failing.
+    let big = (1 << 20) - OVERHEAD;
+    let class = s.slabs().class_for(big + OVERHEAD).unwrap();
+    assert_eq!(s.slabs().classes()[class].chunks_per_page, 1);
+    s.set(1, big, None, 0.0).unwrap();
+    assert_eq!(s.len(), 1);
+    s.set(2, big, None, 0.0).unwrap();
+    assert_eq!(s.len(), 1, "single-chunk class holds exactly one item");
+    assert_eq!(s.stats().evictions, 1);
+    assert!(s.get(1, 0.0).is_miss());
+    assert!(s.get(2, 0.0).is_hit());
+}
+
+/// Re-`set` of a resident key must refresh its recency (memcached's
+/// replace makes the item MRU) without duplicating it — so under
+/// pressure the victim is the least-recently *written-or-read* key, and
+/// repeated re-sets of a hot key never inflate the item count.
+#[test]
+fn lru_order_is_stable_under_re_set() {
+    let mut s = store_with(1 << 20);
+    let value = 400;
+    let class = s.slabs().class_for(value + OVERHEAD).unwrap();
+    let per_page = s.slabs().classes()[class].chunks_per_page;
+    for k in 0..per_page as u64 {
+        s.set(k, value, None, 0.0).unwrap();
+    }
+    assert_eq!(s.len(), per_page);
+
+    // Re-set key 0 (the current LRU tail): it must become MRU.
+    s.set(0, value, None, 1.0).unwrap();
+    assert_eq!(s.len(), per_page, "re-set must not duplicate");
+    assert_eq!(s.stats().evictions, 0, "re-set of a resident key is free");
+
+    // Pressure: the victim is now key 1, not the re-set key 0.
+    s.set(1_000_000, value, None, 2.0).unwrap();
+    assert_eq!(s.stats().evictions, 1);
+    assert!(s.get(0, 2.0).is_hit(), "re-set key must be MRU-protected");
+    assert!(s.get(1, 2.0).is_miss(), "key 1 was the true LRU victim");
+
+    // Hammering one key with re-sets leaves everything else untouched.
+    for i in 0..100 {
+        s.set(0, value, None, 3.0 + f64::from(i)).unwrap();
+    }
+    assert_eq!(s.len(), per_page);
+    assert_eq!(s.stats().evictions, 1);
+    assert!(s.get(2, 200.0).is_hit());
+
+    // Re-set into a *different* size class relocates the item: one copy,
+    // new class, old chunk released for its own class's reuse.
+    let mut s = store_with(4 << 20);
+    s.set(7, 100, None, 0.0).unwrap();
+    s.set(7, 5_000, None, 1.0).unwrap();
+    assert_eq!(s.len(), 1);
+    match s.get(7, 1.0) {
+        Lookup::Hit { value_size, .. } => assert_eq!(value_size, 5_000),
+        Lookup::Miss => panic!("relocated item must hit"),
+    }
+}

@@ -33,7 +33,33 @@ pub enum MissRelay {
     Coalesced,
 }
 
+/// How keys reach cache-backed servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheRouting {
+    /// Every server samples the full Zipf population independently —
+    /// statistically a cluster whose clients spray keys uniformly, so
+    /// each cache stores its own copy of the hot set.
+    #[default]
+    Independent,
+    /// Cluster-wide consistent hashing: the global Zipf stream is
+    /// partitioned over servers by a hash ring with virtual nodes, so
+    /// each server caches only the keys it owns (memcached's actual
+    /// deployment model). Per-server load becomes the ring-induced
+    /// shares `{p_j}`, and the cluster-wide miss ratio follows the
+    /// Ji/Quan/Tan single-LRU asymptotic at the *total* capacity.
+    ConsistentHash {
+        /// Virtual nodes per server on the ring.
+        vnodes: usize,
+    },
+}
+
 /// Configuration for [`MissMode::CacheBacked`].
+///
+/// This struct is the single source of truth for the cached key
+/// population: the cluster builds its Zipf sampler (and, under
+/// [`CacheRouting::ConsistentHash`], its routing table) from these
+/// fields, and every layer below validates against them rather than
+/// carrying its own copy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CacheBackedConfig {
     /// Memory budget per server (bytes).
@@ -45,6 +71,8 @@ pub struct CacheBackedConfig {
     /// Mean value size in bytes (drawn from the Facebook value-size law
     /// scaled to this mean).
     pub mean_value_bytes: f64,
+    /// How keys are routed to servers.
+    pub routing: CacheRouting,
 }
 
 impl Default for CacheBackedConfig {
@@ -54,7 +82,39 @@ impl Default for CacheBackedConfig {
             keyspace: 5_000_000,
             skew: 1.01,
             mean_value_bytes: 329.0,
+            routing: CacheRouting::Independent,
         }
+    }
+}
+
+impl CacheBackedConfig {
+    /// Validates the cache population parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.memory_bytes == 0 {
+            return Err("cache memory budget must be positive".into());
+        }
+        if self.keyspace == 0 {
+            return Err("cache keyspace must be non-empty".into());
+        }
+        if !(self.skew.is_finite() && self.skew > 0.0) {
+            return Err(format!("cache skew must be positive, got {}", self.skew));
+        }
+        if !(self.mean_value_bytes.is_finite() && self.mean_value_bytes > 0.0) {
+            return Err(format!(
+                "mean value size must be positive, got {}",
+                self.mean_value_bytes
+            ));
+        }
+        if let CacheRouting::ConsistentHash { vnodes } = self.routing {
+            if vnodes == 0 {
+                return Err("consistent-hash routing needs at least one virtual node".into());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -240,6 +300,9 @@ impl SimConfig {
                 self.warmup
             )));
         }
+        if let MissMode::CacheBacked(cache) = &self.miss_mode {
+            cache.validate().map_err(SimError::InvalidConfig)?;
+        }
         self.fault_plan
             .validate(self.params.servers())
             .map_err(SimError::InvalidConfig)?;
@@ -380,5 +443,30 @@ mod tests {
         let c = CacheBackedConfig::default();
         assert!(c.memory_bytes > 0);
         assert!(c.skew > 1.0);
+        assert_eq!(c.routing, CacheRouting::Independent);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn cache_backed_validation_rejects_degenerate_fields() {
+        let check = |f: fn(&mut CacheBackedConfig)| {
+            let mut c = CacheBackedConfig::default();
+            f(&mut c);
+            c.validate()
+        };
+        assert!(check(|c| c.memory_bytes = 0).is_err());
+        assert!(check(|c| c.keyspace = 0).is_err());
+        assert!(check(|c| c.skew = f64::NAN).is_err());
+        assert!(check(|c| c.skew = -1.0).is_err());
+        assert!(check(|c| c.mean_value_bytes = 0.0).is_err());
+        assert!(check(|c| c.routing = CacheRouting::ConsistentHash { vnodes: 0 }).is_err());
+        assert!(check(|c| c.routing = CacheRouting::ConsistentHash { vnodes: 64 }).is_ok());
+        // The sim-level validate runs the same checks.
+        let bad = CacheBackedConfig {
+            keyspace: 0,
+            ..CacheBackedConfig::default()
+        };
+        let c = SimConfig::new(base()).miss_mode(MissMode::CacheBacked(bad));
+        assert!(c.validate().is_err());
     }
 }

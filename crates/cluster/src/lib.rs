@@ -22,6 +22,7 @@
 //! |---|---|
 //! | [`config`] | [`SimConfig`]: model parameters + simulation controls |
 //! | [`fault`] | [`FaultPlan`] crash/slowdown schedules + [`ClientPolicy`] timeout/retry/hedging |
+//! | [`miss`] | per-server miss state: fixed-ratio coin flip, or an LRU-backed store (independent or consistent-hash routed) |
 //! | [`server`] | one memcached server: batches → FCFS exp(μ_S) → miss decision |
 //! | [`database`] | sharded M/M/1 database stage (independent or per-key coalescing relay) + a fast db-only experiment path |
 //! | [`sim`] | [`ClusterSim`]: orchestrates servers → database, produces [`SimOutput`] |
@@ -59,15 +60,17 @@ pub mod config;
 pub mod database;
 pub mod e2e;
 pub mod fault;
+pub mod miss;
 pub mod runner;
 pub mod server;
 pub mod sim;
 
 pub use assembly::{RequestSample, RequestStats};
 pub use columns::KeyColumns;
-pub use config::{CacheBackedConfig, MissMode, MissRelay, Retention, SimConfig};
+pub use config::{CacheBackedConfig, CacheRouting, MissMode, MissRelay, Retention, SimConfig};
 pub use e2e::{E2eConfig, E2eOutput};
 pub use fault::{ClientPolicy, FaultEvent, FaultKind, FaultPlan, HedgePolicy, RetryPolicy};
+pub use miss::{build_miss_state, FixedRatioMiss, LruBackedMiss, MissState, RoutedHandle};
 pub use runner::{run_replications, ReplicatedStats};
 pub use sim::{ClusterSim, ServerSummary, SimOutput, SimScratch};
 

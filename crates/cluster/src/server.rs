@@ -23,10 +23,9 @@
 //! scalar order, so block size can never change the output — only the
 //! wall clock.
 
-use memlat_cache::{Store, StoreConfig};
 use memlat_des::fcfs::FcfsStation;
 use memlat_des::metrics::{ResilienceCounters, ServerCounters};
-use memlat_dist::{GapLaw, GeneralizedPareto, ParamError};
+use memlat_dist::{GapLaw, ParamError};
 use memlat_workload::retry::exponential_backoff;
 use memlat_workload::{
     arrival::{ArrivalScratch, BatchArrivals},
@@ -38,6 +37,7 @@ use rand::RngCore;
 use crate::config::MissMode;
 use crate::database::NO_KEY;
 use crate::fault::{ClientPolicy, ServerFaults};
+use crate::miss::{build_miss_state, MissState, RoutedHandle};
 
 /// One key's outcome at a memcached server.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,6 +83,9 @@ pub struct ServerRun {
     pub counters: ServerCounters,
     /// Fault and client-resilience counters (all zero on healthy runs).
     pub resilience: ResilienceCounters,
+    /// Items resident in the backing store at the end of the run (0
+    /// under [`MissMode::FixedRatio`]).
+    pub cached_items: u64,
 }
 
 /// The streaming aggregates of one server's run — everything
@@ -99,97 +102,9 @@ pub struct ServerRunStats {
     pub counters: ServerCounters,
     /// Fault and client-resilience counters (all zero on healthy runs).
     pub resilience: ResilienceCounters,
-}
-
-/// The miss decider a server uses.
-enum MissDecider {
-    Fixed(f64),
-    Cached {
-        // Boxed: the slab store dwarfs the Fixed variant.
-        store: Box<Store>,
-        popularity: std::sync::Arc<ZipfPopularity>,
-        value_sizes: GeneralizedPareto,
-    },
-}
-
-impl MissDecider {
-    fn new(
-        mode: &MissMode,
-        miss_ratio: f64,
-        prebuilt: Option<&std::sync::Arc<ZipfPopularity>>,
-    ) -> Result<Self, ParamError> {
-        match mode {
-            MissMode::FixedRatio => Ok(MissDecider::Fixed(miss_ratio)),
-            MissMode::CacheBacked(cfg) => {
-                // The alias table build is O(keyspace); cluster sweeps
-                // share one table across all servers and sweep points via
-                // the prebuilt handle instead of rebuilding per server.
-                let popularity = match prebuilt {
-                    Some(p) => {
-                        debug_assert_eq!(p.keys(), cfg.keyspace, "prebuilt popularity mismatch");
-                        debug_assert_eq!(
-                            p.skew().to_bits(),
-                            cfg.skew.to_bits(),
-                            "prebuilt popularity mismatch"
-                        );
-                        std::sync::Arc::clone(p)
-                    }
-                    None => std::sync::Arc::new(ZipfPopularity::new(cfg.keyspace, cfg.skew)?),
-                };
-                Ok(MissDecider::Cached {
-                    store: Box::new(
-                        Store::new(StoreConfig::with_memory(cfg.memory_bytes))
-                            .map_err(|e| ParamError::new(e.to_string()))?,
-                    ),
-                    popularity,
-                    value_sizes: GeneralizedPareto::with_mean(0.35, cfg.mean_value_bytes)?,
-                })
-            }
-        }
-    }
-
-    /// Whether the next key misses, at simulated time `now`. Returns the
-    /// miss decision and the sampled key identity ([`NO_KEY`] on the
-    /// fixed-ratio path, which draws no key).
-    #[inline]
-    fn misses<R: RngCore + ?Sized>(&mut self, now: f64, rng: &mut R) -> (bool, u64) {
-        match self {
-            MissDecider::Fixed(r) => {
-                if *r <= 0.0 {
-                    (false, NO_KEY)
-                } else {
-                    (memlat_dist::open_unit(rng) < *r, NO_KEY)
-                }
-            }
-            MissDecider::Cached {
-                store,
-                popularity,
-                value_sizes,
-            } => {
-                // Cold path relative to the fixed-ratio mode; the store
-                // and popularity draws stay behind the dyn-RNG interface.
-                let mut r = &mut *rng;
-                let key = popularity.sample_key(&mut r);
-                if store.get(key, now).is_hit() {
-                    (false, key)
-                } else {
-                    // Demand fill: the value fetched from the database is
-                    // cached (items larger than the biggest chunk are
-                    // simply not cached, like memcached).
-                    let size = value_sizes.sample_with(rng).max(1.0) as usize;
-                    let _ = store.set(key, size, None, now);
-                    (true, key)
-                }
-            }
-        }
-    }
-
-    fn observed_miss_ratio(&self) -> Option<f64> {
-        match self {
-            MissDecider::Fixed(_) => None,
-            MissDecider::Cached { store, .. } => Some(store.stats().miss_ratio()),
-        }
-    }
+    /// Items resident in the backing store at the end of the run (0
+    /// under [`MissMode::FixedRatio`]).
+    pub cached_items: u64,
 }
 
 /// Parameters for one server's run.
@@ -210,6 +125,11 @@ pub struct ServerSimParams<'a> {
     /// sweeps pass a shared handle so the O(keyspace) build happens once
     /// per `(keyspace, skew)` instead of once per server per sweep point.
     pub popularity: Option<std::sync::Arc<ZipfPopularity>>,
+    /// This server's slice of the cluster's consistent-hash routing
+    /// table. Required when the cache config asks for
+    /// [`crate::CacheRouting::ConsistentHash`] — the ring spans servers,
+    /// so only the cluster layer can build it. `None` otherwise.
+    pub routed: Option<RoutedHandle>,
     /// Warm-up seconds (records discarded).
     pub warmup: f64,
     /// Measured seconds after warm-up.
@@ -390,7 +310,7 @@ struct AttemptEnv<'a> {
 
 /// Handles a failed attempt detected at `detect`: schedule a backoff
 /// retry if the budget allows, else record a forced miss.
-fn fail_attempt<S: RecordSink, R: RngCore + ?Sized>(
+fn fail_attempt<S: RecordSink, R: RngCore>(
     detect: f64,
     key: PendingKey,
     st: &mut LoopState<S>,
@@ -437,11 +357,11 @@ fn fail_attempt<S: RecordSink, R: RngCore + ?Sized>(
 /// sample, then the miss decision — so an empty [`crate::FaultPlan`]
 /// is bit-identical to it.
 #[inline]
-fn process_attempt<S: RecordSink, R: RngCore + ?Sized>(
+fn process_attempt<S: RecordSink, R: RngCore>(
     t: f64,
     key: PendingKey,
     st: &mut LoopState<S>,
-    decider: &mut MissDecider,
+    decider: &mut dyn MissState,
     env: &AttemptEnv<'_>,
     rng: &mut R,
 ) {
@@ -472,7 +392,7 @@ fn process_attempt<S: RecordSink, R: RngCore + ?Sized>(
         }
     }
     if key.measured {
-        let (missed, key_id) = decider.misses(done.departure, rng);
+        let (missed, key_id) = decider.decide(done.departure, rng);
         if missed {
             st.misses += 1;
         }
@@ -488,7 +408,7 @@ fn process_attempt<S: RecordSink, R: RngCore + ?Sized>(
         });
     } else if env.cache_backed {
         // Let the cache warm during warm-up without recording.
-        let _ = decider.misses(done.departure, rng);
+        let _ = decider.decide(done.departure, rng);
     }
 }
 
@@ -535,11 +455,17 @@ where
     R: RngCore + Clone,
 {
     let mut arrivals = BatchArrivals::new(p.interarrival, p.concurrency)?;
-    let mut decider = MissDecider::new(p.miss_mode, p.miss_ratio, p.popularity.as_ref())?;
+    let mut decider = build_miss_state(
+        p.miss_mode,
+        p.miss_ratio,
+        p.popularity.as_ref(),
+        p.routed.as_ref(),
+    )?;
+    let fixed = decider.fixed_ratio();
     let horizon = p.warmup + p.duration;
     let env = AttemptEnv {
         service_rate: p.service_rate,
-        cache_backed: matches!(p.miss_mode, MissMode::CacheBacked(_)),
+        cache_backed: fixed.is_none(),
         client: p.client,
         faults: &p.faults,
     };
@@ -556,12 +482,10 @@ where
     // serve→decide route: no crash/slowdown windows, no timeout (both
     // can fail an attempt mid-block, and without them no retry is ever
     // scheduled), and a miss decision that is a pure coin flip.
-    let use_block = p.block > 1
-        && p.faults.is_empty()
-        && p.client.timeout.is_none()
-        && matches!(p.miss_mode, MissMode::FixedRatio);
+    let use_block =
+        p.block > 1 && p.faults.is_empty() && p.client.timeout.is_none() && fixed.is_some();
     if use_block {
-        let fixed_r = p.miss_ratio;
+        let fixed_r = fixed.expect("block eligibility requires a fixed miss ratio");
         let draw_miss = fixed_r > 0.0;
         let mut pending: Option<(f64, u64)> = None;
         let mut done = false;
@@ -584,7 +508,7 @@ where
                 measured: false,
             };
             for _ in 0..batch {
-                process_attempt(t, key, &mut st, &mut decider, &env, rng);
+                process_attempt(t, key, &mut st, &mut *decider, &env, rng);
             }
         }
         // Gap laws with a block bits-kernel (exponential, GP — every law
@@ -725,7 +649,7 @@ where
             // Replay retries due up to (and at) this batch's arrival first,
             // keeping the station's arrival stream time-ordered.
             while let Some((u, key)) = st.retry_q.pop_before(t) {
-                process_attempt(u, key, &mut st, &mut decider, &env, rng);
+                process_attempt(u, key, &mut st, &mut *decider, &env, rng);
             }
             let fresh = PendingKey {
                 first_arrival: t,
@@ -733,7 +657,7 @@ where
                 measured: t >= p.warmup,
             };
             for _ in 0..batch {
-                process_attempt(t, fresh, &mut st, &mut decider, &env, rng);
+                process_attempt(t, fresh, &mut st, &mut *decider, &env, rng);
             }
         }
     }
@@ -741,7 +665,7 @@ where
     // every issued key resolves (served or forced) — conservation. (The
     // block path schedules none; the queue is already empty there.)
     while let Some((u, key)) = st.retry_q.pop() {
-        process_attempt(u, key, &mut st, &mut decider, &env, rng);
+        process_attempt(u, key, &mut st, &mut *decider, &env, rng);
     }
 
     let recorded = st.recorded as f64;
@@ -767,6 +691,7 @@ where
         key_rate: recorded / p.duration,
         counters,
         resilience,
+        cached_items: decider.cached_items(),
     })
 }
 
@@ -789,6 +714,7 @@ pub fn simulate_server<R: RngCore + Clone>(
         key_rate: stats.key_rate,
         counters: stats.counters,
         resilience: stats.resilience,
+        cached_items: stats.cached_items,
     })
 }
 
@@ -814,6 +740,7 @@ mod tests {
             miss_ratio: facebook::MISS_RATIO,
             miss_mode: &MissMode::FixedRatio,
             popularity: None,
+            routed: None,
             warmup: 0.2,
             duration,
             faults: ServerFaults::none(),
@@ -899,6 +826,7 @@ mod tests {
             miss_ratio: 0.0,
             miss_mode: &MissMode::FixedRatio,
             popularity: None,
+            routed: None,
             warmup: 0.0,
             duration: 0.3,
             faults: ServerFaults::none(),
@@ -1009,6 +937,7 @@ mod tests {
                 miss_ratio: 0.0,
                 miss_mode: &MissMode::FixedRatio,
                 popularity: None,
+                routed: None,
                 warmup: 0.0,
                 duration: 0.3,
                 faults: ServerFaults::none(),
@@ -1030,6 +959,7 @@ mod tests {
             keyspace: 200_000,
             skew: 1.01,
             mean_value_bytes: 300.0,
+            routing: crate::config::CacheRouting::Independent,
         });
         let run = simulate_server(
             ServerSimParams {
@@ -1039,6 +969,7 @@ mod tests {
                 miss_ratio: 0.0, // ignored in cache-backed mode
                 miss_mode: &mode,
                 popularity: None,
+                routed: None,
                 warmup: 0.5,
                 duration: 0.5,
                 faults: ServerFaults::none(),

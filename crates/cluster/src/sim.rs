@@ -24,13 +24,14 @@ use memlat_des::rng::stream_rng;
 use memlat_stats::{Ecdf, QuantileSketch, StreamingStats};
 use rand::RngCore;
 
-use memlat_workload::ZipfPopularity;
+use memlat_workload::{RoutedKeyspace, ZipfPopularity};
 
 use crate::{
     columns::KeyColumns,
-    config::{MissMode, MissRelay, Retention, SimConfig},
+    config::{CacheRouting, MissMode, MissRelay, Retention, SimConfig},
     database::{run_db_stage_coalesced_with, run_db_stage_with, MissArrival, NO_KEY},
     fault::hedge_outcome,
+    miss::RoutedHandle,
     server::{
         simulate_server_streaming_with, BlockScratch, KeyBlock, KeyRecord, RecordSink,
         ServerSimParams,
@@ -68,6 +69,10 @@ pub struct ServerSummary {
     pub coalesce: CoalesceCounters,
     /// Observed utilization (busy time ÷ horizon).
     pub utilization: f64,
+    /// Items resident in this server's backing store at the end of the
+    /// run (0 under [`MissMode::FixedRatio`]). Summed across servers
+    /// this is the cluster capacity `x` of the Ji/Quan/Tan asymptotic.
+    pub cached_items: u64,
 }
 
 impl ServerSummary {
@@ -81,6 +86,7 @@ impl ServerSummary {
             resilience: ResilienceCounters::default(),
             coalesce: CoalesceCounters::default(),
             utilization: 0.0,
+            cached_items: 0,
         }
     }
 }
@@ -236,6 +242,11 @@ pub struct SimScratch {
     /// per scratch per configuration, not once per server per sweep
     /// point.
     zipf: Option<((u64, u64), std::sync::Arc<ZipfPopularity>)>,
+    /// Cached consistent-hash routing table keyed by
+    /// `(keyspace, skew bits, servers, vnodes)`: the O(keyspace) ring
+    /// walk and conditional-sampler builds happen once per scratch per
+    /// cluster configuration.
+    routed: Option<((u64, u64, u64, u64), std::sync::Arc<RoutedKeyspace>)>,
 }
 
 impl SimScratch {
@@ -301,7 +312,7 @@ impl ClusterSim {
                 "peak server utilization {peak:.3} >= 1: no stationary regime"
             )));
         }
-        let shares = params.load().shares(params.servers())?;
+        let mut shares = params.load().shares(params.servers())?;
         let q = params.concurrency();
         let servers = shares.len();
         let threads = cfg.effective_threads().clamp(1, servers.max(1));
@@ -319,6 +330,7 @@ impl ClusterSim {
             pristine,
             misses: all_misses,
             zipf,
+            routed,
         } = scratch;
         if cells.len() < servers {
             cells.resize_with(servers, ServerCell::default);
@@ -347,6 +359,59 @@ impl ClusterSim {
                 };
                 Some(arc)
             }
+        };
+
+        // Cluster-wide consistent hashing: build (or reuse) the routing
+        // table and replace the configured load shares with the
+        // ring-induced ones — each server receives exactly the
+        // popularity mass of the keys it owns, so the unbalanced `{p_j}`
+        // *emerges* from the ring instead of being postulated.
+        let routed_keyspace = match &cfg.miss_mode {
+            MissMode::CacheBacked(cc) => match cc.routing {
+                CacheRouting::Independent => None,
+                CacheRouting::ConsistentHash { vnodes } => {
+                    if !matches!(params.load(), memlat_model::LoadDistribution::Balanced) {
+                        return Err(SimError::InvalidConfig(
+                            "consistent-hash routing derives the load shares from the ring; \
+                             configure LoadDistribution::Balanced"
+                                .into(),
+                        ));
+                    }
+                    let key = (
+                        cc.keyspace,
+                        cc.skew.to_bits(),
+                        servers as u64,
+                        vnodes as u64,
+                    );
+                    let pop = popularity
+                        .as_ref()
+                        .expect("cache-backed mode builds a popularity");
+                    let arc = match routed {
+                        Some((k, arc)) if *k == key => std::sync::Arc::clone(arc),
+                        _ => {
+                            let arc = std::sync::Arc::new(
+                                RoutedKeyspace::new(pop, servers, vnodes)
+                                    .map_err(|e| SimError::InvalidConfig(e.to_string()))?,
+                            );
+                            *routed = Some((key, std::sync::Arc::clone(&arc)));
+                            arc
+                        }
+                    };
+                    shares = arc.shares().to_vec();
+                    // The configured peak check used balanced shares;
+                    // re-check against the ring's hottest server.
+                    let max_share = shares.iter().fold(0.0_f64, |a, &b| a.max(b));
+                    let peak = max_share * params.total_key_rate() / params.service_rate();
+                    if peak >= 1.0 {
+                        return Err(SimError::InvalidConfig(format!(
+                            "ring-induced peak server utilization {peak:.3} >= 1: \
+                             no stationary regime"
+                        )));
+                    }
+                    Some(arc)
+                }
+            },
+            MissMode::FixedRatio => None,
         };
 
         // One worker per server; identical code on the sequential and
@@ -405,6 +470,10 @@ impl ClusterSim {
                     miss_ratio: params.miss_ratio(),
                     miss_mode: &cfg.miss_mode,
                     popularity: popularity.clone(),
+                    routed: routed_keyspace.as_ref().map(|ks| RoutedHandle {
+                        keyspace: std::sync::Arc::clone(ks),
+                        server: j,
+                    }),
                     warmup: cfg.warmup,
                     duration: cfg.duration,
                     faults,
@@ -445,6 +514,7 @@ impl ClusterSim {
                     // Filled in by the coalescing db stage after merge.
                     coalesce: CoalesceCounters::default(),
                     utilization: stats.utilization,
+                    cached_items: stats.cached_items,
                 },
             })
         };
@@ -760,6 +830,14 @@ impl SimOutput {
     #[must_use]
     pub fn miss_ratio(&self) -> f64 {
         self.miss_ratio
+    }
+
+    /// Total items resident across every server's backing store at the
+    /// end of the run (0 under [`MissMode::FixedRatio`]) — the cluster
+    /// capacity `x` in the Ji/Quan/Tan miss-ratio asymptotic.
+    #[must_use]
+    pub fn cached_items(&self) -> u64 {
+        self.summaries.iter().map(|s| s.cached_items).sum()
     }
 
     /// The load shares in force.

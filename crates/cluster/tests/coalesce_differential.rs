@@ -13,8 +13,8 @@
 //! delayed hits — proving the switch is live, not vacuously equal.
 
 use memlat_cluster::{
-    CacheBackedConfig, ClientPolicy, ClusterSim, FaultPlan, MissMode, MissRelay, RetryPolicy,
-    SimConfig, SimOutput,
+    CacheBackedConfig, CacheRouting, ClientPolicy, ClusterSim, FaultPlan, MissMode, MissRelay,
+    RetryPolicy, SimConfig, SimOutput,
 };
 use memlat_model::ModelParams;
 
@@ -144,6 +144,7 @@ fn coalescing_off_is_bit_identical_on_cache_backed_config() {
             keyspace: 2_000_000,
             skew: 1.01,
             mean_value_bytes: 329.0,
+            routing: CacheRouting::Independent,
         }));
     assert_relay_invisible(&base);
 }
@@ -167,6 +168,7 @@ fn coalescing_diverges_when_fetches_overlap() {
             keyspace: 50_000,
             skew: 1.1,
             mean_value_bytes: 300.0,
+            routing: CacheRouting::Independent,
         }));
     let independent = ClusterSim::run(&base).unwrap();
     let coalesced = ClusterSim::run(&base.clone().miss_relay(MissRelay::Coalesced)).unwrap();

@@ -20,7 +20,7 @@
 
 use memlat_cluster::{
     database::{run_db_stage_coalesced_with, run_db_stage_with, MissArrival, NO_KEY},
-    CacheBackedConfig, ClusterSim, MissMode, MissRelay, SimConfig,
+    CacheBackedConfig, CacheRouting, ClusterSim, MissMode, MissRelay, SimConfig,
 };
 use memlat_des::stream_rng;
 use memlat_model::ModelParams;
@@ -44,6 +44,7 @@ fn coalescing_cfg(db_rate: f64, mem_mb: usize, keyspace: u64, skew: f64, seed: u
             keyspace,
             skew,
             mean_value_bytes: 300.0,
+            routing: CacheRouting::Independent,
         }))
         .miss_relay(MissRelay::Coalesced)
 }

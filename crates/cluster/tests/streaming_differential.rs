@@ -61,6 +61,7 @@ fn materialized_reference(params: &ModelParams, cfg: &SimConfig) -> Vec<Vec<(f32
                     miss_ratio: params.miss_ratio(),
                     miss_mode: &MissMode::FixedRatio,
                     popularity: None,
+                    routed: None,
                     warmup: cfg.warmup,
                     duration: cfg.duration,
                     faults: ServerFaults::none(),

@@ -13,7 +13,9 @@
 //! runs each integration test file in its own process, keeping the
 //! exact-count assertions interference-free.
 
-use memlat_cluster::{CacheBackedConfig, ClusterSim, MissMode, Retention, SimConfig, SimScratch};
+use memlat_cluster::{
+    CacheBackedConfig, CacheRouting, ClusterSim, MissMode, Retention, SimConfig, SimScratch,
+};
 use memlat_model::ModelParams;
 use memlat_workload::alias_builds;
 
@@ -29,6 +31,7 @@ fn cache_cfg(keyspace: u64, skew: f64, seed: u64) -> SimConfig {
             keyspace,
             skew,
             mean_value_bytes: 300.0,
+            routing: CacheRouting::Independent,
         }))
 }
 

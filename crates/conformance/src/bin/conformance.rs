@@ -49,6 +49,13 @@ fn main() {
             c.quantity, c.observed, c.expected, c.rel_err, verdict
         );
     }
+    for c in &report.emergent_r {
+        let verdict = if c.pass { "ok" } else { "FAIL" };
+        eprintln!(
+            "  emergent-r {:<22} x={:<6} obs={:.5} jqt={:.5} che={:.5} rel_err={:.4}  {}",
+            c.id, c.cached_items, c.observed, c.asymptotic, c.che, c.rel_err, verdict
+        );
+    }
     for s in &report.samplers {
         let verdict = if s.pass { "ok" } else { "FAIL" };
         eprintln!(

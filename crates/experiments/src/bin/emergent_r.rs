@@ -1,0 +1,6 @@
+//! Emergent miss ratio sweep: consistent-hash + LRU fleet, propagated
+//! through the paper's Table 3 latency pipeline.
+
+fn main() {
+    memlat_experiments::emergent_r::emergent_r().emit();
+}

@@ -25,7 +25,8 @@
 //! sweep maps the engineering win.
 
 use memlat_cluster::{
-    CacheBackedConfig, ClusterSim, MissMode, MissRelay, Retention, SimConfig, SimScratch,
+    CacheBackedConfig, CacheRouting, ClusterSim, MissMode, MissRelay, Retention, SimConfig,
+    SimScratch,
 };
 use memlat_model::ModelParams;
 
@@ -58,6 +59,7 @@ fn base_cfg(r: &Regime, params: ModelParams) -> SimConfig {
             keyspace: KEYSPACE,
             skew: r.skew,
             mean_value_bytes: MEAN_VALUE_BYTES,
+            routing: CacheRouting::Independent,
         }))
 }
 

@@ -517,6 +517,7 @@ pub fn all() -> Vec<ExpResult> {
         fig13(),
         crate::fault::fault_sweep(),
         crate::delayed_hits::delayed_hits(),
+        crate::emergent_r::emergent_r(),
     ]
 }
 

@@ -23,6 +23,7 @@ use std::path::PathBuf;
 
 pub mod ablations;
 pub mod delayed_hits;
+pub mod emergent_r;
 pub mod experiments;
 pub mod fault;
 

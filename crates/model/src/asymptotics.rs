@@ -1,6 +1,165 @@
-//! Asymptotic regimes (paper eq. 25 and §5.2.4).
+//! Asymptotic regimes (paper eq. 25 and §5.2.4), plus the emergent
+//! miss-ratio law: the Ji/Quan/Tan asymptotic for LRU caching behind
+//! consistent-hash routing (arXiv 1801.02436).
+
+use memlat_dist::Discrete;
 
 use crate::database::prob_no_miss;
+use crate::ModelError;
+
+/// Asymptotic miss ratio of a single LRU cache of `capacity_items` items
+/// under Zipf(`keys`, `skew`) traffic with `skew > 1` (Ji/Quan/Tan,
+/// arXiv 1801.02436; the single-cache form goes back to Jelenković).
+///
+/// With popularity `q_i = c / i^α` (so `c = 1 / H_{n,α}` is the Zipf
+/// normalizer) and cache size `x` items, the Che characteristic-time
+/// analysis gives
+///
+/// ```text
+/// m(x) ≈ (c / α) · [Γ(1 − 1/α)]^α · x^{−(α−1)}
+/// ```
+///
+/// The value is clamped to `[0, 1]` — the power law exceeds 1 for tiny
+/// caches where the asymptotic regime has not set in.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidParam`] unless `keys ≥ 1`,
+/// `skew > 1` (the theorem's heavy-tail condition), and
+/// `capacity_items` is finite and positive.
+///
+/// # Examples
+///
+/// ```
+/// use memlat_model::asymptotics::lru_miss_ratio_asymptotic;
+/// let m = lru_miss_ratio_asymptotic(1_000_000, 1.3, 10_000.0).unwrap();
+/// assert!(m > 0.0 && m < 1.0);
+/// // Bigger cache, fewer misses.
+/// let m2 = lru_miss_ratio_asymptotic(1_000_000, 1.3, 40_000.0).unwrap();
+/// assert!(m2 < m);
+/// ```
+pub fn lru_miss_ratio_asymptotic(
+    keys: u64,
+    skew: f64,
+    capacity_items: f64,
+) -> Result<f64, ModelError> {
+    if skew <= 1.0 || !skew.is_finite() {
+        return Err(ModelError::InvalidParam(format!(
+            "asymptotic miss ratio needs Zipf skew > 1, got {skew}"
+        )));
+    }
+    if !(capacity_items.is_finite() && capacity_items > 0.0) {
+        return Err(ModelError::InvalidParam(format!(
+            "cache capacity must be positive, got {capacity_items}"
+        )));
+    }
+    let zipf = memlat_dist::Zipf::new(keys, skew)?;
+    // pmf(1) = 1/H_{n,α} is exactly the normalizer c.
+    let c = zipf.pmf(1);
+    let gamma = memlat_numerics::special::ln_gamma(1.0 - 1.0 / skew).exp();
+    let m = (c / skew) * gamma.powf(skew) * capacity_items.powf(-(skew - 1.0));
+    Ok(m.clamp(0.0, 1.0))
+}
+
+/// Asymptotic aggregate miss ratio of `servers` LRU caches of
+/// `per_server_items` each behind consistent-hash key routing
+/// (Ji/Quan/Tan Theorem 4, arXiv 1801.02436).
+///
+/// The theorem's punchline is an *insensitivity*: hashing thins the Zipf
+/// stream so that each server sees the same power-law tail, and the
+/// per-server factors cancel — the fleet misses exactly as often as one
+/// big LRU holding the combined `servers × per_server_items` budget.
+/// Splitting a fixed memory budget across more servers costs nothing
+/// asymptotically.
+///
+/// # Errors
+///
+/// As [`lru_miss_ratio_asymptotic`], plus `servers ≥ 1`.
+///
+/// # Examples
+///
+/// ```
+/// use memlat_model::asymptotics::{cluster_miss_ratio_asymptotic, lru_miss_ratio_asymptotic};
+/// let fleet = cluster_miss_ratio_asymptotic(1_000_000, 1.3, 8, 5_000.0).unwrap();
+/// let single = lru_miss_ratio_asymptotic(1_000_000, 1.3, 40_000.0).unwrap();
+/// assert_eq!(fleet, single);
+/// ```
+pub fn cluster_miss_ratio_asymptotic(
+    keys: u64,
+    skew: f64,
+    servers: u64,
+    per_server_items: f64,
+) -> Result<f64, ModelError> {
+    if servers == 0 {
+        return Err(ModelError::InvalidParam(
+            "cluster miss ratio needs at least one server".into(),
+        ));
+    }
+    lru_miss_ratio_asymptotic(keys, skew, servers as f64 * per_server_items)
+}
+
+/// Finite-population Che approximation: the LRU miss ratio of a cache of
+/// `capacity_items` under Zipf(`keys`, `skew`), solved numerically.
+///
+/// Solves `Σ_i (1 − e^{−q_i T}) = x` for the characteristic time `T` by
+/// bisection and returns `m = Σ_i q_i e^{−q_i T}`. This is the
+/// non-asymptotic parent of [`lru_miss_ratio_asymptotic`]: exact in the
+/// Che-approximation sense at any cache size, `O(keys)` per evaluation.
+/// The conformance harness gates the simulator against the asymptotic
+/// and uses this form to quantify the finite-size gap.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidParam`] unless `keys ≥ 1`, `skew ≥ 0` is
+/// finite, and `0 < capacity_items < keys` (a cache at least as large as
+/// the key space never misses — that degenerate case returns `Ok(0.0)`).
+///
+/// # Examples
+///
+/// ```
+/// use memlat_model::asymptotics::{che_miss_ratio, lru_miss_ratio_asymptotic};
+/// let che = che_miss_ratio(1_000_000, 1.4, 8_000.0).unwrap();
+/// let asy = lru_miss_ratio_asymptotic(1_000_000, 1.4, 8_000.0).unwrap();
+/// // The asymptotic tracks the finite-size solution.
+/// assert!((che - asy).abs() / che < 0.35, "che={che} asy={asy}");
+/// ```
+pub fn che_miss_ratio(keys: u64, skew: f64, capacity_items: f64) -> Result<f64, ModelError> {
+    if !(capacity_items.is_finite() && capacity_items > 0.0) {
+        return Err(ModelError::InvalidParam(format!(
+            "cache capacity must be positive, got {capacity_items}"
+        )));
+    }
+    let zipf = memlat_dist::Zipf::new(keys, skew)?;
+    if capacity_items >= keys as f64 {
+        return Ok(0.0);
+    }
+    let pmf: Vec<f64> = (1..=keys).map(|i| zipf.pmf(i)).collect();
+    let occupancy = |t: f64| -> f64 { pmf.iter().map(|&q| -(-q * t).exp_m1()).sum() };
+    // Bracket the root: occupancy is 0 at T = 0 and → keys as T → ∞.
+    let mut hi = 1.0 / pmf[pmf.len() - 1];
+    while occupancy(hi) < capacity_items {
+        hi *= 2.0;
+        if !hi.is_finite() {
+            return Err(ModelError::InvalidParam(
+                "Che characteristic time diverged".into(),
+            ));
+        }
+    }
+    let mut lo = 0.0f64;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if occupancy(mid) < capacity_items {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo) <= 1e-12 * hi {
+            break;
+        }
+    }
+    let t = 0.5 * (lo + hi);
+    Ok(pmf.iter().map(|&q| q * (-q * t).exp()).sum())
+}
 
 /// Which asymptotic regime the database latency `E[T_D(N)]` is in as a
 /// function of the miss ratio `r` (paper eq. 25).
@@ -94,6 +253,76 @@ mod tests {
         // Logarithmic: elasticity ≈ 1/ln x, small.
         let e = elasticity(|x| x.ln(), 1e4);
         assert!(e < 0.15, "{e}");
+    }
+
+    #[test]
+    fn asymptotic_matches_the_che_solver() {
+        // The closed form must track the finite-population Che solution
+        // wherever keyspace ≫ cache ≫ 1 — the regime the conformance
+        // grid lives in.
+        // The finite-size gap shrinks with keyspace and skew: the
+        // asymptotic sits above the truncated-tail Che solution by a
+        // factor that dies off as the tail mass beyond the key space
+        // vanishes. These points bracket the conformance grid.
+        for &(keys, skew, x, tol) in &[
+            (1_000_000u64, 1.4f64, 2_000.0f64, 0.12f64),
+            (1_000_000, 1.4, 5_000.0, 0.16),
+            (1_000_000, 1.5, 5_000.0, 0.10),
+            (4_000_000, 1.4, 5_000.0, 0.10),
+            (4_000_000, 1.5, 10_000.0, 0.07),
+            (500_000, 1.3, 2_000.0, 0.25),
+        ] {
+            let asy = lru_miss_ratio_asymptotic(keys, skew, x).unwrap();
+            let che = che_miss_ratio(keys, skew, x).unwrap();
+            let rel = (asy - che).abs() / che;
+            assert!(
+                rel < tol,
+                "keys={keys} skew={skew} x={x}: asy={asy} che={che} rel={rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn asymptotic_power_law_exponent() {
+        // m(x) ∝ x^{−(α−1)}: doubling the cache must scale the miss
+        // ratio by exactly 2^{−(α−1)}.
+        let a = lru_miss_ratio_asymptotic(1_000_000, 1.4, 4_000.0).unwrap();
+        let b = lru_miss_ratio_asymptotic(1_000_000, 1.4, 8_000.0).unwrap();
+        let ratio = b / a;
+        let expect = 2f64.powf(-0.4);
+        assert!((ratio - expect).abs() < 1e-12, "{ratio} vs {expect}");
+    }
+
+    #[test]
+    fn cluster_form_is_insensitive_to_the_split() {
+        let one = cluster_miss_ratio_asymptotic(2_000_000, 1.25, 1, 64_000.0).unwrap();
+        let many = cluster_miss_ratio_asymptotic(2_000_000, 1.25, 64, 1_000.0).unwrap();
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn miss_ratio_laws_reject_bad_params() {
+        assert!(lru_miss_ratio_asymptotic(1_000, 1.0, 100.0).is_err());
+        assert!(lru_miss_ratio_asymptotic(1_000, 0.9, 100.0).is_err());
+        assert!(lru_miss_ratio_asymptotic(1_000, 1.2, 0.0).is_err());
+        assert!(lru_miss_ratio_asymptotic(1_000, 1.2, f64::NAN).is_err());
+        assert!(lru_miss_ratio_asymptotic(0, 1.2, 100.0).is_err());
+        assert!(cluster_miss_ratio_asymptotic(1_000, 1.2, 0, 100.0).is_err());
+        assert!(che_miss_ratio(1_000, 1.2, -5.0).is_err());
+        // Cache covering the whole key space: no misses.
+        assert_eq!(che_miss_ratio(1_000, 1.2, 2_000.0).unwrap(), 0.0);
+        // Tiny caches clamp to at most 1.
+        let m = lru_miss_ratio_asymptotic(1_000_000, 1.8, 1.0).unwrap();
+        assert!(m <= 1.0);
+    }
+
+    #[test]
+    fn che_solver_is_monotone_in_capacity() {
+        let m1 = che_miss_ratio(100_000, 1.1, 1_000.0).unwrap();
+        let m2 = che_miss_ratio(100_000, 1.1, 4_000.0).unwrap();
+        let m3 = che_miss_ratio(100_000, 1.1, 16_000.0).unwrap();
+        assert!(m1 > m2 && m2 > m3, "{m1} {m2} {m3}");
+        assert!(m1 < 1.0 && m3 > 0.0);
     }
 
     #[test]

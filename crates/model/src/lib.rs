@@ -81,7 +81,9 @@ pub mod server;
 pub mod sla;
 
 pub use analysis::{FactorImpact, Recommendation};
-pub use asymptotics::DbScalingRegime;
+pub use asymptotics::{
+    che_miss_ratio, cluster_miss_ratio_asymptotic, lru_miss_ratio_asymptotic, DbScalingRegime,
+};
 pub use cliff::{cliff_utilization, table4, DELTA_STAR};
 pub use latency::{Bounds, LatencyEstimate};
 pub use params::{ArrivalPattern, LoadDistribution, ModelParams, ModelParamsBuilder};

@@ -12,6 +12,8 @@
 //!   unbalanced load distribution `{p_j}`.
 //! * [`placement`] — key-to-server mappings: static probabilities,
 //!   hash-mod, and a consistent-hash ring with virtual nodes.
+//! * [`routing`] — the Zipf stream conditioned on ring ownership: exact
+//!   per-server shares `{p_j}` and conditional key samplers.
 //! * [`request`] — end-user request generation (`N` keys per request).
 //! * [`facebook`] — the §5.1 preset constants (`q = 0.1`, `ξ = 0.15`,
 //!   `λ = 62.5 Kps`, `μ_S = 80 Kps`, …) and key/value size laws.
@@ -41,13 +43,15 @@ pub mod placement;
 pub mod popularity;
 pub mod request;
 pub mod retry;
+pub mod routing;
 pub mod trace;
 
 pub use arrival::{ArrivalScratch, BatchArrivals};
 pub use placement::{ConsistentHashRing, HashMod, Placement, StaticProbability};
-pub use popularity::{alias_builds, ZipfPopularity};
+pub use popularity::{alias_builds, WeightedAlias, ZipfPopularity};
 pub use request::RequestGenerator;
 pub use retry::RetryQueue;
+pub use routing::RoutedKeyspace;
 
 /// A key identifier in the simulated key space.
 pub type KeyId = u64;

@@ -37,35 +37,43 @@ struct AliasTable {
     alias: Vec<u32>,
 }
 
+/// Vose's `O(n)` table construction over pre-scaled masses (each cell's
+/// probability mass times `n`). Cells left on whichever worklist drains
+/// last are within rounding of exactly 1; they keep `prob = 1` and
+/// `alias = self`.
+fn vose(mut scaled: Vec<f64>) -> (Vec<f64>, Vec<u32>) {
+    let n = scaled.len();
+    let mut prob = vec![1.0f64; n];
+    let mut alias: Vec<u32> = (0..n as u32).collect();
+    let mut small: Vec<usize> = Vec::new();
+    let mut large: Vec<usize> = Vec::new();
+    for (i, &s) in scaled.iter().enumerate() {
+        if s < 1.0 {
+            small.push(i);
+        } else {
+            large.push(i);
+        }
+    }
+    while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+        prob[s] = scaled[s];
+        alias[s] = l as u32;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        if scaled[l] < 1.0 {
+            small.push(l);
+        } else {
+            large.push(l);
+        }
+    }
+    (prob, alias)
+}
+
 impl AliasTable {
     /// Builds the table from the Zipf pmf in `O(n)` (Vose's method).
     fn build(zipf: &Zipf) -> Self {
         ALIAS_BUILDS.fetch_add(1, Ordering::Relaxed);
         let n = usize::try_from(zipf.n()).expect("alias key space fits usize");
-        let mut scaled: Vec<f64> = (1..=zipf.n()).map(|k| zipf.pmf(k) * n as f64).collect();
-        let mut prob = vec![1.0f64; n];
-        let mut alias: Vec<u32> = (0..n as u32).collect();
-        let mut small: Vec<usize> = Vec::new();
-        let mut large: Vec<usize> = Vec::new();
-        for (i, &s) in scaled.iter().enumerate() {
-            if s < 1.0 {
-                small.push(i);
-            } else {
-                large.push(i);
-            }
-        }
-        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
-            prob[s] = scaled[s];
-            alias[s] = l as u32;
-            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
-            if scaled[l] < 1.0 {
-                small.push(l);
-            } else {
-                large.push(l);
-            }
-        }
-        // Whichever worklist drains last holds cells within rounding of
-        // exactly 1; they keep prob = 1 and alias = self.
+        let scaled: Vec<f64> = (1..=zipf.n()).map(|k| zipf.pmf(k) * n as f64).collect();
+        let (prob, alias) = vose(scaled);
         Self { prob, alias }
     }
 
@@ -80,6 +88,93 @@ impl AliasTable {
             i as KeyId
         } else {
             KeyId::from(self.alias[i])
+        }
+    }
+}
+
+/// Walker/Vose alias sampler over an explicit non-negative weight
+/// vector: one uniform and two array reads per draw, regardless of the
+/// weight shape.
+///
+/// This is the general-purpose sibling of the private Zipf alias table:
+/// it powers conditional key populations (e.g. the keys a single server
+/// owns under consistent-hash routing, see
+/// [`crate::routing::RoutedKeyspace`]) where the weights are an
+/// arbitrary subset of a pmf rather than a full Zipf law. Construction
+/// does not touch the [`alias_builds`] counter — that counter audits the
+/// multi-megabyte full-keyspace tables only.
+///
+/// # Examples
+///
+/// ```
+/// use memlat_workload::WeightedAlias;
+/// use rand::SeedableRng;
+///
+/// let table = WeightedAlias::new(&[3.0, 1.0]).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let i = table.sample(&mut rng);
+/// assert!(i < 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightedAlias {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl WeightedAlias {
+    /// Builds the table from raw weights in `O(n)`; weights need not be
+    /// normalized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `weights` is empty, holds a negative or
+    /// non-finite entry, sums to zero, or exceeds `u32::MAX` entries.
+    pub fn new(weights: &[f64]) -> Result<Self, ParamError> {
+        if weights.is_empty() {
+            return Err(ParamError::new("alias weights must be non-empty"));
+        }
+        if weights.len() > u32::MAX as usize {
+            return Err(ParamError::new("alias table limited to u32::MAX cells"));
+        }
+        let mut total = 0.0f64;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(ParamError::new("alias weights must be finite and >= 0"));
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(ParamError::new("alias weights must have positive mass"));
+        }
+        let n = weights.len();
+        let scaled: Vec<f64> = weights.iter().map(|&w| w / total * n as f64).collect();
+        let (prob, alias) = vose(scaled);
+        Ok(Self { prob, alias })
+    }
+
+    /// Number of cells (= number of weights).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table has no cells (never true for a built table).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws a 0-based cell index from one uniform.
+    #[must_use]
+    pub fn sample(&self, rng: &mut dyn RngCore) -> usize {
+        let n = self.prob.len();
+        let x = memlat_dist::open_unit(rng) * n as f64;
+        let i = (x as usize).min(n - 1);
+        let v = x - i as f64;
+        if v < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
         }
     }
 }
@@ -324,6 +419,48 @@ mod tests {
     fn rejects_bad_params() {
         assert!(ZipfPopularity::new(0, 1.0).is_err());
         assert!(ZipfPopularity::new(10, -0.5).is_err());
+    }
+
+    #[test]
+    fn weighted_alias_matches_weights_statistically() {
+        let weights = [5.0, 0.0, 1.0, 3.0, 1.0];
+        let total: f64 = weights.iter().sum();
+        let table = WeightedAlias::new(&weights).unwrap();
+        assert_eq!(table.len(), weights.len());
+        assert!(!table.is_empty());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed);
+        let n = 200_000usize;
+        let mut counts = [0u64; 5];
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight cell must never be drawn");
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = weights[i] / total;
+            let got = c as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "cell {i}: got {got} expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_alias_skips_the_build_counter() {
+        // The counter audits full-keyspace Zipf tables; subset samplers
+        // (one per server per routed config) must not pollute it.
+        let before = alias_builds();
+        let _t = WeightedAlias::new(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(alias_builds(), before);
+    }
+
+    #[test]
+    fn weighted_alias_rejects_bad_weights() {
+        assert!(WeightedAlias::new(&[]).is_err());
+        assert!(WeightedAlias::new(&[0.0, 0.0]).is_err());
+        assert!(WeightedAlias::new(&[1.0, -0.5]).is_err());
+        assert!(WeightedAlias::new(&[1.0, f64::NAN]).is_err());
+        assert!(WeightedAlias::new(&[f64::INFINITY]).is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! cargo run --release --example emergent_miss
 //! ```
 
-use memlat::cluster::{CacheBackedConfig, ClusterSim, MissMode, SimConfig};
+use memlat::cluster::{CacheBackedConfig, CacheRouting, ClusterSim, MissMode, SimConfig};
 use memlat::model::{database, ModelParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,6 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             keyspace: 500_000,
             skew: 1.01,
             mean_value_bytes: 329.0,
+            routing: CacheRouting::Independent,
         });
         let cfg = SimConfig::new(params.clone())
             .duration(1.0)

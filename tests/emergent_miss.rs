@@ -2,7 +2,7 @@
 //! Zipf popularity producing an *emergent* miss ratio (extension over the
 //! paper's fixed `r`).
 
-use memlat::cluster::{CacheBackedConfig, ClusterSim, MissMode, SimConfig};
+use memlat::cluster::{CacheBackedConfig, CacheRouting, ClusterSim, MissMode, SimConfig};
 use memlat::model::ModelParams;
 
 fn emergent_r(memory_bytes: usize, seed: u64) -> f64 {
@@ -12,6 +12,7 @@ fn emergent_r(memory_bytes: usize, seed: u64) -> f64 {
         keyspace: 100_000,
         skew: 1.01,
         mean_value_bytes: 300.0,
+        routing: CacheRouting::Independent,
     });
     let cfg = SimConfig::new(params)
         .duration(0.5)

@@ -8,8 +8,8 @@
 //! retry drain at the horizon.
 
 use memlat::cluster::{
-    CacheBackedConfig, ClientPolicy, ClusterSim, FaultPlan, MissMode, MissRelay, RetryPolicy,
-    SimConfig, SimOutput,
+    CacheBackedConfig, CacheRouting, ClientPolicy, ClusterSim, FaultPlan, MissMode, MissRelay,
+    RetryPolicy, SimConfig, SimOutput,
 };
 use memlat::model::ModelParams;
 
@@ -144,6 +144,7 @@ fn coalesced_faulty_config(threads: usize) -> SimConfig {
             keyspace: 50_000,
             skew: 1.05,
             mean_value_bytes: 300.0,
+            routing: CacheRouting::Independent,
         }))
         .miss_relay(MissRelay::Coalesced)
         .fault_plan(plan)

@@ -93,6 +93,96 @@ fn maybe_regenerate_delayed_hits() {
     eprintln!("regenerated golden artifact {}", path.display());
 }
 
+/// `MEMLAT_REGOLD=1 cargo test golden_emergent_r` regenerates the
+/// emergent-miss-ratio sweep artifact in place (full profile only),
+/// mirroring [`maybe_regenerate_table3`].
+fn maybe_regenerate_emergent_r() {
+    if std::env::var("MEMLAT_REGOLD").map(|v| v == "1") != Ok(true) {
+        return;
+    }
+    assert!(
+        !memlat_experiments::quick_mode(),
+        "refusing to regenerate results/emergent_r.csv under MEMLAT_QUICK=1: \
+         golden artifacts must be full-profile (see the drift caveat in \
+         EXPERIMENTS.md)"
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join("emergent_r.csv");
+    let table = memlat_experiments::emergent_r::emergent_r();
+    std::fs::write(&path, table.to_csv())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    eprintln!("regenerated golden artifact {}", path.display());
+}
+
+#[test]
+fn golden_emergent_r_csv_holds_the_constant_r_breakdown() {
+    maybe_regenerate_emergent_r();
+    // The committed sweep must keep telling the emergent-r story,
+    // checked against the artifact alone (no simulation re-run): the
+    // miss ratio is an *output* of memory budget × skew, it falls with
+    // memory and with skew, both asymptotics track it at the measured
+    // occupancy, and wherever the emergent ratio leaves the paper's 1%
+    // materially the emergent-r closed form predicts the simulated
+    // E[T_D(N)] better than the constant-r one.
+    let (headers, rows) = load_results_csv("emergent_r");
+    assert_eq!(rows.len(), 9, "3 skews × 3 memory budgets");
+    let mem = col(&headers, &rows, "mem_mib");
+    let skew = col(&headers, &rows, "skew");
+    let cached = col(&headers, &rows, "cached_items");
+    let r_pct = col(&headers, &rows, "emergent_r_pct");
+    let jqt = col(&headers, &rows, "jqt_r_pct");
+    let che = col(&headers, &rows, "che_r_pct");
+    let const_err = col(&headers, &rows, "const_td_err_pct");
+    let emergent_err = col(&headers, &rows, "emergent_td_err_pct");
+    let mut breakdown_rows = 0;
+    for i in 0..rows.len() {
+        assert!(cached[i] > 1_000.0, "row {i}: cold cache in the golden");
+        assert!(r_pct[i] > 0.0 && r_pct[i] < 50.0, "row {i}: {}", r_pct[i]);
+        // Finite-size Che reference within 25%, JQT asymptotic within
+        // its documented finite-size bias envelope (worst at low skew).
+        assert!(
+            (r_pct[i] / che[i] - 1.0).abs() < 0.25,
+            "row {i}: emergent {} vs che {}",
+            r_pct[i],
+            che[i]
+        );
+        assert!(
+            (r_pct[i] / jqt[i] - 1.0).abs() < 0.5,
+            "row {i}: emergent {} vs jqt {}",
+            r_pct[i],
+            jqt[i]
+        );
+        if (r_pct[i] - 1.0).abs() > 0.5 {
+            breakdown_rows += 1;
+            assert!(
+                emergent_err[i].abs() < const_err[i].abs(),
+                "row {i}: constant-r prediction ({}%) beat emergent-r ({}%) \
+                 despite r = {}%",
+                const_err[i],
+                emergent_err[i],
+                r_pct[i]
+            );
+        }
+    }
+    assert!(
+        breakdown_rows >= 4,
+        "constant-r breakdown regime went missing ({breakdown_rows} rows)"
+    );
+    // Monotonicity in memory at fixed skew.
+    for i in 0..rows.len() {
+        for j in 0..rows.len() {
+            if skew[i] == skew[j] && mem[i] < mem[j] {
+                assert!(
+                    r_pct[j] < r_pct[i] && cached[j] > cached[i],
+                    "more memory did not miss less at skew {}",
+                    skew[i]
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn golden_delayed_hits_csv_holds_conservation_and_the_win() {
     maybe_regenerate_delayed_hits();
